@@ -1,0 +1,74 @@
+//! Campaign throughput: the golden reference run, a single fault-injection
+//! experiment, and small end-to-end campaigns for each algorithm and
+//! ablation variant — one series per table/figure-producing configuration.
+
+use bera_bench::bench_loop_config;
+use bera_goofi::campaign::{run_scifi_campaign, CampaignConfig};
+use bera_goofi::experiment::{golden_run, run_experiment, FaultSpec};
+use bera_goofi::swifi::{run_swifi, SwifiConfig};
+use bera_goofi::workload::Workload;
+use bera_core::PiController;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+
+    let cfg = bench_loop_config(100);
+
+    group.bench_function("golden_run_100_iterations", |b| {
+        let w = Workload::algorithm_one();
+        b.iter(|| golden_run(black_box(&w), &cfg));
+    });
+
+    group.bench_function("single_experiment", |b| {
+        let w = Workload::algorithm_one();
+        let golden = golden_run(&w, &cfg);
+        let fault = FaultSpec {
+            location_index: 40, // a cache data bit in x's line
+            inject_at: golden.total_instructions / 2,
+        };
+        b.iter(|| run_experiment(black_box(&w), &cfg, &golden, fault, false));
+    });
+
+    // One series per campaign configuration used by the table binaries.
+    for (label, workload, parity) in [
+        ("campaign_algorithm1", Workload::algorithm_one(), false),
+        ("campaign_algorithm2", Workload::algorithm_two(), false),
+        ("campaign_algorithm1_parity", Workload::algorithm_one(), true),
+        ("campaign_algorithm3", Workload::algorithm_three(), false),
+        (
+            "campaign_alg2_colocated",
+            Workload::algorithm_two_colocated_backup(),
+            false,
+        ),
+        (
+            "campaign_alg2_assert_after",
+            Workload::algorithm_two_assert_after_backup(),
+            false,
+        ),
+    ] {
+        group.bench_function(label, |b| {
+            let mut ccfg = CampaignConfig::quick(40, 11);
+            ccfg.loop_cfg = bench_loop_config(60);
+            ccfg.loop_cfg.parity_cache = parity;
+            ccfg.threads = 1;
+            b.iter(|| run_scifi_campaign(black_box(&workload), &ccfg));
+        });
+    }
+
+    group.bench_function("swifi_campaign_native", |b| {
+        let cfg = SwifiConfig {
+            faults: 50,
+            seed: 3,
+            iterations: 100,
+        };
+        b.iter(|| run_swifi(PiController::paper, black_box(&cfg)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Controller-step overhead: the cost of executable assertions and best
+//! effort recovery (the paper's cost-effectiveness argument — Section 1
+//! motivates the software approach against hardware duplication).
+//!
+//! Series reported:
+//! * `algorithm1_step` — the plain PI controller;
+//! * `algorithm2_step` — hand-written assertions + recovery;
+//! * `generic_protected_step` — the Section 4.3 generic wrapper;
+//! * `rate_protected_step` — the Algorithm III rate-assertion extension;
+//! * `mimo_protected_step` — a 2×2 state-space controller, fully protected.
+
+use bera_core::assertion::{All, Assertion};
+use bera_core::controller::{Controller, Limits};
+use bera_core::{
+    MimoController, PiController, Protected, ProtectedPiController, RangeAssertion,
+    RateAssertion, Siso, StateController, StateSpace,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn drive_controller<C: Controller>(c: &mut C, iters: usize) -> f64 {
+    let mut y = 1900.0;
+    let mut acc = 0.0;
+    for k in 0..iters {
+        let r = if k % 100 < 50 { 2000.0 } else { 3000.0 };
+        let u = c.step(black_box(r), black_box(y));
+        acc += u;
+        y += (u * 40.0 - y) * 0.05;
+    }
+    acc
+}
+
+fn bench_controllers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller_step");
+
+    group.bench_function("algorithm1_step", |b| {
+        let mut ctrl = PiController::paper();
+        b.iter(|| drive_controller(&mut ctrl, 100));
+    });
+
+    group.bench_function("algorithm2_step", |b| {
+        let mut ctrl = ProtectedPiController::paper();
+        b.iter(|| drive_controller(&mut ctrl, 100));
+    });
+
+    group.bench_function("generic_protected_step", |b| {
+        let mut ctrl = Siso::new(
+            Protected::uniform(PiController::paper(), Limits::throttle()),
+            Limits::throttle(),
+        );
+        b.iter(|| drive_controller(&mut ctrl, 100));
+    });
+
+    group.bench_function("rate_protected_step", |b| {
+        let state: Vec<Box<dyn Assertion<f64> + Send + Sync>> = vec![Box::new(All::new(
+            RangeAssertion::throttle(),
+            RateAssertion::new(5.0),
+        ))];
+        let output: Vec<Box<dyn Assertion<f64> + Send + Sync>> =
+            vec![Box::new(RangeAssertion::throttle())];
+        let mut ctrl = Siso::new(
+            Protected::with_assertions(PiController::paper(), state, output),
+            Limits::throttle(),
+        );
+        b.iter(|| drive_controller(&mut ctrl, 100));
+    });
+
+    group.bench_function("mimo_protected_step", |b| {
+        let mimo = MimoController::new(
+            StateSpace::jet_engine_demo(),
+            vec![Limits::new(0.0, 1.0); 2],
+        );
+        let mut ctrl = Protected::uniform(mimo, Limits::new(-10.0, 10.0));
+        let mut u = [0.0f64; 2];
+        b.iter(|| {
+            for _ in 0..100 {
+                ctrl.compute(black_box(&[0.3, -0.1]), &mut u);
+            }
+            u[0]
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_controllers);
+criterion_main!(benches);

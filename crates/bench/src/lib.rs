@@ -1,0 +1,21 @@
+//! Shared helpers for the benchmark suite (see `benches/`).
+//!
+//! The benches quantify the paper's cost argument: executable assertions
+//! and best effort recovery are a *software* mitigation whose per-iteration
+//! overhead must be small compared to the control period (15.4 ms), unlike
+//! hardware duplication.
+
+use bera_goofi::experiment::LoopConfig;
+use bera_plant::{Engine, Profiles};
+
+/// A standard short loop configuration for campaign benches.
+#[must_use]
+pub fn bench_loop_config(iterations: usize) -> LoopConfig {
+    LoopConfig {
+        iterations,
+        sample_interval: 0.0154,
+        profiles: Profiles::paper(),
+        engine: Engine::paper(),
+        parity_cache: false,
+    }
+}

@@ -1,0 +1,311 @@
+//! Executable assertions.
+//!
+//! An *executable assertion* is a software-implemented check verifying that
+//! a variable fulfils limitations given by a specification (footnote 2 of
+//! the paper). The checks here encode **physical constraints of the
+//! controlled object** — e.g. a throttle angle must lie in `[0, 70]`
+//! degrees — so that a corrupted controller variable can be recognised
+//! without any reference computation.
+
+use crate::controller::Limits;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A check over a value of type `T`.
+///
+/// `check` returns `true` when the value is plausible and `false` when it
+/// violates the constraint (an *assertion trip*). Assertions must be pure:
+/// calling `check` repeatedly on the same value must give the same answer.
+pub trait Assertion<T: ?Sized> {
+    /// Returns `true` when `value` satisfies the constraint.
+    fn check(&self, value: &T) -> bool;
+
+    /// Notifies a *stateful* assertion that `value` was accepted, so it can
+    /// update its history (e.g. the previous-sample window of
+    /// [`RateAssertion`]). Stateless assertions ignore this.
+    fn commit(&mut self, _value: &T) {}
+
+    /// A human-readable description of the constraint for reports.
+    fn describe(&self) -> String {
+        "assertion".to_string()
+    }
+}
+
+/// Range assertion: the value must lie within physical limits
+/// (the `in_range` check of Algorithm II).
+///
+/// # Example
+///
+/// ```
+/// use bera_core::{Assertion, RangeAssertion};
+/// let a = RangeAssertion::throttle();
+/// assert!(a.check(&35.0));
+/// assert!(!a.check(&70.5));
+/// assert!(!a.check(&f64::NAN));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RangeAssertion {
+    limits: Limits,
+}
+
+impl RangeAssertion {
+    /// Creates a range assertion over `limits`.
+    #[must_use]
+    pub fn new(limits: Limits) -> Self {
+        RangeAssertion { limits }
+    }
+
+    /// The paper's throttle constraint: `[0, 70]` degrees.
+    #[must_use]
+    pub fn throttle() -> Self {
+        RangeAssertion::new(Limits::throttle())
+    }
+
+    /// The limits this assertion enforces.
+    #[must_use]
+    pub fn limits(&self) -> Limits {
+        self.limits
+    }
+}
+
+impl Assertion<f64> for RangeAssertion {
+    fn check(&self, value: &f64) -> bool {
+        self.limits.contains(*value)
+    }
+
+    fn describe(&self) -> String {
+        format!("in_range{}", self.limits)
+    }
+}
+
+/// Rate assertion: the value must not move faster than the physical process
+/// allows between two consecutive samples.
+///
+/// This is the "more sophisticated assertion" the paper's conclusion calls
+/// for: it catches in-range corruptions such as the 10° → 69° state jump of
+/// Figure 10, which a pure range check cannot detect.
+///
+/// The assertion compares against the *previous accepted* value, so the
+/// caller must [`RateAssertion::commit`] each accepted sample.
+///
+/// # Example
+///
+/// ```
+/// use bera_core::RateAssertion;
+/// let mut a = RateAssertion::new(5.0);
+/// assert!(a.admit(3.0));   // first sample always admitted
+/// a.commit(3.0);
+/// assert!(a.admit(7.9));   // |7.9 - 3.0| < 5
+/// assert!(!a.admit(69.0)); // physically impossible jump
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateAssertion {
+    max_delta: f64,
+    previous: Option<f64>,
+}
+
+impl RateAssertion {
+    /// Creates a rate assertion allowing at most `max_delta` change per
+    /// sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_delta` is not a positive finite number.
+    #[must_use]
+    pub fn new(max_delta: f64) -> Self {
+        assert!(
+            max_delta.is_finite() && max_delta > 0.0,
+            "max_delta must be positive and finite"
+        );
+        RateAssertion {
+            max_delta,
+            previous: None,
+        }
+    }
+
+    /// Checks `value` against the last committed sample. The first sample is
+    /// always admitted. NaN is always rejected.
+    #[must_use]
+    pub fn admit(&self, value: f64) -> bool {
+        if value.is_nan() {
+            return false;
+        }
+        match self.previous {
+            None => true,
+            Some(prev) => (value - prev).abs() <= self.max_delta,
+        }
+    }
+
+    /// Records `value` as the last accepted sample.
+    pub fn commit(&mut self, value: f64) {
+        self.previous = Some(value);
+    }
+
+    /// Forgets the history (controller reset).
+    pub fn reset(&mut self) {
+        self.previous = None;
+    }
+
+    /// Maximum admitted per-sample change.
+    #[must_use]
+    pub fn max_delta(&self) -> f64 {
+        self.max_delta
+    }
+}
+
+impl Assertion<f64> for RateAssertion {
+    fn check(&self, value: &f64) -> bool {
+        self.admit(*value)
+    }
+
+    fn commit(&mut self, value: &f64) {
+        RateAssertion::commit(self, *value);
+    }
+
+    fn describe(&self) -> String {
+        format!("|Δ| ≤ {}", self.max_delta)
+    }
+}
+
+/// Conjunction of two assertions: both must hold.
+///
+/// # Example
+///
+/// ```
+/// use bera_core::assertion::{All, Assertion};
+/// use bera_core::{RangeAssertion, RateAssertion};
+/// let mut rate = RateAssertion::new(2.0);
+/// rate.commit(10.0);
+/// let a = All::new(RangeAssertion::throttle(), rate);
+/// assert!(a.check(&11.0));
+/// assert!(!a.check(&69.0)); // in range, but impossible jump
+/// assert!(!a.check(&-1.0)); // out of range
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct All<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A, B> All<A, B> {
+    /// Combines two assertions conjunctively.
+    #[must_use]
+    pub fn new(first: A, second: B) -> Self {
+        All { first, second }
+    }
+}
+
+impl<T, A: Assertion<T>, B: Assertion<T>> Assertion<T> for All<A, B> {
+    fn check(&self, value: &T) -> bool {
+        self.first.check(value) && self.second.check(value)
+    }
+
+    fn commit(&mut self, value: &T) {
+        self.first.commit(value);
+        self.second.commit(value);
+    }
+
+    fn describe(&self) -> String {
+        format!("({}) ∧ ({})", self.first.describe(), self.second.describe())
+    }
+}
+
+/// An assertion that always passes — used to disable protection on selected
+/// variables in ablation experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AlwaysTrue;
+
+impl<T> Assertion<T> for AlwaysTrue {
+    fn check(&self, _value: &T) -> bool {
+        true
+    }
+
+    fn describe(&self) -> String {
+        "true".to_string()
+    }
+}
+
+impl fmt::Display for RangeAssertion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_assertion_boundaries() {
+        let a = RangeAssertion::throttle();
+        assert!(a.check(&0.0));
+        assert!(a.check(&70.0));
+        assert!(!a.check(&-f64::EPSILON));
+        assert!(!a.check(&70.000001));
+    }
+
+    #[test]
+    fn range_assertion_rejects_non_finite() {
+        let a = RangeAssertion::throttle();
+        assert!(!a.check(&f64::NAN));
+        assert!(!a.check(&f64::INFINITY));
+        assert!(!a.check(&f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn rate_assertion_first_sample_admitted() {
+        let a = RateAssertion::new(0.1);
+        assert!(a.admit(1.0e9), "no history yet: anything finite admitted");
+    }
+
+    #[test]
+    fn rate_assertion_tracks_committed_only() {
+        let mut a = RateAssertion::new(1.0);
+        a.commit(0.0);
+        assert!(a.admit(0.5));
+        // Not committed — the window does not move.
+        assert!(a.admit(0.9));
+        assert!(!a.admit(1.5));
+    }
+
+    #[test]
+    fn rate_assertion_reset_forgets() {
+        let mut a = RateAssertion::new(1.0);
+        a.commit(100.0);
+        assert!(!a.admit(0.0));
+        a.reset();
+        assert!(a.admit(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rate_assertion_rejects_bad_delta() {
+        let _ = RateAssertion::new(-1.0);
+    }
+
+    #[test]
+    fn all_combinator_is_conjunction() {
+        let a = All::new(RangeAssertion::throttle(), AlwaysTrue);
+        assert!(a.check(&10.0));
+        assert!(!a.check(&-10.0));
+    }
+
+    #[test]
+    fn describe_mentions_limits() {
+        assert!(RangeAssertion::throttle().describe().contains("70"));
+        assert!(RateAssertion::new(2.5).describe().contains("2.5"));
+    }
+
+    #[test]
+    fn figure10_scenario_detected_by_rate_assertion() {
+        // The paper's residual failure: x jumps from ~10 to 69 degrees, both
+        // in range. A rate assertion bounded by physical throttle slew
+        // catches it.
+        let range = RangeAssertion::throttle();
+        let mut rate = RateAssertion::new(5.0);
+        rate.commit(10.0);
+        let corrupted = 69.0;
+        assert!(range.check(&corrupted), "range check is blind to this");
+        assert!(!rate.check(&corrupted), "rate check detects it");
+    }
+}

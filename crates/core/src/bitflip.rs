@@ -1,0 +1,170 @@
+//! Single bit-flip helpers for software-implemented fault injection.
+//!
+//! The paper's fault model is the **single bit-flip**, representing a
+//! transient upset caused by a particle strike. These helpers flip one bit
+//! of the IEEE-754 representation of a float, which is how SWIFI corrupts a
+//! controller variable held in memory.
+
+/// Flips bit `bit` (0 = least significant) of the `f64` bit pattern.
+///
+/// # Panics
+///
+/// Panics if `bit >= 64`.
+///
+/// # Example
+///
+/// ```
+/// use bera_core::bitflip::flip_bit_f64;
+/// let x = 10.0_f64;
+/// let corrupted = flip_bit_f64(x, 62); // high exponent bit
+/// assert!(corrupted > 1.0e100 || corrupted < 1.0e-100);
+/// // Flipping twice restores the original value exactly.
+/// assert_eq!(flip_bit_f64(corrupted, 62), x);
+/// ```
+#[must_use]
+pub fn flip_bit_f64(value: f64, bit: u32) -> f64 {
+    assert!(bit < 64, "f64 has 64 bits, got bit index {bit}");
+    f64::from_bits(value.to_bits() ^ (1u64 << bit))
+}
+
+/// Flips bit `bit` (0 = least significant) of the `f32` bit pattern —
+/// the representation used by the Thor-like target, whose registers are
+/// 32 bits wide.
+///
+/// # Panics
+///
+/// Panics if `bit >= 32`.
+#[must_use]
+pub fn flip_bit_f32(value: f32, bit: u32) -> f32 {
+    assert!(bit < 32, "f32 has 32 bits, got bit index {bit}");
+    f32::from_bits(value.to_bits() ^ (1u32 << bit))
+}
+
+/// Flips bit `bit` of a raw 32-bit word (registers, instruction words,
+/// cache data).
+///
+/// # Panics
+///
+/// Panics if `bit >= 32`.
+#[must_use]
+pub fn flip_bit_u32(value: u32, bit: u32) -> u32 {
+    assert!(bit < 32, "u32 has 32 bits, got bit index {bit}");
+    value ^ (1u32 << bit)
+}
+
+/// Classifies which IEEE-754 field of an `f64` a bit index falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FloatField {
+    /// Bits 0–51: the mantissa (fraction).
+    Mantissa,
+    /// Bits 52–62: the biased exponent.
+    Exponent,
+    /// Bit 63: the sign.
+    Sign,
+}
+
+/// Returns the IEEE-754 field that bit `bit` of an `f64` belongs to.
+///
+/// # Panics
+///
+/// Panics if `bit >= 64`.
+#[must_use]
+pub fn f64_field(bit: u32) -> FloatField {
+    match bit {
+        0..=51 => FloatField::Mantissa,
+        52..=62 => FloatField::Exponent,
+        63 => FloatField::Sign,
+        _ => panic!("f64 has 64 bits, got bit index {bit}"),
+    }
+}
+
+/// Returns the IEEE-754 field that bit `bit` of an `f32` belongs to.
+///
+/// # Panics
+///
+/// Panics if `bit >= 32`.
+#[must_use]
+pub fn f32_field(bit: u32) -> FloatField {
+    match bit {
+        0..=22 => FloatField::Mantissa,
+        23..=30 => FloatField::Exponent,
+        31 => FloatField::Sign,
+        _ => panic!("f32 has 32 bits, got bit index {bit}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_is_involutive_f64() {
+        let x = 12.345_f64;
+        for bit in 0..64 {
+            assert_eq!(flip_bit_f64(flip_bit_f64(x, bit), bit).to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn flip_is_involutive_f32() {
+        let x = 12.345_f32;
+        for bit in 0..32 {
+            assert_eq!(flip_bit_f32(flip_bit_f32(x, bit), bit).to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn sign_flip_negates() {
+        assert_eq!(flip_bit_f64(10.0, 63), -10.0);
+        assert_eq!(flip_bit_f32(10.0, 31), -10.0);
+    }
+
+    #[test]
+    fn low_mantissa_flip_is_tiny() {
+        let x = 10.0_f64;
+        let y = flip_bit_f64(x, 0);
+        assert!((x - y).abs() < 1e-10, "LSB flip barely changes the value");
+    }
+
+    #[test]
+    fn high_exponent_flip_is_huge() {
+        let x = 10.0_f64;
+        let y = flip_bit_f64(x, 62);
+        // 10.0 has exponent bit 62 set, so flipping it collapses the value.
+        assert!(y < 1e-100 && y > 0.0);
+    }
+
+    #[test]
+    fn u32_flip() {
+        assert_eq!(flip_bit_u32(0, 5), 32);
+        assert_eq!(flip_bit_u32(32, 5), 0);
+    }
+
+    #[test]
+    fn field_classification_f64() {
+        assert_eq!(f64_field(0), FloatField::Mantissa);
+        assert_eq!(f64_field(51), FloatField::Mantissa);
+        assert_eq!(f64_field(52), FloatField::Exponent);
+        assert_eq!(f64_field(62), FloatField::Exponent);
+        assert_eq!(f64_field(63), FloatField::Sign);
+    }
+
+    #[test]
+    fn field_classification_f32() {
+        assert_eq!(f32_field(22), FloatField::Mantissa);
+        assert_eq!(f32_field(23), FloatField::Exponent);
+        assert_eq!(f32_field(31), FloatField::Sign);
+    }
+
+    #[test]
+    #[should_panic(expected = "64 bits")]
+    fn f64_bit_out_of_range_panics() {
+        let _ = flip_bit_f64(1.0, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "32 bits")]
+    fn f32_bit_out_of_range_panics() {
+        let _ = flip_bit_f32(1.0, 32);
+    }
+}

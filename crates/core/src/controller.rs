@@ -1,0 +1,205 @@
+//! The [`Controller`] trait and shared controller parameters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// PI controller gains and the sample interval.
+///
+/// The paper's controller (Figure 2) has a proportional gain `Kp`, an
+/// integral gain `Ki`, and samples every `T` seconds (15.4 ms, giving 650
+/// iterations over the observed 10 s interval).
+///
+/// # Example
+///
+/// ```
+/// use bera_core::PiGains;
+/// let g = PiGains::paper();
+/// assert!((g.t - 0.0154).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PiGains {
+    /// Proportional gain `Kp` (degrees of throttle per rpm of error).
+    pub kp: f64,
+    /// Integral gain `Ki`.
+    pub ki: f64,
+    /// Sample interval `T` in seconds.
+    pub t: f64,
+}
+
+impl PiGains {
+    /// Sample interval used in the paper: 15.4 ms.
+    pub const PAPER_SAMPLE_INTERVAL: f64 = 0.0154;
+
+    /// Gains tuned so the closed loop against [`Engine::paper`] reproduces
+    /// the qualitative shape of the paper's Figure 3 (fast, lightly damped
+    /// tracking of the 2000 → 3000 rpm step with visible load dips).
+    ///
+    /// [`Engine::paper`]: https://docs.rs/bera-plant
+    #[must_use]
+    pub fn paper() -> Self {
+        PiGains {
+            kp: 0.045,
+            ki: 0.05,
+            t: Self::PAPER_SAMPLE_INTERVAL,
+        }
+    }
+}
+
+/// Saturation limits of an actuator signal.
+///
+/// The engine throttle opening angle lies between 0.0 and 70.0 degrees.
+///
+/// # Example
+///
+/// ```
+/// use bera_core::Limits;
+/// let l = Limits::throttle();
+/// assert_eq!(l.clamp(100.0), 70.0);
+/// assert_eq!(l.clamp(-3.0), 0.0);
+/// assert!(l.contains(35.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Limits {
+    /// Lower saturation bound.
+    pub lo: f64,
+    /// Upper saturation bound.
+    pub hi: f64,
+}
+
+impl Limits {
+    /// Creates limits `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is not finite.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "limits must be finite");
+        assert!(lo <= hi, "lower limit {lo} must not exceed upper limit {hi}");
+        Limits { lo, hi }
+    }
+
+    /// The paper's throttle limits: 0.0 to 70.0 degrees.
+    #[must_use]
+    pub fn throttle() -> Self {
+        Limits::new(0.0, 70.0)
+    }
+
+    /// Clamps `value` into the interval (`limit_output` in the paper's
+    /// pseudo-code). NaN clamps to the lower bound so a corrupted value can
+    /// never escape the actuator range.
+    #[must_use]
+    pub fn clamp(&self, value: f64) -> f64 {
+        if value.is_nan() {
+            return self.lo;
+        }
+        value.clamp(self.lo, self.hi)
+    }
+
+    /// Returns `true` when `value` lies inside the closed interval
+    /// (the `in_range` executable assertion of Algorithm II). NaN is never
+    /// in range.
+    #[must_use]
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lo && value <= self.hi
+    }
+
+    /// Interval width.
+    #[must_use]
+    pub fn span(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+impl fmt::Display for Limits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+/// A single-input single-output sampled-data controller.
+///
+/// One call to [`Controller::step`] is one iteration of the paper's control
+/// loop: it consumes the reference `r` and the measurement `y` and returns
+/// the limited actuator command `u_lim`.
+pub trait Controller {
+    /// Executes one control iteration and returns the limited output.
+    fn step(&mut self, r: f64, y: f64) -> f64;
+
+    /// Resets all controller state to its initial value.
+    fn reset(&mut self);
+
+    /// Read access to the controller's state variables (the integrator state
+    /// `x` for the PI controller). Used by the classifier and by SWIFI.
+    fn state(&self) -> Vec<f64>;
+
+    /// Overwrites one state variable; the hook through which
+    /// software-implemented fault injection corrupts controller state.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `index` is out of bounds.
+    fn set_state(&mut self, index: usize, value: f64);
+
+    /// The actuator limits this controller enforces on its output.
+    fn limits(&self) -> Limits;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throttle_limits() {
+        let l = Limits::throttle();
+        assert_eq!(l.lo, 0.0);
+        assert_eq!(l.hi, 70.0);
+        assert_eq!(l.span(), 70.0);
+    }
+
+    #[test]
+    fn clamp_handles_nan_and_infinities() {
+        let l = Limits::throttle();
+        assert_eq!(l.clamp(f64::NAN), 0.0);
+        assert_eq!(l.clamp(f64::INFINITY), 70.0);
+        assert_eq!(l.clamp(f64::NEG_INFINITY), 0.0);
+    }
+
+    #[test]
+    fn contains_rejects_nan() {
+        assert!(!Limits::throttle().contains(f64::NAN));
+    }
+
+    #[test]
+    fn contains_is_closed_interval() {
+        let l = Limits::throttle();
+        assert!(l.contains(0.0));
+        assert!(l.contains(70.0));
+        assert!(!l.contains(70.0001));
+        assert!(!l.contains(-0.0001));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn inverted_limits_panic() {
+        let _ = Limits::new(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_limits_panic() {
+        let _ = Limits::new(f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn paper_gains_sample_interval() {
+        assert_eq!(PiGains::paper().t, PiGains::PAPER_SAMPLE_INTERVAL);
+        // 650 iterations at 15.4 ms ≈ 10 s, as in Section 2.
+        assert!((650.0 * PiGains::PAPER_SAMPLE_INTERVAL - 10.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn display_limits() {
+        assert_eq!(Limits::throttle().to_string(), "[0, 70]");
+    }
+}

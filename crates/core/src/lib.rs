@@ -1,0 +1,57 @@
+//! # bera-core — executable assertions and best effort recovery
+//!
+//! This crate implements the primary contribution of the DSN 2001 paper
+//! *"Reducing Critical Failures for Control Algorithms Using Executable
+//! Assertions and Best Effort Recovery"*:
+//!
+//! * [`PiController`] — the engine-speed PI controller of **Algorithm I**
+//!   (proportional + integral parts, output limiter, anti-windup);
+//! * [`ProtectedPiController`] — **Algorithm II**: the same controller with
+//!   executable assertions on the state variable `x` and the limited output
+//!   `u_lim`, plus best effort recovery from one-iteration-old backups;
+//! * [`assertion`] — a reusable executable-assertion vocabulary
+//!   ([`RangeAssertion`], [`RateAssertion`], combinators);
+//! * [`recovery`] — the paper's Section 4.3 *general approach* for an
+//!   arbitrary number of state variables and output signals, as the
+//!   [`Protected`] wrapper over any [`StateController`];
+//! * [`mimo`] — a discrete state-space (MIMO) controller, the paper's
+//!   "future work" target, usable with the same protection wrapper;
+//! * [`bitflip`] — single bit-flip helpers used by software-implemented
+//!   fault injection (SWIFI).
+//!
+//! A *value failure* occurs when an erroneous result escapes all error
+//! detection and reaches the actuator. The paper shows control loops absorb
+//! most value failures, **except** those corrupting controller state — and
+//! that cheap software assertions plus best effort recovery convert almost
+//! all of those *severe* failures into *minor* ones.
+//!
+//! # Example
+//!
+//! ```
+//! use bera_core::{Controller, PiController, ProtectedPiController};
+//!
+//! let mut plain = PiController::paper();
+//! let mut protected = ProtectedPiController::paper();
+//! // One control iteration: reference 2000 rpm, measured 1900 rpm.
+//! let u1 = plain.step(2000.0, 1900.0);
+//! let u2 = protected.step(2000.0, 1900.0);
+//! assert_eq!(u1, u2); // identical while fault-free
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assertion;
+pub mod bitflip;
+pub mod controller;
+pub mod mimo;
+pub mod pi;
+pub mod protected_pi;
+pub mod recovery;
+
+pub use assertion::{Assertion, RangeAssertion, RateAssertion};
+pub use controller::{Controller, Limits, PiGains};
+pub use mimo::{MimoController, StateSpace};
+pub use pi::PiController;
+pub use protected_pi::ProtectedPiController;
+pub use recovery::{Protected, ProtectionReport, Siso, StateController};

@@ -1,0 +1,274 @@
+//! Algorithm I — the unprotected PI controller.
+
+use crate::controller::{Controller, Limits, PiGains};
+use crate::recovery::StateController;
+use serde::{Deserialize, Serialize};
+
+/// The paper's Algorithm I: a proportional-integral engine-speed controller
+/// with an output limiter and anti-windup, **without** executable assertions
+/// or recovery.
+///
+/// Per iteration `k` (paper equations 1–3):
+///
+/// ```text
+/// e(k)     = r(k) - y(k)
+/// u(k)     = Kp·e(k) + x(k-1)
+/// u_lim(k) = clamp(u(k), 0, 70)
+/// x(k)     = x(k-1) + T·Ki·e(k)      (integration cut off by anti-windup)
+/// ```
+///
+/// The anti-windup function disables integration while the *unlimited*
+/// output is saturated and the control error keeps pushing it further out of
+/// range.
+///
+/// # Example
+///
+/// ```
+/// use bera_core::{Controller, PiController};
+/// let mut c = PiController::paper();
+/// let u = c.step(10_000.0, 0.0); // huge error -> saturated demand
+/// assert_eq!(u, 70.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiController {
+    gains: PiGains,
+    limits: Limits,
+    /// The integrator state `x` — the variable whose corruption the paper
+    /// identifies as the source of severe value failures.
+    x: f64,
+}
+
+impl PiController {
+    /// Creates a PI controller with the given gains and output limits.
+    /// The state `x` starts at zero.
+    #[must_use]
+    pub fn new(gains: PiGains, limits: Limits) -> Self {
+        PiController {
+            gains,
+            limits,
+            x: 0.0,
+        }
+    }
+
+    /// The configuration used in the paper's experiments: paper gains and
+    /// throttle limits 0–70 degrees.
+    #[must_use]
+    pub fn paper() -> Self {
+        PiController::new(PiGains::paper(), Limits::throttle())
+    }
+
+    /// The current integrator state `x`.
+    #[must_use]
+    pub fn x(&self) -> f64 {
+        self.x
+    }
+
+    /// Directly overwrites the integrator state (fault-injection hook).
+    pub fn set_x(&mut self, x: f64) {
+        self.x = x;
+    }
+
+    /// The controller gains.
+    #[must_use]
+    pub fn gains(&self) -> PiGains {
+        self.gains
+    }
+
+    /// Returns `true` when anti-windup must cut off integration: the
+    /// unlimited output `u` is outside the limits and the error `e` drives
+    /// it further out.
+    #[must_use]
+    pub fn anti_windup_activated(&self, u: f64, e: f64) -> bool {
+        (u > self.limits.hi && e > 0.0) || (u < self.limits.lo && e < 0.0)
+    }
+}
+
+impl Controller for PiController {
+    fn step(&mut self, r: f64, y: f64) -> f64 {
+        let e = r - y;
+        let u = e * self.gains.kp + self.x;
+        let u_lim = self.limits.clamp(u);
+        let ki = if self.anti_windup_activated(u, e) {
+            0.0
+        } else {
+            self.gains.ki
+        };
+        self.x += self.gains.t * e * ki;
+        u_lim
+    }
+
+    fn reset(&mut self) {
+        self.x = 0.0;
+    }
+
+    fn state(&self) -> Vec<f64> {
+        vec![self.x]
+    }
+
+    fn set_state(&mut self, index: usize, value: f64) {
+        assert_eq!(index, 0, "PiController has exactly one state variable");
+        self.x = value;
+    }
+
+    fn limits(&self) -> Limits {
+        self.limits
+    }
+}
+
+impl StateController for PiController {
+    fn num_states(&self) -> usize {
+        1
+    }
+
+    fn num_outputs(&self) -> usize {
+        1
+    }
+
+    fn states(&self) -> Vec<f64> {
+        vec![self.x]
+    }
+
+    fn set_states(&mut self, states: &[f64]) {
+        assert_eq!(states.len(), 1, "PiController has exactly one state");
+        self.x = states[0];
+    }
+
+    fn compute(&mut self, inputs: &[f64], outputs: &mut [f64]) {
+        assert_eq!(inputs.len(), 2, "inputs are [r, y]");
+        assert_eq!(outputs.len(), 1, "one output u_lim");
+        outputs[0] = self.step(inputs[0], inputs[1]);
+    }
+
+    fn reset_states(&mut self) {
+        self.x = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_gains() -> PiGains {
+        PiGains {
+            kp: 1.0,
+            ki: 1.0,
+            t: 1.0,
+        }
+    }
+
+    #[test]
+    fn proportional_action() {
+        // With zero integrator, output is Kp * e (inside limits).
+        let mut c = PiController::new(
+            PiGains {
+                kp: 0.5,
+                ki: 0.0,
+                t: 1.0,
+            },
+            Limits::throttle(),
+        );
+        assert_eq!(c.step(10.0, 0.0), 5.0);
+        assert_eq!(c.x(), 0.0, "ki = 0 leaves the state untouched");
+    }
+
+    #[test]
+    fn integral_action_accumulates() {
+        let mut c = PiController::new(unit_gains(), Limits::new(-1e9, 1e9));
+        c.step(1.0, 0.0); // e = 1, x += 1
+        c.step(1.0, 0.0);
+        assert_eq!(c.x(), 2.0);
+    }
+
+    #[test]
+    fn output_is_limited() {
+        let mut c = PiController::paper();
+        assert_eq!(c.step(1e9, 0.0), 70.0);
+        assert_eq!(c.step(-1e9, 0.0), 0.0);
+    }
+
+    #[test]
+    fn anti_windup_stops_integration_when_saturated_outward() {
+        let mut c = PiController::new(unit_gains(), Limits::new(0.0, 10.0));
+        // Large positive error: u = 100 > 10, e > 0 -> integration cut off.
+        c.step(100.0, 0.0);
+        assert_eq!(c.x(), 0.0, "anti-windup must freeze x");
+    }
+
+    #[test]
+    fn anti_windup_allows_integration_back_into_range() {
+        let mut c = PiController::new(unit_gains(), Limits::new(0.0, 10.0));
+        c.set_x(100.0); // wound-up (or corrupted) state
+        // e < 0 now pulls the output back toward range: integration enabled.
+        c.step(0.0, 5.0); // e = -5, u = -5 + 100 = 95 > hi, but e < 0
+        assert_eq!(c.x(), 95.0, "x must integrate downwards");
+    }
+
+    #[test]
+    fn anti_windup_at_lower_limit() {
+        let mut c = PiController::new(unit_gains(), Limits::new(0.0, 10.0));
+        // e < 0 and u < lo -> cut off.
+        c.step(0.0, 100.0);
+        assert_eq!(c.x(), 0.0);
+        // e > 0 while u < lo -> integrate (recovering).
+        c.set_x(-50.0);
+        c.step(10.0, 0.0); // e = 10, u = -40 < lo, e > 0
+        assert_eq!(c.x(), -40.0);
+    }
+
+    #[test]
+    fn steady_state_zero_error_is_fixed_point() {
+        let mut c = PiController::paper();
+        c.set_x(20.0);
+        let u = c.step(2000.0, 2000.0);
+        assert_eq!(u, 20.0);
+        assert_eq!(c.x(), 20.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = PiController::paper();
+        c.step(2000.0, 0.0);
+        c.set_x(5.0);
+        c.reset();
+        assert_eq!(c.x(), 0.0);
+    }
+
+    #[test]
+    fn controller_trait_state_roundtrip() {
+        let mut c = PiController::paper();
+        c.set_state(0, 12.5);
+        assert_eq!(c.state(), vec![12.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one state")]
+    fn set_state_out_of_bounds_panics() {
+        PiController::paper().set_state(1, 0.0);
+    }
+
+    #[test]
+    fn state_controller_matches_controller() {
+        let mut a = PiController::paper();
+        let mut b = PiController::paper();
+        let mut out = [0.0];
+        for k in 0..100 {
+            let r = 2000.0;
+            let y = 1900.0 + k as f64;
+            let u1 = a.step(r, y);
+            b.compute(&[r, y], &mut out);
+            assert_eq!(u1, out[0]);
+        }
+    }
+
+    #[test]
+    fn corrupted_state_saturates_output_like_figure7() {
+        // A huge corrupted x locks the output at the upper limit — the
+        // permanent failure mode of Figure 7.
+        let mut c = PiController::paper();
+        c.set_x(1.0e20);
+        for _ in 0..650 {
+            let u = c.step(2000.0, 2500.0); // engine running too fast
+            assert_eq!(u, 70.0, "output stays locked at full throttle");
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Algorithm II — the PI controller with executable assertions and best
+//! effort recovery.
+
+use crate::controller::{Controller, Limits, PiGains};
+use crate::recovery::StateController;
+use serde::{Deserialize, Serialize};
+
+/// Counters describing how often the executable assertions fired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Trips of the state assertion `in_range(x)` (recovered from `x_old`).
+    pub state_recoveries: u64,
+    /// Trips of the output assertion `in_range(u_lim)` (recovered from
+    /// `u_old` and `x_old`).
+    pub output_recoveries: u64,
+}
+
+impl RecoveryStats {
+    /// Total number of best-effort recoveries performed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.state_recoveries + self.output_recoveries
+    }
+}
+
+/// The paper's **Algorithm II**: Algorithm I extended with executable
+/// assertions on the state variable `x` and the limited output `u_lim`, and
+/// *best effort recovery* from the values backed up in the previous
+/// iteration.
+///
+/// The recovery is "best effort" because the current input generally differs
+/// from the previous iteration's input, so replaying old state/output may
+/// still produce a (minor) value failure — but never a permanent one locked
+/// at an actuator limit.
+///
+/// The exact iteration (changes from Algorithm I in **bold** in the paper):
+///
+/// ```text
+/// e = r - y
+/// if not in_range(x) { x = x_old } else { x_old = x }   // assert + backup
+/// u     = e*Kp + x
+/// u_lim = limit_output(u)
+/// ki    = anti_windup ? 0 : Ki
+/// x     = x + T*e*ki
+/// if not in_range(u_lim) { u_lim = u_old; x = x_old }   // assert output
+/// u_old = u_lim
+/// return u_lim
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use bera_core::{Controller, ProtectedPiController};
+/// let mut c = ProtectedPiController::paper();
+/// c.step(2000.0, 1800.0);
+/// // A bit-flip corrupts the state to an impossible value...
+/// c.set_state(0, 1.0e20);
+/// // ...and the next iteration recovers from the backup.
+/// let u = c.step(2000.0, 1810.0);
+/// assert!(u < 70.0, "output is not locked at the limit");
+/// assert_eq!(c.stats().state_recoveries, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtectedPiController {
+    gains: PiGains,
+    limits: Limits,
+    state_range: Limits,
+    x: f64,
+    x_old: f64,
+    u_old: f64,
+    stats: RecoveryStats,
+}
+
+impl ProtectedPiController {
+    /// Creates a protected controller. `state_range` is the physical range
+    /// asserted on `x`; the paper uses the same throttle limits for the
+    /// state and the output.
+    #[must_use]
+    pub fn new(gains: PiGains, limits: Limits, state_range: Limits) -> Self {
+        ProtectedPiController {
+            gains,
+            limits,
+            state_range,
+            x: 0.0,
+            x_old: 0.0,
+            u_old: 0.0,
+            stats: RecoveryStats::default(),
+        }
+    }
+
+    /// The paper's configuration: paper gains, throttle limits for both the
+    /// output and the state assertion.
+    #[must_use]
+    pub fn paper() -> Self {
+        ProtectedPiController::new(PiGains::paper(), Limits::throttle(), Limits::throttle())
+    }
+
+    /// Current integrator state `x`.
+    #[must_use]
+    pub fn x(&self) -> f64 {
+        self.x
+    }
+
+    /// Backup of the state from the previous iteration.
+    #[must_use]
+    pub fn x_old(&self) -> f64 {
+        self.x_old
+    }
+
+    /// Backup of the output from the previous iteration.
+    #[must_use]
+    pub fn u_old(&self) -> f64 {
+        self.u_old
+    }
+
+    /// Assertion-trip counters accumulated since the last reset.
+    #[must_use]
+    pub fn stats(&self) -> RecoveryStats {
+        self.stats
+    }
+
+    fn anti_windup_activated(&self, u: f64, e: f64) -> bool {
+        (u > self.limits.hi && e > 0.0) || (u < self.limits.lo && e < 0.0)
+    }
+}
+
+impl Controller for ProtectedPiController {
+    fn step(&mut self, r: f64, y: f64) -> f64 {
+        let e = r - y;
+
+        // Executable assertion on the state, then backup (approach 1 & 2 of
+        // Section 4.3: assert *before* the backup so an erroneous value is
+        // never saved).
+        if !self.state_range.contains(self.x) {
+            self.stats.state_recoveries += 1;
+            self.x = self.x_old; // best effort recovery
+        } else {
+            self.x_old = self.x; // save state x
+        }
+
+        let u = e * self.gains.kp + self.x;
+        let mut u_lim = self.limits.clamp(u);
+        let ki = if self.anti_windup_activated(u, e) {
+            0.0
+        } else {
+            self.gains.ki
+        };
+        self.x += self.gains.t * e * ki;
+
+        // Executable assertion on the output (approach 3): deliver the
+        // previous output and roll the state back to match it.
+        if !self.limits.contains(u_lim) {
+            self.stats.output_recoveries += 1;
+            u_lim = self.u_old;
+            self.x = self.x_old;
+        }
+        self.u_old = u_lim; // save output
+        u_lim
+    }
+
+    fn reset(&mut self) {
+        self.x = 0.0;
+        self.x_old = 0.0;
+        self.u_old = 0.0;
+        self.stats = RecoveryStats::default();
+    }
+
+    fn state(&self) -> Vec<f64> {
+        vec![self.x, self.x_old, self.u_old]
+    }
+
+    fn set_state(&mut self, index: usize, value: f64) {
+        match index {
+            0 => self.x = value,
+            1 => self.x_old = value,
+            2 => self.u_old = value,
+            _ => panic!("ProtectedPiController has 3 state variables, got index {index}"),
+        }
+    }
+
+    fn limits(&self) -> Limits {
+        self.limits
+    }
+}
+
+impl StateController for ProtectedPiController {
+    fn num_states(&self) -> usize {
+        3
+    }
+
+    fn num_outputs(&self) -> usize {
+        1
+    }
+
+    fn states(&self) -> Vec<f64> {
+        vec![self.x, self.x_old, self.u_old]
+    }
+
+    fn set_states(&mut self, states: &[f64]) {
+        assert_eq!(states.len(), 3, "expected [x, x_old, u_old]");
+        self.x = states[0];
+        self.x_old = states[1];
+        self.u_old = states[2];
+    }
+
+    fn compute(&mut self, inputs: &[f64], outputs: &mut [f64]) {
+        assert_eq!(inputs.len(), 2, "inputs are [r, y]");
+        assert_eq!(outputs.len(), 1, "one output u_lim");
+        outputs[0] = self.step(inputs[0], inputs[1]);
+    }
+
+    fn reset_states(&mut self) {
+        self.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pi::PiController;
+
+    #[test]
+    fn fault_free_behaviour_matches_algorithm_one() {
+        // Sections 4.2/4.4: under fault-free conditions the two algorithms
+        // deliver identical outputs.
+        let mut plain = PiController::paper();
+        let mut protected = ProtectedPiController::paper();
+        let mut y = 0.0;
+        for k in 0..650 {
+            let r = if k < 325 { 2000.0 } else { 3000.0 };
+            let u1 = plain.step(r, y);
+            let u2 = protected.step(r, y);
+            assert_eq!(u1, u2, "iteration {k}");
+            // A crude fake plant so the trajectory is non-trivial.
+            y += (u1 * 40.0 - y) * 0.05;
+        }
+        assert_eq!(protected.stats().total(), 0, "no assertions fire");
+    }
+
+    #[test]
+    fn out_of_range_state_recovers_from_backup() {
+        let mut c = ProtectedPiController::paper();
+        // Build up some legitimate state.
+        for _ in 0..50 {
+            c.step(2000.0, 1500.0);
+        }
+        let good_x = c.x();
+        assert!(good_x > 0.0);
+        c.set_state(0, -4.0e7); // corrupted: far below range
+        c.step(2000.0, 1500.0);
+        assert_eq!(c.stats().state_recoveries, 1);
+        // The recovered state continued integrating from x_old, not from the
+        // corrupted value.
+        assert!((c.x() - good_x).abs() < 1.0);
+    }
+
+    #[test]
+    fn nan_state_recovers() {
+        let mut c = ProtectedPiController::paper();
+        c.step(2000.0, 1900.0);
+        c.set_state(0, f64::NAN);
+        let u = c.step(2000.0, 1900.0);
+        assert!(u.is_finite());
+        assert!(c.x().is_finite());
+        assert_eq!(c.stats().state_recoveries, 1);
+    }
+
+    #[test]
+    fn no_permanent_lock_at_full_throttle() {
+        // The headline claim: the failure mode "throttle locked at full
+        // speed" disappears. Corrupt the state to a huge value and verify the
+        // output returns below the limit immediately.
+        let mut c = ProtectedPiController::paper();
+        for _ in 0..100 {
+            c.step(2000.0, 1990.0);
+        }
+        c.set_state(0, 1.0e20);
+        let mut locked = 0;
+        for _ in 0..650 {
+            let u = c.step(2000.0, 1990.0);
+            if u >= 70.0 {
+                locked += 1;
+            }
+        }
+        assert_eq!(locked, 0, "output must never lock at the limit");
+    }
+
+    #[test]
+    fn in_range_corruption_is_not_detected() {
+        // Figure 10: a corruption to 69 degrees is inside the asserted range
+        // and must slip through (the residual semi-permanent failures).
+        let mut c = ProtectedPiController::paper();
+        for _ in 0..100 {
+            c.step(2000.0, 1995.0);
+        }
+        c.set_state(0, 69.0);
+        c.step(2000.0, 1995.0);
+        assert_eq!(c.stats().total(), 0, "range assertion is blind here");
+        assert!(c.x() > 60.0, "corrupted state persists");
+    }
+
+    #[test]
+    fn backup_tracks_last_good_state() {
+        let mut c = ProtectedPiController::paper();
+        c.step(2000.0, 1000.0);
+        let x_after_1 = c.x();
+        c.step(2000.0, 1000.0);
+        assert_eq!(c.x_old(), x_after_1, "x_old is last iteration's x");
+    }
+
+    #[test]
+    fn output_backup_tracks_last_output() {
+        let mut c = ProtectedPiController::paper();
+        let u = c.step(2000.0, 1000.0);
+        assert_eq!(c.u_old(), u);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = ProtectedPiController::paper();
+        c.step(2000.0, 0.0);
+        c.set_state(0, 1e9);
+        c.step(2000.0, 0.0);
+        c.reset();
+        assert_eq!(c.x(), 0.0);
+        assert_eq!(c.x_old(), 0.0);
+        assert_eq!(c.u_old(), 0.0);
+        assert_eq!(c.stats(), RecoveryStats::default());
+    }
+
+    #[test]
+    fn corrupted_backup_only_is_harmless_while_x_stays_valid() {
+        let mut c = ProtectedPiController::paper();
+        for _ in 0..10 {
+            c.step(2000.0, 1500.0);
+        }
+        let mut reference = c.clone();
+        c.set_state(1, 9.9e9); // corrupt x_old
+        let u1 = c.step(2000.0, 1500.0);
+        let u2 = reference.step(2000.0, 1500.0);
+        // x was valid, so x_old is immediately re-written by the backup.
+        assert_eq!(u1, u2);
+        assert_eq!(c.x_old(), reference.x_old());
+    }
+
+    #[test]
+    #[should_panic(expected = "3 state variables")]
+    fn set_state_bounds_checked() {
+        ProtectedPiController::paper().set_state(3, 0.0);
+    }
+
+    #[test]
+    fn recovery_stats_total() {
+        let s = RecoveryStats {
+            state_recoveries: 2,
+            output_recoveries: 3,
+        };
+        assert_eq!(s.total(), 5);
+    }
+}

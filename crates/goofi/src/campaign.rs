@@ -1,0 +1,247 @@
+//! Campaign orchestration: fault-list sampling, parallel experiment
+//! execution, and the result database.
+
+use crate::experiment::{
+    golden_run, run_experiment_with_model, ExperimentRecord, FaultModel, FaultSpec, GoldenRun,
+    LoopConfig,
+};
+use crate::workload::Workload;
+use bera_stats::sampling::UniformSampler;
+use bera_tcpu::scan;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one SCIFI campaign (GOOFI's set-up phase).
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Number of faults to inject (the paper uses 9290 for Algorithm I and
+    /// 2372 for Algorithm II).
+    pub faults: usize,
+    /// RNG seed for the fault list; campaigns are reproducible.
+    pub seed: u64,
+    /// The closed-loop workload configuration.
+    pub loop_cfg: LoopConfig,
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+    /// Record full output sequences for every experiment (large!).
+    pub detail: bool,
+    /// The fault model (single bit-flip by default, as in the paper).
+    pub fault_model: FaultModel,
+}
+
+impl CampaignConfig {
+    /// The paper's campaign shape with a configurable fault count.
+    #[must_use]
+    pub fn paper(faults: usize, seed: u64) -> Self {
+        CampaignConfig {
+            faults,
+            seed,
+            loop_cfg: LoopConfig::paper(),
+            threads: 0,
+            detail: false,
+            fault_model: FaultModel::SingleBit,
+        }
+    }
+
+    /// A small single-threaded campaign over a shortened run, for tests.
+    #[must_use]
+    pub fn quick(faults: usize, seed: u64) -> Self {
+        CampaignConfig {
+            faults,
+            seed,
+            loop_cfg: LoopConfig::short(60),
+            threads: 1,
+            detail: false,
+            fault_model: FaultModel::SingleBit,
+        }
+    }
+}
+
+/// The sampled fault list (location, time) pairs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultList {
+    /// The sampled faults.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl FaultList {
+    /// Samples `n` faults uniformly over the scan catalog and the dynamic
+    /// instructions of the golden run.
+    #[must_use]
+    pub fn sample(n: usize, seed: u64, total_instructions: u64) -> Self {
+        let mut sampler = UniformSampler::with_seed(seed);
+        let catalog_len = scan::catalog().len();
+        let faults = sampler
+            .draw_fault_list(n, catalog_len, total_instructions)
+            .into_iter()
+            .map(|(location_index, inject_at)| FaultSpec {
+                location_index,
+                inject_at,
+            })
+            .collect();
+        FaultList { faults }
+    }
+}
+
+/// Everything a campaign produced: per-experiment records plus the golden
+/// context needed to interpret them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Workload name ("Algorithm I" / "Algorithm II").
+    pub workload: String,
+    /// Seed the fault list was drawn with.
+    pub seed: u64,
+    /// Number of scannable state elements (fault location population).
+    pub total_locations: usize,
+    /// Dynamic instructions of the golden run (fault time population).
+    pub total_instructions: u64,
+    /// Golden output bit patterns, one per iteration.
+    pub golden_outputs: Vec<u32>,
+    /// Golden plant speed trajectory (rpm).
+    pub golden_speeds: Vec<f64>,
+    /// One record per injected fault.
+    pub records: Vec<ExperimentRecord>,
+}
+
+impl CampaignResult {
+    /// Serialises the full result database as pretty JSON (the analogue of
+    /// GOOFI's SQL database dump).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if serialisation fails (it cannot for this type,
+    /// but the signature is honest).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+}
+
+/// Runs a full SCIFI campaign: golden run, fault-list sampling, then one
+/// experiment per fault (in parallel across threads).
+#[must_use]
+pub fn run_scifi_campaign(workload: &Workload, cfg: &CampaignConfig) -> CampaignResult {
+    let golden = golden_run(workload, &cfg.loop_cfg);
+    let list = FaultList::sample(cfg.faults, cfg.seed, golden.total_instructions);
+    let records = run_fault_list(workload, cfg, &golden, &list.faults);
+    CampaignResult {
+        workload: workload.name().to_string(),
+        seed: cfg.seed,
+        total_locations: scan::catalog().len(),
+        total_instructions: golden.total_instructions,
+        golden_outputs: golden.outputs.clone(),
+        golden_speeds: golden.speeds.clone(),
+        records,
+    }
+}
+
+/// Runs an explicit fault list (used by ablations and figure scripts).
+#[must_use]
+pub fn run_fault_list(
+    workload: &Workload,
+    cfg: &CampaignConfig,
+    golden: &GoldenRun,
+    faults: &[FaultSpec],
+) -> Vec<ExperimentRecord> {
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        cfg.threads
+    };
+    if threads <= 1 || faults.len() < 2 {
+        return faults
+            .iter()
+            .map(|&f| {
+                run_experiment_with_model(workload, &cfg.loop_cfg, golden, f, cfg.fault_model, cfg.detail)
+            })
+            .collect();
+    }
+
+    let chunk = faults.len().div_ceil(threads);
+    let mut results: Vec<Vec<ExperimentRecord>> = Vec::new();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = faults
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move |_| {
+                    slice
+                        .iter()
+                        .map(|&f| {
+                            run_experiment_with_model(
+                                workload,
+                                &cfg.loop_cfg,
+                                golden,
+                                f,
+                                cfg.fault_model,
+                                cfg.detail,
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("campaign worker panicked"));
+        }
+    })
+    .expect("campaign scope panicked");
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::Outcome;
+
+    #[test]
+    fn fault_list_is_reproducible() {
+        let a = FaultList::sample(100, 7, 30_000);
+        let b = FaultList::sample(100, 7, 30_000);
+        assert_eq!(a, b);
+        assert_eq!(a.faults.len(), 100);
+        let catalog_len = scan::catalog().len();
+        assert!(a
+            .faults
+            .iter()
+            .all(|f| f.location_index < catalog_len && f.inject_at < 30_000));
+    }
+
+    #[test]
+    fn quick_campaign_classifies_every_fault() {
+        let w = Workload::algorithm_one();
+        let cfg = CampaignConfig::quick(40, 11);
+        let r = run_scifi_campaign(&w, &cfg);
+        assert_eq!(r.records.len(), 40);
+        assert_eq!(r.golden_outputs.len(), 60);
+        // Every record has a definite outcome; sanity: not everything can
+        // be overwritten.
+        let overwritten = r
+            .records
+            .iter()
+            .filter(|rec| rec.outcome == Outcome::Overwritten)
+            .count();
+        assert!(overwritten < 40);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let w = Workload::algorithm_one();
+        let mut cfg = CampaignConfig::quick(24, 3);
+        cfg.threads = 1;
+        let serial = run_scifi_campaign(&w, &cfg);
+        cfg.threads = 4;
+        let parallel = run_scifi_campaign(&w, &cfg);
+        let so: Vec<_> = serial.records.iter().map(|r| r.outcome).collect();
+        let po: Vec<_> = parallel.records.iter().map(|r| r.outcome).collect();
+        assert_eq!(so, po, "sharding must not change results");
+    }
+
+    #[test]
+    fn json_export_roundtrips() {
+        let w = Workload::algorithm_one();
+        let cfg = CampaignConfig::quick(5, 1);
+        let r = run_scifi_campaign(&w, &cfg);
+        let json = r.to_json().unwrap();
+        let back: CampaignResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.records.len(), 5);
+        assert_eq!(back.workload, "Algorithm I");
+    }
+}

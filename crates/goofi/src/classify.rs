@@ -1,0 +1,351 @@
+//! Error and failure classification (Section 4.1 of the paper).
+//!
+//! Every fault-injection experiment ends in exactly one class:
+//!
+//! * **Effective errors**
+//!   * *Detected errors* — an error detection mechanism fired;
+//!   * *Undetected wrong results* (value failures) — the controller
+//!     delivered an output sequence different from the fault-free run:
+//!     * **severe**: *permanent* (output pinned at a limit from the first
+//!       failure to the end of the observed interval) or *semi-permanent*
+//!       (strong deviation over more than one iteration);
+//!     * **minor**: *transient* (strong deviation during exactly one
+//!       iteration) or *insignificant* (all deviations below 0.1°).
+//! * **Non-effective errors**
+//!   * *latent* — outputs identical but machine state differs at the end;
+//!   * *overwritten* — no difference remains anywhere.
+//!
+//! A run that neither trapped nor finished (a corrupted infinite loop) is
+//! recorded as [`Outcome::Hang`]; the paper's analysis software would file
+//! it under "other errors".
+
+use bera_tcpu::edm::ErrorMechanism;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Severity of an undetected wrong result (a value failure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Output pinned at the minimum or maximum from the first failure to
+    /// the end of the observed interval (e.g. throttle locked at full
+    /// speed, Figure 7).
+    Permanent,
+    /// Strong deviation (> 0.1°) over more than one iteration (Figure 8).
+    SemiPermanent,
+    /// Strong deviation during exactly one iteration, then rapid
+    /// convergence (Figure 9).
+    Transient,
+    /// All deviations below 0.1° — almost identical to the fault-free
+    /// output.
+    Insignificant,
+}
+
+impl Severity {
+    /// `true` for the severe classes (permanent, semi-permanent).
+    #[must_use]
+    pub fn is_severe(&self) -> bool {
+        matches!(self, Severity::Permanent | Severity::SemiPermanent)
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Permanent => "Permanent",
+            Severity::SemiPermanent => "Semi-Permanent",
+            Severity::Transient => "Transient",
+            Severity::Insignificant => "Insignificant",
+        })
+    }
+}
+
+/// The final classification of one fault-injection experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Outcome {
+    /// An error detection mechanism fired.
+    Detected(ErrorMechanism),
+    /// The workload stopped making progress (no yield, no trap) — filed
+    /// under "other errors".
+    Hang,
+    /// The controller produced an undetected wrong result.
+    ValueFailure(Severity),
+    /// Outputs correct, but machine or memory state differs at the end.
+    Latent,
+    /// No trace of the fault remains.
+    Overwritten,
+}
+
+impl Outcome {
+    /// Effective errors: detected, hangs, or value failures.
+    #[must_use]
+    pub fn is_effective(&self) -> bool {
+        !matches!(self, Outcome::Latent | Outcome::Overwritten)
+    }
+
+    /// `true` when this is a severe value failure.
+    #[must_use]
+    pub fn is_severe_failure(&self) -> bool {
+        matches!(self, Outcome::ValueFailure(s) if s.is_severe())
+    }
+
+    /// `true` when this is any undetected wrong result.
+    #[must_use]
+    pub fn is_value_failure(&self) -> bool {
+        matches!(self, Outcome::ValueFailure(_))
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Detected(m) => write!(f, "Detected ({m})"),
+            Outcome::Hang => f.write_str("Hang"),
+            Outcome::ValueFailure(s) => write!(f, "Undetected Wrong Result ({s})"),
+            Outcome::Latent => f.write_str("Latent"),
+            Outcome::Overwritten => f.write_str("Overwritten"),
+        }
+    }
+}
+
+/// Classifies value failures from output sequences.
+///
+/// The transient/semi-permanent boundary follows the paper's *figures*
+/// rather than a one-iteration literalism: Figure 9's transient "rapidly
+/// starts to converge" (a short spike), while Figure 8's semi-permanent
+/// deviation persists for an extended period (and Figure 10's residual
+/// failure "stabilises after approximately 1 second" and is classified
+/// semi-permanent). In a closed loop, even a one-iteration actuator spike
+/// leaves a small converging tail, so we treat a failure as *transient*
+/// when all strong deviations fall within a burst of
+/// [`Classifier::transient_horizon`] iterations (default 32 ≈ 0.5 s) and
+/// as *semi-permanent* when they span longer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Classifier {
+    /// Deviation (degrees) above which an iteration "differs strongly".
+    pub threshold: f64,
+    /// Lower actuator limit.
+    pub lo: f64,
+    /// Upper actuator limit.
+    pub hi: f64,
+    /// Tolerance when deciding whether an output sits at a limit.
+    pub limit_eps: f64,
+    /// Maximum span (iterations) of strong deviations for a failure to
+    /// count as transient ("rapidly converges").
+    pub transient_horizon: usize,
+}
+
+impl Classifier {
+    /// The paper's parameters: 0.1° threshold, 0–70° limits, and a 0.5 s
+    /// transient burst horizon.
+    #[must_use]
+    pub fn paper() -> Self {
+        Classifier {
+            threshold: 0.1,
+            lo: 0.0,
+            hi: 70.0,
+            limit_eps: 1e-3,
+            transient_horizon: 32,
+        }
+    }
+
+    /// Classifies an output sequence against the fault-free reference.
+    /// Returns `None` when the sequences are bit-identical (a non-effective
+    /// error as far as the outputs are concerned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequences have different lengths.
+    #[must_use]
+    pub fn classify_bits(&self, golden: &[u32], observed: &[u32]) -> Option<Severity> {
+        assert_eq!(golden.len(), observed.len(), "sequence length mismatch");
+        if golden == observed {
+            return None;
+        }
+        let g: Vec<f64> = golden.iter().map(|&b| f64::from(f32::from_bits(b))).collect();
+        let o: Vec<f64> = observed
+            .iter()
+            .map(|&b| f64::from(f32::from_bits(b)))
+            .collect();
+        Some(self.classify_values(&g, &o))
+    }
+
+    /// Classifies real-valued output sequences that are known to differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequences have different lengths or are empty.
+    #[must_use]
+    pub fn classify_values(&self, golden: &[f64], observed: &[f64]) -> Severity {
+        assert_eq!(golden.len(), observed.len(), "sequence length mismatch");
+        assert!(!golden.is_empty(), "empty sequences cannot be classified");
+        let dev: Vec<f64> = golden
+            .iter()
+            .zip(observed.iter())
+            .map(|(g, o)| {
+                if o.is_finite() {
+                    (g - o).abs()
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .collect();
+        let strong: Vec<usize> = dev
+            .iter()
+            .enumerate()
+            .filter_map(|(k, &d)| (d > self.threshold).then_some(k))
+            .collect();
+        match strong.len() {
+            0 => Severity::Insignificant,
+            _ => {
+                let first = strong[0];
+                let last = strong[strong.len() - 1];
+                let at_hi = |v: f64| (self.hi - v).abs() <= self.limit_eps;
+                let at_lo = |v: f64| (v - self.lo).abs() <= self.limit_eps;
+                let tail = &observed[first..];
+                let pinned = tail.iter().all(|&v| at_hi(v)) || tail.iter().all(|&v| at_lo(v));
+                if pinned {
+                    Severity::Permanent
+                } else if last - first < self.transient_horizon {
+                    Severity::Transient
+                } else {
+                    Severity::SemiPermanent
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c() -> Classifier {
+        Classifier::paper()
+    }
+
+    fn constant(v: f64, n: usize) -> Vec<f64> {
+        vec![v; n]
+    }
+
+    #[test]
+    fn identical_bits_are_not_a_value_failure() {
+        let g: Vec<u32> = (0..10).map(|k| (k as f32).to_bits()).collect();
+        assert_eq!(c().classify_bits(&g, &g.clone()), None);
+    }
+
+    #[test]
+    fn insignificant_below_threshold() {
+        let g = constant(20.0, 650);
+        let mut o = g.clone();
+        for v in o.iter_mut().take(100) {
+            *v += 0.05; // below the 0.1° threshold
+        }
+        assert_eq!(c().classify_values(&g, &o), Severity::Insignificant);
+    }
+
+    #[test]
+    fn transient_single_strong_iteration() {
+        let g = constant(20.0, 650);
+        let mut o = g.clone();
+        o[300] = 25.0;
+        assert_eq!(c().classify_values(&g, &o), Severity::Transient);
+    }
+
+    #[test]
+    fn semi_permanent_extended_deviation() {
+        let g = constant(20.0, 650);
+        let mut o = g.clone();
+        // Strong deviation persisting for ~100 iterations (Figure 8 shape:
+        // an extended period, converging before the window ends).
+        for k in 0..100 {
+            o[300 + k] = 20.0 + 10.0 * (0.99f64).powi(k as i32);
+        }
+        assert_eq!(c().classify_values(&g, &o), Severity::SemiPermanent);
+    }
+
+    #[test]
+    fn short_burst_with_tail_is_transient() {
+        let g = constant(20.0, 650);
+        let mut o = g.clone();
+        // A spike followed by a rapidly converging tail (Figure 9 shape):
+        // strong deviations confined to a sub-horizon burst.
+        o[300] = 45.0;
+        for k in 1..20 {
+            o[300 + k] = 20.0 + 3.0 * (0.7f64).powi(k as i32);
+        }
+        assert_eq!(c().classify_values(&g, &o), Severity::Transient);
+    }
+
+    #[test]
+    fn permanent_pinned_at_max(){
+        let g = constant(20.0, 650);
+        let mut o = g.clone();
+        for v in o.iter_mut().skip(300) {
+            *v = 70.0; // locked at full throttle until the end (Figure 7)
+        }
+        assert_eq!(c().classify_values(&g, &o), Severity::Permanent);
+    }
+
+    #[test]
+    fn permanent_pinned_at_min() {
+        let g = constant(20.0, 650);
+        let mut o = g.clone();
+        for v in o.iter_mut().skip(100) {
+            *v = 0.0;
+        }
+        assert_eq!(c().classify_values(&g, &o), Severity::Permanent);
+    }
+
+    #[test]
+    fn pinned_then_recovering_is_semi_permanent() {
+        let g = constant(20.0, 650);
+        let mut o = g.clone();
+        for k in 300..400 {
+            o[k] = 70.0;
+        }
+        // Converges back before the end of the window.
+        assert_eq!(c().classify_values(&g, &o), Severity::SemiPermanent);
+    }
+
+    #[test]
+    fn non_finite_output_counts_as_strong_deviation() {
+        let g = constant(20.0, 10);
+        let mut o = g.clone();
+        o[5] = f64::NAN;
+        assert_eq!(c().classify_values(&g, &o), Severity::Transient);
+    }
+
+    #[test]
+    fn bit_level_differences_below_visibility_are_insignificant() {
+        let g: Vec<u32> = vec![20.0f32.to_bits(); 650];
+        let mut o = g.clone();
+        o[10] ^= 1; // LSB of the mantissa: tiny numeric change
+        assert_eq!(c().classify_bits(&g, &o), Some(Severity::Insignificant));
+    }
+
+    #[test]
+    fn severity_severe_split() {
+        assert!(Severity::Permanent.is_severe());
+        assert!(Severity::SemiPermanent.is_severe());
+        assert!(!Severity::Transient.is_severe());
+        assert!(!Severity::Insignificant.is_severe());
+    }
+
+    #[test]
+    fn outcome_queries() {
+        use bera_tcpu::edm::ErrorMechanism as Edm;
+        assert!(Outcome::Detected(Edm::AddressError).is_effective());
+        assert!(Outcome::Hang.is_effective());
+        assert!(!Outcome::Latent.is_effective());
+        assert!(!Outcome::Overwritten.is_effective());
+        assert!(Outcome::ValueFailure(Severity::Permanent).is_severe_failure());
+        assert!(!Outcome::ValueFailure(Severity::Transient).is_severe_failure());
+        assert!(Outcome::ValueFailure(Severity::Insignificant).is_value_failure());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = c().classify_values(&[1.0], &[1.0, 2.0]);
+    }
+}

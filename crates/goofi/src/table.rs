@@ -1,0 +1,536 @@
+//! Aggregation of campaign results into the paper's tables.
+//!
+//! [`tabulate`] turns a [`CampaignResult`] into a [`PaperTable`] with the
+//! exact row structure of Tables 2 and 3 (per-mechanism detections, severe
+//! and minor undetected wrong results, latent/overwritten, coverage — split
+//! into Cache, Registers and Total columns, each with a 95 % confidence
+//! interval). [`ComparisonTable`] renders the Table 4 comparison of two
+//! campaigns with the severity split.
+
+use crate::campaign::CampaignResult;
+use crate::classify::{Outcome, Severity};
+use bera_stats::proportion::Proportion;
+
+use bera_tcpu::edm::ErrorMechanism;
+use bera_tcpu::scan::CpuPart;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A row of the per-campaign table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RowKind {
+    /// Latent errors (non-effective).
+    Latent,
+    /// Overwritten errors (non-effective).
+    Overwritten,
+    /// Errors detected by a specific mechanism.
+    Edm(ErrorMechanism),
+    /// Errors whose detection GOOFI could not attribute; in this
+    /// reproduction these are hangs.
+    OtherErrors,
+    /// Severe undetected wrong results (permanent + semi-permanent).
+    SevereWrong,
+    /// Minor undetected wrong results (transient + insignificant).
+    MinorWrong,
+}
+
+/// Aggregated campaign counts in the layout of the paper's Tables 2/3.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PaperTable {
+    workload: String,
+    faults: HashMap<CpuPart, u64>,
+    counts: HashMap<(RowKind, CpuPart), u64>,
+    severities: HashMap<(Severity, CpuPart), u64>,
+}
+
+/// Summary of error-detection latencies (instructions from injection to
+/// trap) over a campaign's detected errors.
+#[must_use]
+pub fn detection_latency_summary(result: &CampaignResult) -> bera_stats::Summary {
+    result
+        .records
+        .iter()
+        .filter_map(|r| r.detection_latency)
+        .map(|l| l as f64)
+        .collect()
+}
+
+/// Per-mechanism detection-latency summaries, in table order; mechanisms
+/// that never fired are omitted.
+#[must_use]
+pub fn latency_by_mechanism(
+    result: &CampaignResult,
+) -> Vec<(ErrorMechanism, bera_stats::Summary)> {
+    TABLE_MECHANISMS
+        .iter()
+        .filter_map(|&m| {
+            let s: bera_stats::Summary = result
+                .records
+                .iter()
+                .filter(|r| r.outcome == Outcome::Detected(m))
+                .filter_map(|r| r.detection_latency)
+                .map(|l| l as f64)
+                .collect();
+            (s.count() > 0).then_some((m, s))
+        })
+        .collect()
+}
+
+/// Builds the paper-style table from a campaign result.
+#[must_use]
+pub fn tabulate(result: &CampaignResult) -> PaperTable {
+    let mut faults: HashMap<CpuPart, u64> = HashMap::new();
+    let mut counts: HashMap<(RowKind, CpuPart), u64> = HashMap::new();
+    let mut severities: HashMap<(Severity, CpuPart), u64> = HashMap::new();
+    for rec in &result.records {
+        *faults.entry(rec.part).or_default() += 1;
+        let row = match rec.outcome {
+            Outcome::Latent => RowKind::Latent,
+            Outcome::Overwritten => RowKind::Overwritten,
+            Outcome::Detected(m) => RowKind::Edm(m),
+            Outcome::Hang => RowKind::OtherErrors,
+            Outcome::ValueFailure(s) => {
+                *severities.entry((s, rec.part)).or_default() += 1;
+                if s.is_severe() {
+                    RowKind::SevereWrong
+                } else {
+                    RowKind::MinorWrong
+                }
+            }
+        };
+        *counts.entry((row, rec.part)).or_default() += 1;
+    }
+    PaperTable {
+        workload: result.workload.clone(),
+        faults,
+        counts,
+        severities,
+    }
+}
+
+/// The two CPU parts in table order.
+const PARTS: [CpuPart; 2] = [CpuPart::Cache, CpuPart::Registers];
+
+/// The detection mechanisms listed in the paper's tables, in their order.
+pub const TABLE_MECHANISMS: [ErrorMechanism; 13] = [
+    ErrorMechanism::BusError,
+    ErrorMechanism::AddressError,
+    ErrorMechanism::DataError,
+    ErrorMechanism::InstructionError,
+    ErrorMechanism::JumpError,
+    ErrorMechanism::ConstraintError,
+    ErrorMechanism::AccessCheck,
+    ErrorMechanism::StorageError,
+    ErrorMechanism::OverflowCheck,
+    ErrorMechanism::UnderflowCheck,
+    ErrorMechanism::DivisionCheck,
+    ErrorMechanism::IllegalOperation,
+    ErrorMechanism::ControlFlowError,
+];
+
+impl PaperTable {
+    /// Workload name.
+    #[must_use]
+    pub fn workload(&self) -> &str {
+        &self.workload
+    }
+
+    /// Faults injected into `part` (`None` = total).
+    #[must_use]
+    pub fn faults(&self, part: Option<CpuPart>) -> u64 {
+        match part {
+            Some(p) => self.faults.get(&p).copied().unwrap_or(0),
+            None => self.faults.values().sum(),
+        }
+    }
+
+    /// Total faults injected.
+    #[must_use]
+    pub fn total_faults(&self) -> u64 {
+        self.faults(None)
+    }
+
+    /// Count in a row (`None` part = total).
+    #[must_use]
+    pub fn count(&self, row: RowKind, part: Option<CpuPart>) -> u64 {
+        match part {
+            Some(p) => self.counts.get(&(row, p)).copied().unwrap_or(0),
+            None => PARTS
+                .iter()
+                .map(|&p| self.counts.get(&(row, p)).copied().unwrap_or(0))
+                .sum(),
+        }
+    }
+
+    /// Count of a specific value-failure severity.
+    #[must_use]
+    pub fn severity_count(&self, s: Severity, part: Option<CpuPart>) -> u64 {
+        match part {
+            Some(p) => self.severities.get(&(s, p)).copied().unwrap_or(0),
+            None => PARTS
+                .iter()
+                .map(|&p| self.severities.get(&(s, p)).copied().unwrap_or(0))
+                .sum(),
+        }
+    }
+
+    /// Proportion of a row's count among the faults injected into `part`.
+    #[must_use]
+    pub fn proportion(&self, row: RowKind, part: Option<CpuPart>) -> Proportion {
+        Proportion::new(self.count(row, part), self.faults(part))
+    }
+
+    /// Non-effective errors (latent + overwritten).
+    #[must_use]
+    pub fn non_effective(&self, part: Option<CpuPart>) -> u64 {
+        self.count(RowKind::Latent, part) + self.count(RowKind::Overwritten, part)
+    }
+
+    /// Detected errors (all mechanisms + other/hangs).
+    #[must_use]
+    pub fn detected(&self, part: Option<CpuPart>) -> u64 {
+        TABLE_MECHANISMS
+            .iter()
+            .map(|&m| self.count(RowKind::Edm(m), part))
+            .sum::<u64>()
+            + self.count(RowKind::OtherErrors, part)
+    }
+
+    /// Undetected wrong results (severe + minor).
+    #[must_use]
+    pub fn wrong_results(&self, part: Option<CpuPart>) -> u64 {
+        self.count(RowKind::SevereWrong, part) + self.count(RowKind::MinorWrong, part)
+    }
+
+    /// Effective errors (detected + wrong results).
+    #[must_use]
+    pub fn effective(&self, part: Option<CpuPart>) -> u64 {
+        self.detected(part) + self.wrong_results(part)
+    }
+
+    /// Error-detection coverage: 1 − P(undetected wrong result).
+    #[must_use]
+    pub fn coverage(&self, part: Option<CpuPart>) -> Proportion {
+        let n = self.faults(part);
+        Proportion::new(n - self.wrong_results(part), n)
+    }
+
+    /// Percentage of value failures that are severe — the paper's headline
+    /// numbers: 10.7 % for Algorithm I, 3.2 % for Algorithm II.
+    #[must_use]
+    pub fn severe_share_of_failures(&self) -> Proportion {
+        Proportion::new(
+            self.count(RowKind::SevereWrong, None),
+            self.wrong_results(None).max(1),
+        )
+    }
+
+    fn cell(&self, count: u64, part: Option<CpuPart>) -> String {
+        let p = Proportion::new(count, self.faults(part));
+        format!("{:>18} {:>5}", p.normal_ci95().to_string(), count)
+    }
+
+    fn row(&self, label: &str, counts: [u64; 3]) -> String {
+        format!(
+            "{label:<38}{}{}{}\n",
+            self.cell(counts[0], Some(CpuPart::Cache)),
+            self.cell(counts[1], Some(CpuPart::Registers)),
+            self.cell(counts[2], None),
+        )
+    }
+
+    /// Exports the table as CSV (`row,cache_count,registers_count,total_count`)
+    /// for downstream analysis.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("row,cache,registers,total\n");
+        let mut push = |label: &str, f: &dyn Fn(Option<CpuPart>) -> u64| {
+            out.push_str(&format!(
+                "{label},{},{},{}\n",
+                f(Some(CpuPart::Cache)),
+                f(Some(CpuPart::Registers)),
+                f(None)
+            ));
+        };
+        push("faults", &|p| self.faults(p));
+        push("latent", &|p| self.count(RowKind::Latent, p));
+        push("overwritten", &|p| self.count(RowKind::Overwritten, p));
+        for m in TABLE_MECHANISMS {
+            push(m.table_name(), &|p| self.count(RowKind::Edm(m), p));
+        }
+        push("other", &|p| self.count(RowKind::OtherErrors, p));
+        push("uwr_severe", &|p| self.count(RowKind::SevereWrong, p));
+        push("uwr_minor", &|p| self.count(RowKind::MinorWrong, p));
+        out
+    }
+
+    /// Renders the table in the layout of the paper's Tables 2/3.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("Results for {}\n", self.workload));
+        out.push_str(&format!(
+            "{:<38}{:>24}{:>24}{:>24}\n",
+            "Part of CPU fault injected", "Cache", "Registers", "Total"
+        ));
+        out.push_str(&format!(
+            "{:<38}{:>24}{:>24}{:>24}\n",
+            "(faults injected)",
+            self.faults(Some(CpuPart::Cache)),
+            self.faults(Some(CpuPart::Registers)),
+            self.total_faults()
+        ));
+        let per_part = |f: &dyn Fn(Option<CpuPart>) -> u64| {
+            [
+                f(Some(CpuPart::Cache)),
+                f(Some(CpuPart::Registers)),
+                f(None),
+            ]
+        };
+        out.push_str(&self.row("Latent Errors", per_part(&|p| self.count(RowKind::Latent, p))));
+        out.push_str(&self.row(
+            "Overwritten Errors",
+            per_part(&|p| self.count(RowKind::Overwritten, p)),
+        ));
+        out.push_str(&self.row(
+            "Total (Non Effective Errors)",
+            per_part(&|p| self.non_effective(p)),
+        ));
+        for m in TABLE_MECHANISMS {
+            out.push_str(&self.row(
+                m.table_name(),
+                per_part(&|p| self.count(RowKind::Edm(m), p)),
+            ));
+        }
+        out.push_str(&self.row(
+            "Other Errors",
+            per_part(&|p| self.count(RowKind::OtherErrors, p)),
+        ));
+        out.push_str(&self.row(
+            "Undetected Wrong Results (Severe)",
+            per_part(&|p| self.count(RowKind::SevereWrong, p)),
+        ));
+        out.push_str(&self.row(
+            "Undetected Wrong Results (Minor)",
+            per_part(&|p| self.count(RowKind::MinorWrong, p)),
+        ));
+        out.push_str(&self.row("Total (Effective Errors)", per_part(&|p| self.effective(p))));
+        out.push_str(&self.row(
+            "Total (Undetected Wrong Results)",
+            per_part(&|p| self.wrong_results(p)),
+        ));
+        out.push_str(&format!(
+            "{:<38}{:>24}{:>24}{:>24}\n",
+            "Coverage",
+            self.coverage(Some(CpuPart::Cache)).normal_ci95().to_string(),
+            self.coverage(Some(CpuPart::Registers))
+                .normal_ci95()
+                .to_string(),
+            self.coverage(None).normal_ci95().to_string(),
+        ));
+        out
+    }
+}
+
+impl fmt::Display for PaperTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// The Table 4 comparison of two campaigns (Algorithm I vs Algorithm II),
+/// with the value-failure severity split.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComparisonTable {
+    /// Aggregation of the first campaign (Algorithm I in the paper).
+    pub first: PaperTable,
+    /// Aggregation of the second campaign (Algorithm II in the paper).
+    pub second: PaperTable,
+}
+
+impl ComparisonTable {
+    /// Builds the comparison from two campaign results.
+    #[must_use]
+    pub fn new(first: &CampaignResult, second: &CampaignResult) -> Self {
+        ComparisonTable {
+            first: tabulate(first),
+            second: tabulate(second),
+        }
+    }
+
+    fn row(&self, label: &str, f: &dyn Fn(&PaperTable) -> u64) -> String {
+        let cell = |t: &PaperTable| {
+            let p = Proportion::new(f(t), t.total_faults());
+            format!("{:>20} {:>6}", p.normal_ci95().to_string(), f(t))
+        };
+        format!("{label:<46}{}{}\n", cell(&self.first), cell(&self.second))
+    }
+
+    /// Renders the comparison in the layout of the paper's Table 4.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<46}{:>27}{:>27}\n",
+            "",
+            format!("Results for {}", self.first.workload()),
+            format!("Results for {}", self.second.workload()),
+        ));
+        out.push_str(&self.row("Total (Non Effective Errors)", &|t| t.non_effective(None)));
+        out.push_str(&self.row("Total (Detected Errors)", &|t| t.detected(None)));
+        for (label, sev) in [
+            ("Undetected Wrong Results (Permanent)", Severity::Permanent),
+            (
+                "Undetected Wrong Results (Semi-Permanent)",
+                Severity::SemiPermanent,
+            ),
+            ("Undetected Wrong Results (Transient)", Severity::Transient),
+            (
+                "Undetected Wrong Results (Insignificant)",
+                Severity::Insignificant,
+            ),
+        ] {
+            out.push_str(&self.row(label, &|t| t.severity_count(sev, None)));
+        }
+        out.push_str(&self.row("Total (Undetected Wrong Results)", &|t| {
+            t.wrong_results(None)
+        }));
+        out.push_str(&self.row("Total (Effective Errors)", &|t| t.effective(None)));
+        out.push_str(&format!(
+            "{:<46}{:>27}{:>27}\n",
+            "Total (Faults Injected)",
+            self.first.total_faults(),
+            self.second.total_faults()
+        ));
+        out.push_str(&format!(
+            "\nSevere share of value failures: {} vs {}\n",
+            self.first.severe_share_of_failures().normal_ci95(),
+            self.second.severe_share_of_failures().normal_ci95()
+        ));
+        out
+    }
+}
+
+impl fmt::Display for ComparisonTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_scifi_campaign, CampaignConfig};
+    use crate::workload::Workload;
+
+    fn small_result() -> CampaignResult {
+        run_scifi_campaign(&Workload::algorithm_one(), &CampaignConfig::quick(60, 5))
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let r = small_result();
+        let t = tabulate(&r);
+        assert_eq!(t.total_faults(), 60);
+        assert_eq!(
+            t.non_effective(None) + t.effective(None),
+            t.total_faults(),
+            "every fault is classified exactly once"
+        );
+        assert_eq!(
+            t.faults(Some(CpuPart::Cache)) + t.faults(Some(CpuPart::Registers)),
+            t.total_faults()
+        );
+        assert_eq!(
+            t.severity_count(Severity::Permanent, None)
+                + t.severity_count(Severity::SemiPermanent, None),
+            t.count(RowKind::SevereWrong, None)
+        );
+        assert_eq!(
+            t.severity_count(Severity::Transient, None)
+                + t.severity_count(Severity::Insignificant, None),
+            t.count(RowKind::MinorWrong, None)
+        );
+    }
+
+    #[test]
+    fn coverage_complements_wrong_results() {
+        let r = small_result();
+        let t = tabulate(&r);
+        let cov = t.coverage(None);
+        let uwr = Proportion::new(t.wrong_results(None), t.total_faults());
+        assert!((cov.estimate() + uwr.estimate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let r = small_result();
+        let t = tabulate(&r);
+        let s = t.render();
+        for needle in [
+            "Latent Errors",
+            "Overwritten Errors",
+            "Address Error",
+            "Control Flow Errors",
+            "Undetected Wrong Results (Severe)",
+            "Coverage",
+            "Cache",
+            "Registers",
+            "Total",
+        ] {
+            assert!(s.contains(needle), "missing row {needle}\n{s}");
+        }
+    }
+
+    #[test]
+    fn csv_export_has_all_rows() {
+        let r = small_result();
+        let t = tabulate(&r);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("row,cache,registers,total"));
+        assert!(csv.contains("uwr_severe"));
+        assert!(csv.contains("Address Error"));
+        // faults row must sum to the campaign size.
+        let faults_line = csv.lines().find(|l| l.starts_with("faults")).unwrap();
+        assert!(faults_line.ends_with(",60"), "{faults_line}");
+    }
+
+    #[test]
+    fn latency_by_mechanism_partitions_detections() {
+        let r = small_result();
+        let by_mech = latency_by_mechanism(&r);
+        let total: u64 = by_mech.iter().map(|(_, s)| s.count()).sum();
+        assert_eq!(total, detection_latency_summary(&r).count());
+        for (_, s) in &by_mech {
+            assert!(s.count() > 0);
+        }
+    }
+
+    #[test]
+    fn detection_latency_summary_counts_detections() {
+        let r = small_result();
+        let s = detection_latency_summary(&r);
+        let detected = r
+            .records
+            .iter()
+            .filter(|rec| matches!(rec.outcome, Outcome::Detected(_)))
+            .count() as u64;
+        assert_eq!(s.count(), detected);
+        if s.count() > 0 {
+            assert!(s.min().unwrap() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn comparison_table_renders() {
+        let a = small_result();
+        let b = run_scifi_campaign(&Workload::algorithm_two(), &CampaignConfig::quick(50, 6));
+        let cmp = ComparisonTable::new(&a, &b);
+        let s = cmp.render();
+        assert!(s.contains("Algorithm I"));
+        assert!(s.contains("Algorithm II"));
+        assert!(s.contains("Permanent"));
+        assert!(s.contains("Severe share"));
+    }
+}

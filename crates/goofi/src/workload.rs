@@ -1,0 +1,327 @@
+//! The target workloads: Algorithm I and Algorithm II compiled for the
+//! Thor-like CPU.
+//!
+//! The paper generated its controller code from a Simulink model with the
+//! Real-Time Workshop Ada Coder; here the same two algorithms are written
+//! in tcpu assembly (structured exactly like the paper's pseudo-code) and
+//! assembled by [`bera_tcpu::asm`]. The unit tests in this module
+//! cross-validate the assembly against the native Rust controllers of
+//! [`bera_core`] in a fault-free closed loop.
+
+use bera_tcpu::asm::{assemble, Program};
+
+/// Source text of the Algorithm I workload.
+pub const ALGORITHM_1_SOURCE: &str = include_str!("../workloads/algorithm1.s");
+/// Source text of the Algorithm II workload.
+pub const ALGORITHM_2_SOURCE: &str = include_str!("../workloads/algorithm2.s");
+/// Ablation variant: backups co-located with `x` in cache line 0.
+pub const ALGORITHM_2_COLOCATED_SOURCE: &str =
+    include_str!("../workloads/algorithm2_colocated.s");
+/// Ablation variant: state backed up before it is asserted.
+pub const ALGORITHM_2_ASSERT_AFTER_SOURCE: &str =
+    include_str!("../workloads/algorithm2_assert_after.s");
+/// Extension: Algorithm II plus a rate assertion on the state
+/// ("Algorithm III", the paper's future-work direction).
+pub const ALGORITHM_3_SOURCE: &str = include_str!("../workloads/algorithm3.s");
+
+/// A workload ready to load into the target: name, source and assembled
+/// program.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    name: &'static str,
+    source: &'static str,
+    program: Program,
+}
+
+impl Workload {
+    /// Algorithm I: the plain PI controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded source fails to assemble (a build-time bug).
+    #[must_use]
+    pub fn algorithm_one() -> Self {
+        Workload {
+            name: "Algorithm I",
+            source: ALGORITHM_1_SOURCE,
+            program: assemble(ALGORITHM_1_SOURCE).expect("algorithm1.s must assemble"),
+        }
+    }
+
+    /// Algorithm II: executable assertions + best effort recovery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded source fails to assemble (a build-time bug).
+    #[must_use]
+    pub fn algorithm_two() -> Self {
+        Workload {
+            name: "Algorithm II",
+            source: ALGORITHM_2_SOURCE,
+            program: assemble(ALGORITHM_2_SOURCE).expect("algorithm2.s must assemble"),
+        }
+    }
+
+    /// Ablation: Algorithm II with the backups sharing `x`'s cache line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded source fails to assemble (a build-time bug).
+    #[must_use]
+    pub fn algorithm_two_colocated_backup() -> Self {
+        Workload {
+            name: "Algorithm II (co-located backup)",
+            source: ALGORITHM_2_COLOCATED_SOURCE,
+            program: assemble(ALGORITHM_2_COLOCATED_SOURCE)
+                .expect("algorithm2_colocated.s must assemble"),
+        }
+    }
+
+    /// Ablation: Algorithm II with the backup made *before* the assertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded source fails to assemble (a build-time bug).
+    #[must_use]
+    pub fn algorithm_two_assert_after_backup() -> Self {
+        Workload {
+            name: "Algorithm II (assert after backup)",
+            source: ALGORITHM_2_ASSERT_AFTER_SOURCE,
+            program: assemble(ALGORITHM_2_ASSERT_AFTER_SOURCE)
+                .expect("algorithm2_assert_after.s must assemble"),
+        }
+    }
+
+    /// Extension ("Algorithm III"): Algorithm II plus a rate assertion on
+    /// the state, catching in-range corruptions like Figure 10's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded source fails to assemble (a build-time bug).
+    #[must_use]
+    pub fn algorithm_three() -> Self {
+        Workload {
+            name: "Algorithm III",
+            source: ALGORITHM_3_SOURCE,
+            program: assemble(ALGORITHM_3_SOURCE).expect("algorithm3.s must assemble"),
+        }
+    }
+
+    /// All workloads in report order.
+    #[must_use]
+    pub fn all() -> Vec<Workload> {
+        vec![
+            Workload::algorithm_one(),
+            Workload::algorithm_two(),
+            Workload::algorithm_two_colocated_backup(),
+            Workload::algorithm_two_assert_after_backup(),
+            Workload::algorithm_three(),
+        ]
+    }
+
+    /// Workload name as used in reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The assembly source.
+    #[must_use]
+    pub fn source(&self) -> &'static str {
+        self.source
+    }
+
+    /// The assembled program.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// A disassembly listing of the assembled program, one line per word.
+    #[must_use]
+    pub fn listing(&self) -> String {
+        let mut out = String::new();
+        for (i, &word) in self.program.code.iter().enumerate() {
+            let addr = self.program.code_base + (i as u32) * 4;
+            out.push_str(&format!(
+                "{addr:#07x}  {word:08x}  {}\n",
+                bera_tcpu::isa::disassemble(word)
+            ));
+        }
+        out
+    }
+
+    /// Address of the controller state variable `x` in data memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload does not define `x_state`.
+    #[must_use]
+    pub fn x_address(&self) -> u32 {
+        self.program
+            .symbol("x_state")
+            .expect("workload must define x_state")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bera_core::{Controller, PiController, ProtectedPiController};
+    use bera_plant::{Engine, Profiles};
+    use bera_tcpu::machine::{Machine, RunExit, PORT_R, PORT_U, PORT_Y};
+
+    fn run_closed_loop_tcpu(workload: &Workload, iterations: usize) -> Vec<f64> {
+        let mut m = Machine::new();
+        m.load_program(workload.program());
+        let mut engine = Engine::paper();
+        let profiles = Profiles::paper();
+        let dt = 0.0154;
+        let mut outputs = Vec::new();
+        for k in 0..iterations {
+            let t = k as f64 * dt;
+            m.set_port_f32(PORT_R, profiles.reference(t) as f32);
+            m.set_port_f32(PORT_Y, engine.speed_rpm() as f32);
+            match m.run(1_000_000) {
+                RunExit::Yield => {}
+                other => panic!("workload failed at iteration {k}: {other:?}"),
+            }
+            let u = f64::from(m.port_out_f32(PORT_U));
+            outputs.push(u);
+            engine.advance(u, profiles.load(t), dt);
+        }
+        outputs
+    }
+
+    fn run_closed_loop_native<C: Controller>(mut ctrl: C, iterations: usize) -> Vec<f64> {
+        let mut engine = Engine::paper();
+        let profiles = Profiles::paper();
+        let dt = 0.0154;
+        let mut outputs = Vec::new();
+        for k in 0..iterations {
+            let t = k as f64 * dt;
+            let r = f64::from(profiles.reference(t) as f32);
+            let y = f64::from(engine.speed_rpm() as f32);
+            let u = ctrl.step(r, y);
+            outputs.push(u);
+            engine.advance(u, profiles.load(t), dt);
+        }
+        outputs
+    }
+
+    #[test]
+    fn both_workloads_assemble() {
+        let a1 = Workload::algorithm_one();
+        let a2 = Workload::algorithm_two();
+        assert!(a1.program().code_len() > 30);
+        assert!(a2.program().code_len() > a1.program().code_len());
+    }
+
+    #[test]
+    fn x_lives_in_cache_line_zero() {
+        for w in [Workload::algorithm_one(), Workload::algorithm_two()] {
+            assert_eq!(w.x_address(), 0x10000);
+            assert_eq!(bera_tcpu::cache::index_of(w.x_address()), 0);
+        }
+    }
+
+    #[test]
+    fn backups_live_in_a_different_cache_line_than_x() {
+        let w = Workload::algorithm_two();
+        let x_old = w.program().symbol("x_old").unwrap();
+        assert_ne!(
+            bera_tcpu::cache::index_of(w.x_address()),
+            bera_tcpu::cache::index_of(x_old),
+            "a single flip must never hit a variable and its backup"
+        );
+    }
+
+    #[test]
+    fn algorithm_one_matches_native_controller() {
+        let tcpu = run_closed_loop_tcpu(&Workload::algorithm_one(), 650);
+        let native = run_closed_loop_native(PiController::paper(), 650);
+        let max_diff = tcpu
+            .iter()
+            .zip(native.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        // f32 target vs f64 reference, amplified by the closed loop: allow
+        // a modest tolerance but demand the same trajectory.
+        assert!(max_diff < 0.5, "max |tcpu - native| = {max_diff}");
+    }
+
+    #[test]
+    fn algorithm_two_matches_native_protected_controller() {
+        let tcpu = run_closed_loop_tcpu(&Workload::algorithm_two(), 650);
+        let native = run_closed_loop_native(ProtectedPiController::paper(), 650);
+        let max_diff = tcpu
+            .iter()
+            .zip(native.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(max_diff < 0.5, "max |tcpu - native| = {max_diff}");
+    }
+
+    #[test]
+    fn algorithms_identical_fault_free() {
+        let a1 = run_closed_loop_tcpu(&Workload::algorithm_one(), 650);
+        let a2 = run_closed_loop_tcpu(&Workload::algorithm_two(), 650);
+        let max_diff = a1
+            .iter()
+            .zip(a2.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert_eq!(max_diff, 0.0, "fault-free outputs must be identical");
+    }
+
+    #[test]
+    fn all_variant_workloads_assemble_and_run_fault_free() {
+        for w in Workload::all() {
+            let outputs = run_closed_loop_tcpu(&w, 100);
+            assert_eq!(outputs.len(), 100, "{} must run", w.name());
+            assert!(
+                outputs.iter().all(|u| (0.0..=70.0).contains(u)),
+                "{} outputs in range",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn variants_match_algorithm_two_fault_free() {
+        let reference = run_closed_loop_tcpu(&Workload::algorithm_two(), 650);
+        for w in [
+            Workload::algorithm_two_colocated_backup(),
+            Workload::algorithm_two_assert_after_backup(),
+            Workload::algorithm_three(),
+        ] {
+            let outputs = run_closed_loop_tcpu(&w, 650);
+            let max_diff = outputs
+                .iter()
+                .zip(reference.iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert_eq!(max_diff, 0.0, "{} must be identical fault-free", w.name());
+        }
+    }
+
+    #[test]
+    fn colocated_variant_really_colocates() {
+        let w = Workload::algorithm_two_colocated_backup();
+        let x_old = w.program().symbol("x_old").unwrap();
+        assert_eq!(
+            bera_tcpu::cache::index_of(w.x_address()),
+            bera_tcpu::cache::index_of(x_old)
+        );
+    }
+
+    #[test]
+    fn closed_loop_tracks_reference() {
+        let outputs = run_closed_loop_tcpu(&Workload::algorithm_one(), 650);
+        // The output settles at a plausible throttle angle (Figure 5 shape).
+        let tail = &outputs[620..];
+        for u in tail {
+            assert!((5.0..45.0).contains(u), "settled throttle angle: {u}");
+        }
+    }
+}

@@ -1,0 +1,205 @@
+; =====================================================================
+; Algorithm II — the PI controller with executable assertions and best
+; effort recovery (DSN 2001, Section 4.3). Changes from Algorithm I:
+;
+;   if not in_range(x)     then x = x_old        else x_old = x
+;   ...unchanged PI computation...
+;   if not in_range(u_lim) then u_lim = u_old; x = x_old
+;   u_old = u_lim
+;
+; ABLATION VARIANT: the backups x_old/u_old share cache line 0 with the
+; state x, so a single line-0 upset can corrupt a variable together
+; with its backup — demonstrating why algorithm2.s places the backups
+; in a different cache line.
+; =====================================================================
+
+.equ X,      0x00      ; controller state (cache line 0)
+.equ E,      0x10      ; statement variables (cache line 1)
+.equ U,      0x14
+.equ ULIM,   0x18
+.equ KIV,    0x1C
+.equ YVAR,   0x20      ; inputs + intermediates (cache line 2)
+.equ RVAR,   0x24
+.equ TE,     0x28
+.equ TEKI,   0x2C
+.equ ITER,   0x30      ; housekeeping (cache line 3)
+.equ RINGP,  0x34
+.equ CKSUM,  0x38
+.equ XOLD,   0x04      ; backups co-located with x (cache line 0!)
+.equ UOLD,   0x08
+
+.data 0x10000
+x_state:  .float 0.0
+x_old:    .float 0.0
+u_old:    .float 0.0
+          .float 0.0
+.data 0x10010
+e_v:      .float 0.0
+u_v:      .float 0.0
+ulim_v:   .float 0.0
+kiv_v:    .float 0.0
+.data 0x10020
+y_v:      .float 0.0
+r_v:      .float 0.0
+te_v:     .float 0.0
+teki_v:   .float 0.0
+.data 0x10030
+iter_v:   .word 0
+ringp_v:  .word 0
+cksum_v:  .word 0
+          .word 0
+
+.text
+start:
+    nop
+loop:
+    ; --- sample the inputs ---
+    li   r1, 0x10000         ; (address materialised per statement block)
+    in   r2, 0
+    st   r2, [r1+RVAR]       ; r := reference port
+    in   r2, 1
+    st   r2, [r1+YVAR]       ; y := feedback port
+    ; --- e = r - y ---
+    li   r1, 0x10000         ; (address materialised per statement block)
+    li   r14, 0x20FF0
+    ld   r2, [r1+RVAR]
+    ld   r3, [r1+YVAR]
+    fsub r4, r2, r3
+    st   r4, [r1+E]
+    st   r4, [r14-4]         ; callee save area (stack traffic)
+    ; --- executable assertion on x, then backup (before use!) ---
+    li   r1, 0x10000         ; (address materialised per statement block)
+    ld   r2, [r1+X]
+    lif  r3, 0.0
+    lif  r5, 70.0
+    fcmp r2, r3
+    blt  x_recover           ; x < 0.0  -> ERROR! recover
+    fcmp r2, r5
+    bgt  x_recover           ; x > 70.0 -> ERROR! recover
+    st   r2, [r1+XOLD]       ; in range: save state x
+    jmp  x_done
+x_recover:
+    ld   r2, [r1+XOLD]       ; best effort recovery: x = x_old
+    st   r2, [r1+X]
+x_done:
+    ; --- u = Kp*e + x ---
+    li   r1, 0x10000         ; (address materialised per statement block)
+    ld   r2, [r1+E]
+    lif  r3, 0.045           ; Kp
+    fmul r4, r2, r3
+    ld   r5, [r1+X]
+    fadd r4, r4, r5
+    st   r4, [r1+U]
+    ; --- u_lim = limit_output(u) ---
+    li   r1, 0x10000         ; (address materialised per statement block)
+    ld   r2, [r1+U]
+    lif  r3, 0.0             ; UMIN
+    lif  r5, 70.0            ; UMAX
+    mov  r4, r2
+    fcmp r4, r5
+    ble  not_above
+    mov  r4, r5
+not_above:
+    fcmp r4, r3
+    bge  not_below
+    mov  r4, r3
+not_below:
+    st   r4, [r1+ULIM]
+    ; --- anti-windup: Ki = 0 while saturated outward ---
+    li   r1, 0x10000         ; (address materialised per statement block)
+    ld   r2, [r1+U]
+    ld   r6, [r1+E]
+    lif  r3, 0.0
+    lif  r5, 70.0
+    lif  r7, 0.05            ; Ki (integral gain)
+    fcmp r2, r5
+    ble  check_low
+    fcmp r6, r3
+    ble  windup_done
+    mov  r7, r3              ; Ki := 0
+    jmp  windup_done
+check_low:
+    fcmp r2, r3
+    bge  windup_done
+    fcmp r6, r3
+    bge  windup_done
+    mov  r7, r3              ; Ki := 0
+windup_done:
+    st   r7, [r1+KIV]
+    ; --- x = x + T*e*Ki ---
+    li   r1, 0x10000         ; (address materialised per statement block)
+    ld   r2, [r1+E]
+    lif  r3, 0.0154          ; T (sample interval)
+    fmul r4, r2, r3
+    st   r4, [r1+TE]
+    ld   r2, [r1+TE]
+    ld   r3, [r1+KIV]
+    fmul r4, r2, r3
+    st   r4, [r1+TEKI]
+    ld   r2, [r1+X]
+    ld   r3, [r1+TEKI]
+    fadd r4, r2, r3
+    st   r4, [r1+X]
+    ; --- executable assertion on the output u_lim ---
+    li   r1, 0x10000         ; (address materialised per statement block)
+    ld   r2, [r1+ULIM]
+    lif  r3, 0.0
+    lif  r5, 70.0
+    fcmp r2, r3
+    blt  u_recover           ; u_lim < 0.0  -> ERROR!
+    fcmp r2, r5
+    bgt  u_recover           ; u_lim > 70.0 -> ERROR!
+    jmp  u_done
+u_recover:
+    ld   r2, [r1+UOLD]       ; deliver the previous output ...
+    st   r2, [r1+ULIM]
+    ld   r2, [r1+XOLD]       ; ... and the state that produced it
+    st   r2, [r1+X]
+u_done:
+    ; --- u_old = u_lim ---
+    li   r1, 0x10000         ; (address materialised per statement block)
+    ld   r2, [r1+ULIM]
+    st   r2, [r1+UOLD]
+    ; --- data logging: write (u_lim, e) into the ring buffer ---
+    li   r1, 0x10000         ; (address materialised per statement block)
+    ld   r2, [r1+ITER]
+    li   r3, 55
+    and  r4, r2, r3          ; slot index, masked into 0..55
+    li   r3, 8
+    mul  r4, r4, r3          ; byte offset = slot * 8
+    st   r4, [r1+RINGP]
+    li   r3, 0x10110         ; ring base
+    add  r5, r4, r3
+    ld   r6, [r1+ULIM]
+    st   r6, [r5+0]
+    ld   r6, [r1+E]
+    st   r6, [r5+4]
+    ; --- run-time housekeeping: checksum scrub over the log buffer ---
+    li   r1, 0x10000         ; (address materialised per statement block)
+    ; (stands in for the Ada run-time / RTW logging work the paper's
+    ;  target executed around the controller block every iteration)
+    li   r8, 0x10110         ; scrub pointer
+    li   r9, 0x10180         ; scrub end (28 words, cache indexes 1..7)
+    li   r10, 0              ; checksum accumulator
+scrub:
+    ld   r11, [r8+0]
+    xor  r10, r10, r11
+    addi r8, r8, 4
+    cmp  r8, r9
+    blt  scrub
+    st   r10, [r1+CKSUM]
+    ; --- iteration counter ---
+    li   r1, 0x10000         ; (address materialised per statement block)
+    ld   r2, [r1+ITER]
+    addi r2, r2, 1
+    st   r2, [r1+ITER]
+    ; --- stack restore ritual ---
+    li   r14, 0x20FF0
+    ld   r2, [r14-4]
+    st   r2, [r14-8]
+    ; --- deliver the output ---
+    li   r1, 0x10000         ; (address materialised per statement block)
+    ld   r2, [r1+ULIM]
+    out  r2, 2
+    yield
+    jmp  loop

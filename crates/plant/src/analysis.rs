@@ -1,0 +1,165 @@
+//! Trajectory analysis: the step-response and disturbance metrics used to
+//! tune the closed loop against the shape of the paper's Figure 3.
+
+use crate::trace::Trace;
+
+/// Metrics of a closed-loop response to a reference step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepMetrics {
+    /// Time (s) from the step until the speed stays within `band` of the
+    /// new reference; `None` if it never settles inside the trace.
+    pub settling_time: Option<f64>,
+    /// Peak overshoot beyond the new reference, in the reference's units.
+    pub overshoot: f64,
+    /// Time (s) from the step until the speed first crosses 90 % of the
+    /// step amplitude; `None` if it never does.
+    pub rise_time: Option<f64>,
+}
+
+/// Computes step metrics for the reference change at `step_time`.
+///
+/// # Panics
+///
+/// Panics if the trace is empty or contains no samples after `step_time`.
+#[must_use]
+pub fn step_response(trace: &Trace, step_time: f64, band: f64) -> StepMetrics {
+    let samples = trace.samples();
+    assert!(!samples.is_empty(), "empty trace");
+    let after: Vec<_> = samples.iter().filter(|s| s.t >= step_time).collect();
+    assert!(!after.is_empty(), "no samples after the step");
+    let r_new = after.last().unwrap().r;
+    let r_old = samples
+        .iter().rfind(|s| s.t < step_time)
+        .map_or(after[0].y, |s| s.r);
+    let amplitude = r_new - r_old;
+
+    let mut settling_time = None;
+    for (i, s) in after.iter().enumerate() {
+        if (s.y - r_new).abs() <= band
+            && after[i..].iter().all(|x| (x.y - r_new).abs() <= band) {
+                settling_time = Some(s.t - step_time);
+                break;
+            }
+    }
+
+    let overshoot = after
+        .iter()
+        .map(|s| if amplitude >= 0.0 { s.y - r_new } else { r_new - s.y })
+        .fold(0.0, f64::max);
+
+    let rise_time = after
+        .iter()
+        .find(|s| {
+            if amplitude >= 0.0 {
+                s.y >= r_old + 0.9 * amplitude
+            } else {
+                s.y <= r_old + 0.9 * amplitude
+            }
+        })
+        .map(|s| s.t - step_time);
+
+    StepMetrics {
+        settling_time,
+        overshoot,
+        rise_time,
+    }
+}
+
+/// Largest reference-tracking error (rpm) within a time window —
+/// the depth of the load-disturbance dips of Figure 3.
+#[must_use]
+pub fn max_tracking_error(trace: &Trace, t_from: f64, t_to: f64) -> f64 {
+    trace
+        .samples()
+        .iter()
+        .filter(|s| s.t >= t_from && s.t <= t_to)
+        .map(|s| (s.r - s.y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closed_loop::ClosedLoop;
+    use crate::engine::Engine;
+    use crate::profiles::Profiles;
+    use bera_core::PiController;
+
+    fn paper_trace() -> Trace {
+        let mut cl = ClosedLoop::new(Engine::paper(), PiController::paper());
+        cl.run(&Profiles::paper(), 650)
+    }
+
+    #[test]
+    fn step_to_3000_settles_within_the_window() {
+        // Use a hill-free profile: the paper's second load hill (7–8 s)
+        // would otherwise push the speed out of the settling band again.
+        use crate::profiles::Piecewise;
+        let profiles = Profiles::new(
+            Piecewise::new(vec![(0.0, 2000.0), (4.999, 2000.0), (5.0, 3000.0)]),
+            Piecewise::new(vec![(0.0, 5.0)]),
+        );
+        let mut cl = ClosedLoop::new(Engine::paper(), PiController::paper());
+        let tr = cl.run(&profiles, 650);
+        let m = step_response(&tr, 5.0, 60.0);
+        let settle = m.settling_time.expect("must settle");
+        assert!(settle < 4.0, "settling time {settle}");
+        assert!(m.rise_time.unwrap() < 2.0);
+    }
+
+    #[test]
+    fn overshoot_is_bounded() {
+        let m = step_response(&paper_trace(), 5.0, 60.0);
+        assert!(
+            m.overshoot < 250.0,
+            "overshoot {} rpm is excessive",
+            m.overshoot
+        );
+    }
+
+    #[test]
+    fn load_hills_produce_visible_dips() {
+        let tr = paper_trace();
+        let dip1 = max_tracking_error(&tr, 3.0, 4.5);
+        let dip2 = max_tracking_error(&tr, 7.0, 8.5);
+        let flat = max_tracking_error(&tr, 2.0, 3.0);
+        assert!(dip1 > flat, "first hill visible: {dip1} vs {flat}");
+        assert!(dip2 > flat, "second hill visible");
+    }
+
+    #[test]
+    fn synthetic_first_order_response() {
+        // A synthetic exponential approach to the reference.
+        use crate::trace::Sample;
+        let mut tr = Trace::new();
+        for k in 0..400 {
+            let t = k as f64 * 0.0154;
+            let (r, y) = if t < 1.0 {
+                (2000.0, 2000.0)
+            } else {
+                (3000.0, 3000.0 - 1000.0 * (-(t - 1.0) / 0.3).exp())
+            };
+            tr.push(Sample {
+                t,
+                r,
+                y,
+                u: 20.0,
+                load: 0.0,
+            });
+        }
+        let m = step_response(&tr, 1.0, 50.0);
+        // 90 % rise of a 0.3 s first-order lag ≈ 0.69 s.
+        let rise = m.rise_time.unwrap();
+        assert!((rise - 0.69).abs() < 0.05, "rise {rise}");
+        assert!(m.overshoot < 1.0);
+        // Settling within 50 rpm: 3 time constants ≈ 0.9 s.
+        let settle = m.settling_time.unwrap();
+        assert!((settle - 0.9).abs() < 0.1, "settle {settle}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples after")]
+    fn step_after_trace_end_panics() {
+        let _ = step_response(&paper_trace(), 100.0, 10.0);
+    }
+}

@@ -1,0 +1,438 @@
+//! A small Simulink-like block library.
+//!
+//! The paper's controller and plant were modelled as Simulink block
+//! diagrams. This module provides the handful of block types those diagrams
+//! use, so models can be composed the same way: every block is a
+//! deterministic sampled-data element with a `step` method consuming one
+//! input sample and producing one output sample.
+
+use serde::{Deserialize, Serialize};
+
+/// A pure gain: `y = k·u`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Gain {
+    /// Multiplicative factor.
+    pub k: f64,
+}
+
+impl Gain {
+    /// Creates a gain block.
+    #[must_use]
+    pub fn new(k: f64) -> Self {
+        Gain { k }
+    }
+
+    /// One sample: `k * u`.
+    #[must_use]
+    pub fn step(&self, u: f64) -> f64 {
+        self.k * u
+    }
+}
+
+/// A two-input sum with configurable signs: `y = s1·a + s2·b`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sum {
+    s1: f64,
+    s2: f64,
+}
+
+impl Sum {
+    /// `y = a + b`.
+    #[must_use]
+    pub fn add() -> Self {
+        Sum { s1: 1.0, s2: 1.0 }
+    }
+
+    /// `y = a - b` (the error junction `e = r - y`).
+    #[must_use]
+    pub fn subtract() -> Self {
+        Sum { s1: 1.0, s2: -1.0 }
+    }
+
+    /// One sample.
+    #[must_use]
+    pub fn step(&self, a: f64, b: f64) -> f64 {
+        self.s1 * a + self.s2 * b
+    }
+}
+
+/// A forward-Euler discrete-time integrator with optional saturation:
+/// `x(k) = clamp(x(k-1) + T·u(k))`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Integrator {
+    t: f64,
+    x: f64,
+    limits: Option<(f64, f64)>,
+}
+
+impl Integrator {
+    /// Creates an unlimited integrator with sample interval `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not positive and finite.
+    #[must_use]
+    pub fn new(t: f64) -> Self {
+        assert!(t.is_finite() && t > 0.0, "sample interval must be positive");
+        Integrator {
+            t,
+            x: 0.0,
+            limits: None,
+        }
+    }
+
+    /// Adds saturation limits to the integrator state.
+    #[must_use]
+    pub fn with_limits(mut self, lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "lower limit must not exceed upper limit");
+        self.limits = Some((lo, hi));
+        self
+    }
+
+    /// Integrates one sample and returns the new state.
+    pub fn step(&mut self, u: f64) -> f64 {
+        self.x += self.t * u;
+        if let Some((lo, hi)) = self.limits {
+            self.x = self.x.clamp(lo, hi);
+        }
+        self.x
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> f64 {
+        self.x
+    }
+
+    /// Resets the state to zero.
+    pub fn reset(&mut self) {
+        self.x = 0.0;
+    }
+}
+
+/// Saturation: `y = clamp(u, lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Saturation {
+    lo: f64,
+    hi: f64,
+}
+
+impl Saturation {
+    /// Creates a saturation block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "lower limit must not exceed upper limit");
+        Saturation { lo, hi }
+    }
+
+    /// One sample.
+    #[must_use]
+    pub fn step(&self, u: f64) -> f64 {
+        u.clamp(self.lo, self.hi)
+    }
+
+    /// Returns `true` when `u` would be limited.
+    #[must_use]
+    pub fn saturates(&self, u: f64) -> bool {
+        u < self.lo || u > self.hi
+    }
+}
+
+/// A one-sample delay: `y(k) = u(k-1)` — Simulink's *Unit Delay*, the block
+/// that materialises the `x_old`/`u_old` backups of Algorithm II.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct UnitDelay {
+    x: f64,
+}
+
+impl UnitDelay {
+    /// Creates a delay initialised to zero.
+    #[must_use]
+    pub fn new() -> Self {
+        UnitDelay::default()
+    }
+
+    /// One sample: returns the previous input.
+    pub fn step(&mut self, u: f64) -> f64 {
+        std::mem::replace(&mut self.x, u)
+    }
+
+    /// Current stored value.
+    #[must_use]
+    pub fn state(&self) -> f64 {
+        self.x
+    }
+}
+
+/// A first-order low-pass lag `τ·dy/dt + y = u`, discretised with forward
+/// Euler at sample interval `t` — Simulink's *Transfer Fcn* `1/(τs+1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FirstOrderLag {
+    alpha: f64,
+    y: f64,
+}
+
+impl FirstOrderLag {
+    /// Creates a lag with time constant `tau` sampled every `t` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < t < tau` (stability of the discretisation).
+    #[must_use]
+    pub fn new(tau: f64, t: f64) -> Self {
+        assert!(t > 0.0 && tau > t, "need 0 < t < tau for stability");
+        FirstOrderLag {
+            alpha: t / tau,
+            y: 0.0,
+        }
+    }
+
+    /// One sample.
+    pub fn step(&mut self, u: f64) -> f64 {
+        self.y += self.alpha * (u - self.y);
+        self.y
+    }
+
+    /// Current output.
+    #[must_use]
+    pub fn output(&self) -> f64 {
+        self.y
+    }
+}
+
+/// A 1-D lookup table with linear interpolation and clamped ends —
+/// Simulink's *Lookup Table* (used for torque maps).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lookup1D {
+    breakpoints: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Lookup1D {
+    /// Creates a lookup table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length, have fewer than two points,
+    /// or the breakpoints are not strictly increasing.
+    #[must_use]
+    pub fn new(breakpoints: Vec<f64>, values: Vec<f64>) -> Self {
+        assert_eq!(breakpoints.len(), values.len(), "length mismatch");
+        assert!(breakpoints.len() >= 2, "need at least two points");
+        assert!(
+            breakpoints.windows(2).all(|w| w[0] < w[1]),
+            "breakpoints must be strictly increasing"
+        );
+        Lookup1D {
+            breakpoints,
+            values,
+        }
+    }
+
+    /// Interpolated value at `u`.
+    #[must_use]
+    pub fn step(&self, u: f64) -> f64 {
+        let bp = &self.breakpoints;
+        let v = &self.values;
+        if u <= bp[0] {
+            return v[0];
+        }
+        if u >= bp[bp.len() - 1] {
+            return v[v.len() - 1];
+        }
+        let i = bp.partition_point(|&b| b <= u);
+        let f = (u - bp[i - 1]) / (bp[i] - bp[i - 1]);
+        v[i - 1] + f * (v[i] - v[i - 1])
+    }
+}
+
+/// Limits the slew rate of a signal: per sample, the output moves toward the
+/// input by at most `rate·t`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateLimiter {
+    max_step: f64,
+    y: f64,
+}
+
+impl RateLimiter {
+    /// Creates a rate limiter allowing `rate` units/s at sample interval `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both arguments are positive and finite.
+    #[must_use]
+    pub fn new(rate: f64, t: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+        assert!(t > 0.0 && t.is_finite(), "sample interval must be positive");
+        RateLimiter {
+            max_step: rate * t,
+            y: 0.0,
+        }
+    }
+
+    /// One sample.
+    pub fn step(&mut self, u: f64) -> f64 {
+        let delta = (u - self.y).clamp(-self.max_step, self.max_step);
+        self.y += delta;
+        self.y
+    }
+}
+
+/// A block-diagram PI controller composed from the primitives above —
+/// demonstrating that the [`bera_core::PiController`] is exactly the
+/// Figure 2 diagram (sum → gains → limited integrator → saturation with
+/// anti-windup).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockDiagramPi {
+    kp: Gain,
+    ki: Gain,
+    err: Sum,
+    integrator: Integrator,
+    limiter: Saturation,
+}
+
+impl BlockDiagramPi {
+    /// Builds the Figure 2 diagram with the given gains and limits.
+    #[must_use]
+    pub fn new(kp: f64, ki: f64, t: f64, lo: f64, hi: f64) -> Self {
+        BlockDiagramPi {
+            kp: Gain::new(kp),
+            ki: Gain::new(ki),
+            err: Sum::subtract(),
+            integrator: Integrator::new(t),
+            limiter: Saturation::new(lo, hi),
+        }
+    }
+
+    /// One control iteration — the same dataflow as Algorithm I.
+    pub fn step(&mut self, r: f64, y: f64) -> f64 {
+        let e = self.err.step(r, y);
+        let u = self.kp.step(e) + self.integrator.state();
+        let u_lim = self.limiter.step(u);
+        let anti_windup = self.limiter.saturates(u)
+            && ((u > u_lim && e > 0.0) || (u < u_lim && e < 0.0));
+        if !anti_windup {
+            self.integrator.step(self.ki.step(e));
+        }
+        u_lim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bera_core::{Controller, PiController, PiGains};
+
+    #[test]
+    fn gain_scales() {
+        assert_eq!(Gain::new(2.5).step(4.0), 10.0);
+    }
+
+    #[test]
+    fn sum_signs() {
+        assert_eq!(Sum::add().step(2.0, 3.0), 5.0);
+        assert_eq!(Sum::subtract().step(2.0, 3.0), -1.0);
+    }
+
+    #[test]
+    fn integrator_accumulates_scaled_by_t() {
+        let mut i = Integrator::new(0.5);
+        assert_eq!(i.step(2.0), 1.0);
+        assert_eq!(i.step(2.0), 2.0);
+        i.reset();
+        assert_eq!(i.state(), 0.0);
+    }
+
+    #[test]
+    fn integrator_saturates() {
+        let mut i = Integrator::new(1.0).with_limits(-1.0, 1.0);
+        i.step(100.0);
+        assert_eq!(i.state(), 1.0);
+        i.step(-300.0);
+        assert_eq!(i.state(), -1.0);
+    }
+
+    #[test]
+    fn saturation_block() {
+        let s = Saturation::new(0.0, 70.0);
+        assert_eq!(s.step(100.0), 70.0);
+        assert_eq!(s.step(-1.0), 0.0);
+        assert_eq!(s.step(35.0), 35.0);
+        assert!(s.saturates(71.0));
+        assert!(!s.saturates(70.0));
+    }
+
+    #[test]
+    fn unit_delay_shifts_by_one() {
+        let mut d = UnitDelay::new();
+        assert_eq!(d.step(1.0), 0.0);
+        assert_eq!(d.step(2.0), 1.0);
+        assert_eq!(d.state(), 2.0);
+    }
+
+    #[test]
+    fn first_order_lag_converges() {
+        let mut l = FirstOrderLag::new(0.1, 0.01);
+        let mut y = 0.0;
+        for _ in 0..200 {
+            y = l.step(1.0);
+        }
+        assert!((y - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn first_order_lag_monotone_step_response() {
+        let mut l = FirstOrderLag::new(0.1, 0.01);
+        let mut prev = 0.0;
+        for _ in 0..50 {
+            let y = l.step(1.0);
+            assert!(y >= prev);
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn lookup_interpolates_and_clamps() {
+        let lut = Lookup1D::new(vec![0.0, 10.0, 20.0], vec![0.0, 100.0, 150.0]);
+        assert_eq!(lut.step(-5.0), 0.0);
+        assert_eq!(lut.step(5.0), 50.0);
+        assert_eq!(lut.step(15.0), 125.0);
+        assert_eq!(lut.step(25.0), 150.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn lookup_rejects_bad_breakpoints() {
+        let _ = Lookup1D::new(vec![0.0, 0.0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn rate_limiter_limits_slew() {
+        let mut rl = RateLimiter::new(10.0, 0.1); // 1.0 per sample
+        assert_eq!(rl.step(5.0), 1.0);
+        assert_eq!(rl.step(5.0), 2.0);
+        assert_eq!(rl.step(-5.0), 1.0);
+    }
+
+    #[test]
+    fn block_diagram_pi_matches_algorithm_one() {
+        let g = PiGains::paper();
+        let mut blocks = BlockDiagramPi::new(g.kp, g.ki, g.t, 0.0, 70.0);
+        let mut reference = PiController::paper();
+        let mut y = 0.0;
+        for k in 0..650 {
+            let r = if k < 325 { 2000.0 } else { 3000.0 };
+            let u1 = blocks.step(r, y);
+            let u2 = reference.step(r, y);
+            assert!(
+                (u1 - u2).abs() < 1e-9,
+                "iteration {k}: diagram {u1} vs algorithm {u2}"
+            );
+            y += (u1 * 40.0 - y) * 0.05;
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Workload profiles: the reference speed of Figure 3 and the engine load
+//! of Figure 4.
+
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-linear function of time given by `(t, value)` breakpoints.
+///
+/// Values are held constant before the first and after the last breakpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Piecewise {
+    points: Vec<(f64, f64)>,
+}
+
+impl Piecewise {
+    /// Creates a piecewise-linear profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or the time stamps are not strictly
+    /// increasing.
+    #[must_use]
+    pub fn new(points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "profile needs at least one breakpoint");
+        assert!(
+            points.windows(2).all(|w| w[0].0 < w[1].0),
+            "breakpoint times must be strictly increasing"
+        );
+        Piecewise { points }
+    }
+
+    /// Evaluates the profile at time `t`.
+    #[must_use]
+    pub fn at(&self, t: f64) -> f64 {
+        let pts = &self.points;
+        if t <= pts[0].0 {
+            return pts[0].1;
+        }
+        if t >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        let i = pts.partition_point(|&(pt, _)| pt <= t);
+        let (t0, v0) = pts[i - 1];
+        let (t1, v1) = pts[i];
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+
+    /// The breakpoints.
+    #[must_use]
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+/// The pair of input profiles driving one experiment: the reference speed
+/// `r(t)` (rpm) and the external load torque (N·m).
+///
+/// # Example
+///
+/// ```
+/// use bera_plant::Profiles;
+/// let p = Profiles::paper();
+/// assert_eq!(p.reference(1.0), 2000.0);
+/// assert_eq!(p.reference(6.0), 3000.0);
+/// assert!(p.load(3.5) > p.load(1.0), "hill between 3 and 4 s");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profiles {
+    reference: Piecewise,
+    load: Piecewise,
+}
+
+impl Profiles {
+    /// Creates profiles from explicit piecewise functions.
+    #[must_use]
+    pub fn new(reference: Piecewise, load: Piecewise) -> Self {
+        Profiles { reference, load }
+    }
+
+    /// The paper's profiles: the reference is 2000 rpm for the first five
+    /// seconds and then changes momentarily to 3000 rpm; the load rises
+    /// during 3 s < t < 4 s and 7 s < t < 8 s ("hilly terrain"), on top of
+    /// a constant accessory load.
+    #[must_use]
+    pub fn paper() -> Self {
+        let reference = Piecewise::new(vec![(0.0, 2000.0), (4.999, 2000.0), (5.0, 3000.0)]);
+        let load = Piecewise::new(vec![
+            (0.0, 5.0),
+            (3.0, 5.0),
+            (3.4, 20.0), // first hill crest
+            (4.0, 5.0),
+            (7.0, 5.0),
+            (7.4, 24.0), // second, heavier hill
+            (8.0, 5.0),
+        ]);
+        Profiles { reference, load }
+    }
+
+    /// A constant-reference, no-disturbance profile for unit tests.
+    #[must_use]
+    pub fn constant(rpm: f64) -> Self {
+        Profiles {
+            reference: Piecewise::new(vec![(0.0, rpm)]),
+            load: Piecewise::new(vec![(0.0, 0.0)]),
+        }
+    }
+
+    /// Reference speed (rpm) at time `t` (s).
+    #[must_use]
+    pub fn reference(&self, t: f64) -> f64 {
+        self.reference.at(t)
+    }
+
+    /// External load torque (N·m) at time `t` (s).
+    #[must_use]
+    pub fn load(&self, t: f64) -> f64 {
+        self.load.at(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn piecewise_holds_ends() {
+        let p = Piecewise::new(vec![(1.0, 10.0), (2.0, 20.0)]);
+        assert_eq!(p.at(0.0), 10.0);
+        assert_eq!(p.at(5.0), 20.0);
+    }
+
+    #[test]
+    fn piecewise_interpolates() {
+        let p = Piecewise::new(vec![(0.0, 0.0), (10.0, 100.0)]);
+        assert!((p.at(2.5) - 25.0).abs() < 1e-12);
+        assert!((p.at(7.5) - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn piecewise_exact_breakpoints() {
+        let p = Piecewise::new(vec![(0.0, 1.0), (1.0, 2.0), (2.0, 4.0)]);
+        assert_eq!(p.at(0.0), 1.0);
+        assert_eq!(p.at(1.0), 2.0);
+        assert_eq!(p.at(2.0), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn piecewise_rejects_unsorted() {
+        let _ = Piecewise::new(vec![(1.0, 0.0), (1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn piecewise_rejects_empty() {
+        let _ = Piecewise::new(vec![]);
+    }
+
+    #[test]
+    fn paper_reference_steps_at_five_seconds() {
+        let p = Profiles::paper();
+        assert_eq!(p.reference(0.0), 2000.0);
+        assert_eq!(p.reference(4.9), 2000.0);
+        assert_eq!(p.reference(5.0), 3000.0);
+        assert_eq!(p.reference(10.0), 3000.0);
+    }
+
+    #[test]
+    fn paper_load_has_two_hills() {
+        let p = Profiles::paper();
+        let base = p.load(1.0);
+        assert!(p.load(3.4) > base + 10.0);
+        assert!(p.load(7.4) > base + 10.0);
+        assert_eq!(p.load(5.5), base, "flat between hills");
+        // Second hill is the heavier one (Figure 4).
+        assert!(p.load(7.4) > p.load(3.4));
+    }
+
+    #[test]
+    fn constant_profile() {
+        let p = Profiles::constant(2500.0);
+        assert_eq!(p.reference(0.0), 2500.0);
+        assert_eq!(p.reference(100.0), 2500.0);
+        assert_eq!(p.load(3.0), 0.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Recorded closed-loop trajectories.
+
+use serde::{Deserialize, Serialize};
+
+/// One sample of a closed-loop run: everything the paper's figures plot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Time since the start of the observed interval (s).
+    pub t: f64,
+    /// Reference speed `r` (rpm).
+    pub r: f64,
+    /// Measured engine speed `y` (rpm).
+    pub y: f64,
+    /// Limited controller output `u_lim` (degrees of throttle).
+    pub u: f64,
+    /// External load torque (N·m).
+    pub load: f64,
+}
+
+/// A sequence of [`Sample`]s with export and comparison helpers.
+///
+/// # Example
+///
+/// ```
+/// use bera_plant::{Sample, Trace};
+/// let mut tr = Trace::new();
+/// tr.push(Sample { t: 0.0, r: 2000.0, y: 1990.0, u: 10.0, load: 5.0 });
+/// assert_eq!(tr.len(), 1);
+/// assert!(tr.to_csv().starts_with("t,r,y,u,load"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    samples: Vec<Sample>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, s: Sample) {
+        self.samples.push(s);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when the trace has no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The recorded samples.
+    #[must_use]
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// The controller output sequence `u_lim(k)` — what the failure
+    /// classifier compares against the fault-free reference.
+    #[must_use]
+    pub fn outputs(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.u).collect()
+    }
+
+    /// The measured speed sequence `y(k)`.
+    #[must_use]
+    pub fn speeds(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.y).collect()
+    }
+
+    /// Per-sample absolute output deviation against a reference trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the traces have different lengths.
+    #[must_use]
+    pub fn output_deviation(&self, reference: &Trace) -> Vec<f64> {
+        assert_eq!(
+            self.len(),
+            reference.len(),
+            "traces must cover the same interval"
+        );
+        self.samples
+            .iter()
+            .zip(reference.samples.iter())
+            .map(|(a, b)| (a.u - b.u).abs())
+            .collect()
+    }
+
+    /// Largest absolute output deviation against a reference trace.
+    #[must_use]
+    pub fn max_output_deviation(&self, reference: &Trace) -> f64 {
+        self.output_deviation(reference)
+            .into_iter()
+            .fold(0.0, f64::max)
+    }
+
+    /// Serialises the trace as CSV with a header row — the format consumed
+    /// by the figure-regeneration scripts.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t,r,y,u,load\n");
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{:.4},{:.3},{:.3},{:.4},{:.3}\n",
+                s.t, s.r, s.y, s.u, s.load
+            ));
+        }
+        out
+    }
+}
+
+impl FromIterator<Sample> for Trace {
+    fn from_iter<I: IntoIterator<Item = Sample>>(iter: I) -> Self {
+        Trace {
+            samples: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Sample> for Trace {
+    fn extend<I: IntoIterator<Item = Sample>>(&mut self, iter: I) {
+        self.samples.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: f64, u: f64) -> Sample {
+        Sample {
+            t,
+            r: 2000.0,
+            y: 1990.0,
+            u,
+            load: 5.0,
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let tr: Trace = (0..3).map(|k| sample(k as f64, 10.0)).collect();
+        let csv = tr.to_csv();
+        assert_eq!(csv.lines().count(), 4, "header + 3 rows");
+        assert!(csv.lines().nth(1).unwrap().starts_with("0.0000,"));
+    }
+
+    #[test]
+    fn deviation_computation() {
+        let a: Trace = (0..5).map(|k| sample(k as f64, 10.0)).collect();
+        let b: Trace = (0..5)
+            .map(|k| sample(k as f64, if k == 2 { 12.5 } else { 10.0 }))
+            .collect();
+        let dev = b.output_deviation(&a);
+        assert_eq!(dev, vec![0.0, 0.0, 2.5, 0.0, 0.0]);
+        assert_eq!(b.max_output_deviation(&a), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "same interval")]
+    fn deviation_length_mismatch_panics() {
+        let a: Trace = (0..5).map(|k| sample(k as f64, 10.0)).collect();
+        let b: Trace = (0..4).map(|k| sample(k as f64, 10.0)).collect();
+        let _ = b.output_deviation(&a);
+    }
+
+    #[test]
+    fn outputs_and_speeds_extracted() {
+        let tr: Trace = (0..2).map(|k| sample(k as f64, k as f64)).collect();
+        assert_eq!(tr.outputs(), vec![0.0, 1.0]);
+        assert_eq!(tr.speeds(), vec![1990.0, 1990.0]);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let tr = Trace::new();
+        assert!(tr.is_empty());
+        assert_eq!(tr.to_csv(), "t,r,y,u,load\n");
+    }
+}

@@ -1,0 +1,219 @@
+//! A two-spool turbojet plant — the multiple-input multiple-output
+//! controlled object for the paper's future-work direction ("jet-engine
+//! controllers").
+//!
+//! Inputs: fuel flow `wf` and nozzle area `a8`, both normalised to
+//! `[0, 1]`. Outputs: the two spool speeds `n1` (low-pressure) and `n2`
+//! (high-pressure), normalised. The spools are first-order with mechanical
+//! cross-coupling, the classic reduced-order turbojet model used for
+//! multivariable control demonstrations.
+
+use serde::{Deserialize, Serialize};
+
+/// A multiple-input multiple-output plant driven one sample at a time.
+pub trait MimoPlant {
+    /// Number of actuator inputs.
+    fn num_inputs(&self) -> usize;
+    /// Number of measured outputs.
+    fn num_outputs(&self) -> usize;
+    /// Applies actuator vector `u` for one sample interval and returns the
+    /// measurements at the end of the interval.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `u.len() != self.num_inputs()`.
+    fn step(&mut self, u: &[f64]) -> Vec<f64>;
+    /// Current measurements without advancing time.
+    fn measure(&self) -> Vec<f64>;
+    /// Returns the plant to its initial state.
+    fn reset(&mut self);
+}
+
+/// Parameters of the [`Turbojet`] model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TurbojetParams {
+    /// Low-pressure spool time constant (s).
+    pub tau1: f64,
+    /// High-pressure spool time constant (s).
+    pub tau2: f64,
+    /// Steady-state gain from `[wf, a8]` to `n1`.
+    pub b1: [f64; 2],
+    /// Steady-state gain from `[wf, a8]` to `n2`.
+    pub b2: [f64; 2],
+    /// Mechanical cross-coupling coefficient between the spools.
+    pub coupling: f64,
+    /// Sample interval (s).
+    pub dt: f64,
+}
+
+impl TurbojetParams {
+    /// A stable, diagonally dominant demo engine sampled at 50 Hz.
+    #[must_use]
+    pub fn demo() -> Self {
+        TurbojetParams {
+            tau1: 0.8,
+            tau2: 1.2,
+            b1: [0.8, 0.2],
+            b2: [0.5, 0.6],
+            coupling: 0.15,
+            dt: 0.02,
+        }
+    }
+}
+
+/// The two-spool turbojet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Turbojet {
+    params: TurbojetParams,
+    n1: f64,
+    n2: f64,
+    initial: (f64, f64),
+}
+
+impl Turbojet {
+    /// Creates the engine idling at the given normalised spool speeds.
+    #[must_use]
+    pub fn new(params: TurbojetParams, n1: f64, n2: f64) -> Self {
+        Turbojet {
+            params,
+            n1,
+            n2,
+            initial: (n1, n2),
+        }
+    }
+
+    /// The demo engine at a low idle.
+    #[must_use]
+    pub fn demo() -> Self {
+        Turbojet::new(TurbojetParams::demo(), 0.2, 0.2)
+    }
+
+    /// Spool speeds the engine settles at for constant actuators `u`.
+    #[must_use]
+    pub fn equilibrium(&self, u: &[f64; 2]) -> [f64; 2] {
+        let p = self.params;
+        // Solve the coupled steady state:
+        //   n1 = b1·u + c (n2 - n1),  n2 = b2·u + c (n1 - n2)
+        let g1 = p.b1[0] * u[0] + p.b1[1] * u[1];
+        let g2 = p.b2[0] * u[0] + p.b2[1] * u[1];
+        let c = p.coupling;
+        let det = (1.0 + c) * (1.0 + c) - c * c;
+        [
+            ((1.0 + c) * g1 + c * g2) / det,
+            ((1.0 + c) * g2 + c * g1) / det,
+        ]
+    }
+}
+
+impl MimoPlant for Turbojet {
+    fn num_inputs(&self) -> usize {
+        2
+    }
+
+    fn num_outputs(&self) -> usize {
+        2
+    }
+
+    fn step(&mut self, u: &[f64]) -> Vec<f64> {
+        assert_eq!(u.len(), 2, "turbojet takes [wf, a8]");
+        let p = self.params;
+        let wf = u[0].clamp(0.0, 1.0);
+        let a8 = u[1].clamp(0.0, 1.0);
+        // Sub-step for numerical robustness.
+        let steps = 4;
+        let dt = p.dt / steps as f64;
+        for _ in 0..steps {
+            let g1 = p.b1[0] * wf + p.b1[1] * a8;
+            let g2 = p.b2[0] * wf + p.b2[1] * a8;
+            let dn1 = (g1 - self.n1 + p.coupling * (self.n2 - self.n1)) / p.tau1;
+            let dn2 = (g2 - self.n2 + p.coupling * (self.n1 - self.n2)) / p.tau2;
+            self.n1 = (self.n1 + dn1 * dt).max(0.0);
+            self.n2 = (self.n2 + dn2 * dt).max(0.0);
+        }
+        self.measure()
+    }
+
+    fn measure(&self) -> Vec<f64> {
+        vec![self.n1, self.n2]
+    }
+
+    fn reset(&mut self) {
+        self.n1 = self.initial.0;
+        self.n2 = self.initial.1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settles_to_equilibrium() {
+        let mut j = Turbojet::demo();
+        let u = [0.6, 0.4];
+        for _ in 0..2000 {
+            j.step(&u);
+        }
+        let eq = j.equilibrium(&u);
+        let y = j.measure();
+        assert!((y[0] - eq[0]).abs() < 1e-3, "n1 {} vs {}", y[0], eq[0]);
+        assert!((y[1] - eq[1]).abs() < 1e-3, "n2 {} vs {}", y[1], eq[1]);
+    }
+
+    #[test]
+    fn fuel_flow_drives_both_spools() {
+        let mut j = Turbojet::demo();
+        let before = j.measure();
+        for _ in 0..500 {
+            j.step(&[1.0, 0.0]);
+        }
+        let after = j.measure();
+        assert!(after[0] > before[0] && after[1] > before[1]);
+    }
+
+    #[test]
+    fn coupling_transfers_energy_between_spools() {
+        let mut coupled = Turbojet::demo();
+        let mut uncoupled = Turbojet::new(
+            TurbojetParams {
+                coupling: 0.0,
+                ..TurbojetParams::demo()
+            },
+            0.2,
+            0.2,
+        );
+        // Drive only the nozzle: n2 rises more than n1; coupling pulls n1 up.
+        for _ in 0..500 {
+            coupled.step(&[0.0, 1.0]);
+            uncoupled.step(&[0.0, 1.0]);
+        }
+        assert!(coupled.measure()[0] > uncoupled.measure()[0]);
+    }
+
+    #[test]
+    fn actuators_are_clamped() {
+        let mut j = Turbojet::demo();
+        for _ in 0..500 {
+            j.step(&[9.0, -5.0]); // treated as [1, 0]
+        }
+        let eq = j.equilibrium(&[1.0, 0.0]);
+        assert!((j.measure()[0] - eq[0]).abs() < 1e-2);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut j = Turbojet::demo();
+        j.step(&[1.0, 1.0]);
+        j.reset();
+        assert_eq!(j.measure(), vec![0.2, 0.2]);
+    }
+
+    #[test]
+    fn speeds_never_negative() {
+        let mut j = Turbojet::new(TurbojetParams::demo(), 0.01, 0.01);
+        for _ in 0..1000 {
+            j.step(&[0.0, 0.0]);
+        }
+        assert!(j.measure().iter().all(|&n| n >= 0.0));
+    }
+}

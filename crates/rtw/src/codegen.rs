@@ -1,0 +1,451 @@
+//! The code generator: statement IR → tcpu assembly, in the unoptimised
+//! statement-by-statement style of the Real-Time Workshop Ada Coder.
+
+use crate::ir::{Cond, Expr, Stmt};
+use crate::layout::{Layout, DATA_BASE};
+use crate::ControlModel;
+use bera_tcpu::asm::{assemble, AsmError, Program};
+use std::fmt;
+
+/// First register of the expression operand stack.
+const FIRST_REG: u8 = 2;
+/// Last register usable by the operand stack (r2..=r7).
+const LAST_REG: u8 = 7;
+
+/// Base address of the logging ring buffer (matches the hand-written
+/// workloads).
+const RING_BASE: u32 = 0x0001_0110;
+
+/// Code generation options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodegenOptions {
+    /// Append the standard run-time epilogue: ring-buffer logging of the
+    /// named variables, the housekeeping checksum scrub, and the iteration
+    /// counter — making generated workloads campaign-compatible with the
+    /// hand-written ones.
+    pub runtime_epilogue: bool,
+    /// Variables logged to the ring buffer each iteration (at most two,
+    /// as in the hand-written workloads).
+    pub log_vars: Vec<String>,
+}
+
+impl Default for CodegenOptions {
+    fn default() -> Self {
+        CodegenOptions {
+            runtime_epilogue: true,
+            log_vars: Vec::new(),
+        }
+    }
+}
+
+/// A compiled model.
+#[derive(Debug, Clone)]
+pub struct GeneratedProgram {
+    /// The generated assembly text.
+    pub asm: String,
+    /// The assembled program, ready for `Machine::load_program`.
+    pub program: Program,
+    /// Where each variable lives.
+    pub layout: Layout,
+}
+
+/// Code-generation failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodegenError {
+    /// A statement references an undeclared variable.
+    UnknownVariable(String),
+    /// An expression is too deep for the six-register operand stack.
+    ExpressionTooDeep {
+        /// Registers the expression would need.
+        needed: usize,
+    },
+    /// More than two log variables were requested.
+    TooManyLogVars,
+    /// The model's variables collide with the logging ring buffer.
+    RingOverlap,
+    /// The generated assembly failed to assemble (a code-generator bug).
+    Assemble(AsmError),
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::UnknownVariable(v) => write!(f, "unknown variable `{v}`"),
+            CodegenError::ExpressionTooDeep { needed } => {
+                write!(f, "expression needs {needed} registers, 6 available")
+            }
+            CodegenError::TooManyLogVars => write!(f, "at most two log variables"),
+            CodegenError::RingOverlap => {
+                write!(f, "model variables overlap the logging ring buffer")
+            }
+            CodegenError::Assemble(e) => write!(f, "generated assembly invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+struct Emitter<'a> {
+    layout: &'a Layout,
+    out: String,
+    next_label: usize,
+}
+
+impl<'a> Emitter<'a> {
+    fn line(&mut self, s: &str) {
+        self.out.push_str("    ");
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    fn label(&mut self, name: &str) {
+        self.out.push_str(name);
+        self.out.push_str(":\n");
+    }
+
+    fn fresh(&mut self, hint: &str) -> String {
+        let n = self.next_label;
+        self.next_label += 1;
+        format!("L{n}_{hint}")
+    }
+
+    fn address_of(&self, var: &str) -> Result<u32, CodegenError> {
+        self.layout
+            .address_of(var)
+            .ok_or_else(|| CodegenError::UnknownVariable(var.to_string()))
+    }
+
+    /// Evaluates `expr` into register `reg`, using `reg..=LAST_REG` as the
+    /// operand stack.
+    fn eval(&mut self, expr: &Expr, reg: u8) -> Result<(), CodegenError> {
+        let needed = expr.stack_depth();
+        if usize::from(reg) + needed - 1 > usize::from(LAST_REG) {
+            return Err(CodegenError::ExpressionTooDeep {
+                needed: usize::from(reg - FIRST_REG) + needed,
+            });
+        }
+        match expr {
+            Expr::Var(v) => {
+                let addr = self.address_of(v)?;
+                self.line(&format!("li   r1, {addr:#x}"));
+                self.line(&format!("ld   r{reg}, [r1+0]"));
+            }
+            Expr::Num(n) => {
+                self.line(&format!("lif  r{reg}, {n:?}"));
+            }
+            Expr::Input(port) => {
+                self.line(&format!("in   r{reg}, {port}"));
+            }
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                self.eval(a, reg)?;
+                self.eval(b, reg + 1)?;
+                let op = match expr {
+                    Expr::Add(..) => "fadd",
+                    Expr::Sub(..) => "fsub",
+                    Expr::Mul(..) => "fmul",
+                    _ => "fdiv",
+                };
+                self.line(&format!("{op} r{reg}, r{reg}, r{}", reg + 1));
+            }
+        }
+        Ok(())
+    }
+
+    fn store(&mut self, var: &str, reg: u8) -> Result<(), CodegenError> {
+        let addr = self.address_of(var)?;
+        self.line(&format!("li   r1, {addr:#x}"));
+        self.line(&format!("st   r{reg}, [r1+0]"));
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), CodegenError> {
+        match stmt {
+            Stmt::Assign { dst, expr } => {
+                self.eval(expr, FIRST_REG)?;
+                self.store(dst, FIRST_REG)?;
+            }
+            Stmt::Output { port, var } => {
+                let addr = self.address_of(var)?;
+                self.line(&format!("li   r1, {addr:#x}"));
+                self.line("ld   r2, [r1+0]");
+                self.line(&format!("out  r2, {port}"));
+            }
+            Stmt::If { cond, then, els } => {
+                self.condition(cond)?;
+                let else_label = self.fresh("else");
+                let end_label = self.fresh("end");
+                self.line(&format!("{} {else_label}", cond.op.inverse_branch()));
+                for s in then {
+                    self.stmt(s)?;
+                }
+                self.line(&format!("jmp  {end_label}"));
+                self.label(&else_label);
+                for s in els {
+                    self.stmt(s)?;
+                }
+                self.label(&end_label);
+            }
+        }
+        Ok(())
+    }
+
+    fn condition(&mut self, cond: &Cond) -> Result<(), CodegenError> {
+        self.eval(&cond.lhs, FIRST_REG)?;
+        self.eval(&cond.rhs, FIRST_REG + 1)?;
+        self.line(&format!("fcmp r{FIRST_REG}, r{}", FIRST_REG + 1));
+        Ok(())
+    }
+}
+
+/// Compiles a model with default options (run-time epilogue on).
+///
+/// # Errors
+///
+/// See [`CodegenError`].
+pub fn compile(model: &ControlModel) -> Result<GeneratedProgram, CodegenError> {
+    compile_with(model, &CodegenOptions::default())
+}
+
+/// Compiles a model with explicit options.
+///
+/// # Errors
+///
+/// See [`CodegenError`].
+pub fn compile_with(
+    model: &ControlModel,
+    options: &CodegenOptions,
+) -> Result<GeneratedProgram, CodegenError> {
+    if options.log_vars.len() > 2 {
+        return Err(CodegenError::TooManyLogVars);
+    }
+    // Housekeeping variables live after the model's, on their own line.
+    let mut variables = model.variables.clone();
+    while !variables.len().is_multiple_of(4) {
+        variables.push(format!("_align{}", variables.len()));
+    }
+    variables.push("__iter".to_string());
+    variables.push("__ringp".to_string());
+    variables.push("__cksum".to_string());
+    variables.push("_align_hk".to_string());
+    let layout = Layout::place(&variables);
+    if options.runtime_epilogue && layout.end() > RING_BASE {
+        return Err(CodegenError::RingOverlap);
+    }
+
+    let mut e = Emitter {
+        layout: &layout,
+        out: String::new(),
+        next_label: 0,
+    };
+    e.out.push_str(&format!(
+        "; generated by bera-rtw from model `{}` — do not edit\n.text\nstart:\n    nop\nloop:\n",
+        model.name
+    ));
+    for stmt in &model.body {
+        e.stmt(stmt)?;
+    }
+
+    if options.runtime_epilogue {
+        let iter = e.address_of("__iter")?;
+        let ringp = e.address_of("__ringp")?;
+        let cksum = e.address_of("__cksum")?;
+        // Ring logging of up to two variables.
+        e.line(&format!("li   r1, {iter:#x}"));
+        e.line("ld   r2, [r1+0]");
+        e.line("li   r3, 55");
+        e.line("and  r4, r2, r3");
+        e.line("li   r3, 8");
+        e.line("mul  r4, r4, r3");
+        e.line(&format!("li   r1, {ringp:#x}"));
+        e.line("st   r4, [r1+0]");
+        e.line(&format!("li   r3, {RING_BASE:#x}"));
+        e.line("add  r5, r4, r3");
+        for (i, var) in options.log_vars.iter().enumerate() {
+            let addr = e.address_of(var)?;
+            e.line(&format!("li   r1, {addr:#x}"));
+            e.line("ld   r6, [r1+0]");
+            e.line(&format!("st   r6, [r5+{}]", i * 4));
+        }
+        // Housekeeping scrub over the ring's first 28 words.
+        e.line(&format!("li   r8, {RING_BASE:#x}"));
+        e.line(&format!("li   r9, {:#x}", RING_BASE + 0x70));
+        e.line("li   r10, 0");
+        e.label("scrub");
+        e.line("ld   r11, [r8+0]");
+        e.line("xor  r10, r10, r11");
+        e.line("addi r8, r8, 4");
+        e.line("cmp  r8, r9");
+        e.line("blt  scrub");
+        e.line(&format!("li   r1, {cksum:#x}"));
+        e.line("st   r10, [r1+0]");
+        // Iteration counter.
+        e.line(&format!("li   r1, {iter:#x}"));
+        e.line("ld   r2, [r1+0]");
+        e.line("addi r2, r2, 1");
+        e.line("st   r2, [r1+0]");
+    }
+
+    e.line("yield");
+    e.line("jmp  loop");
+
+    let mut asm = e.out;
+    // Data section: every placed variable, zero-initialised.
+    asm.push_str(&format!("\n.data {DATA_BASE:#x}\n"));
+    for v in &variables {
+        asm.push_str(&format!("{}: .float 0.0\n", sanitise(v)));
+    }
+
+    let program = assemble(&asm).map_err(CodegenError::Assemble)?;
+    Ok(GeneratedProgram {
+        asm,
+        program,
+        layout,
+    })
+}
+
+/// Label-safe variable names for the data section (addresses are used for
+/// access, so the names are only documentation).
+fn sanitise(v: &str) -> String {
+    let mut s: String = v
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if !s.starts_with(|c: char| c.is_ascii_alphabetic() || c == '_') {
+        s.insert(0, '_');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::CmpOp;
+    use bera_tcpu::machine::{Machine, RunExit};
+
+    fn run_once(p: &GeneratedProgram, inputs: &[(u16, f32)]) -> Machine {
+        let mut m = Machine::new();
+        m.load_program(&p.program);
+        for &(port, v) in inputs {
+            m.set_port_f32(port, v);
+        }
+        assert_eq!(m.run(1_000_000), RunExit::Yield);
+        m
+    }
+
+    #[test]
+    fn constant_gain_model() {
+        let model = ControlModel::new("gain")
+            .var("u")
+            .body(vec![
+                Stmt::assign("u", Expr::mul(Expr::num(0.5), Expr::input(0))),
+                Stmt::output(2, "u"),
+            ]);
+        let p = compile_with(&model, &CodegenOptions {
+            runtime_epilogue: false,
+            log_vars: vec![],
+        })
+        .unwrap();
+        let m = run_once(&p, &[(0, 8.0)]);
+        assert_eq!(m.port_out_f32(2), 4.0);
+    }
+
+    #[test]
+    fn if_else_selects_branch() {
+        let model = ControlModel::new("sel")
+            .var("y")
+            .body(vec![
+                Stmt::if_else(
+                    Cond::new(Expr::input(0), CmpOp::Gt, Expr::num(1.0)),
+                    vec![Stmt::assign("y", Expr::num(10.0))],
+                    vec![Stmt::assign("y", Expr::num(20.0))],
+                ),
+                Stmt::output(2, "y"),
+            ]);
+        let p = compile(&model).unwrap();
+        assert_eq!(run_once(&p, &[(0, 2.0)]).port_out_f32(2), 10.0);
+        assert_eq!(run_once(&p, &[(0, 0.5)]).port_out_f32(2), 20.0);
+    }
+
+    #[test]
+    fn state_persists_across_iterations() {
+        // x := x + in0 — an accumulator.
+        let model = ControlModel::new("acc")
+            .var("x")
+            .body(vec![
+                Stmt::assign("x", Expr::add(Expr::var("x"), Expr::input(0))),
+                Stmt::output(2, "x"),
+            ]);
+        let p = compile(&model).unwrap();
+        let mut m = Machine::new();
+        m.load_program(&p.program);
+        for k in 1..=5 {
+            m.set_port_f32(0, 1.5);
+            assert_eq!(m.run(1_000_000), RunExit::Yield);
+            assert_eq!(m.port_out_f32(2), 1.5 * k as f32);
+        }
+    }
+
+    #[test]
+    fn unknown_variable_rejected() {
+        let model = ControlModel::new("bad")
+            .var("a")
+            .body(vec![Stmt::assign("a", Expr::var("ghost"))]);
+        assert_eq!(
+            compile(&model).unwrap_err(),
+            CodegenError::UnknownVariable("ghost".to_string())
+        );
+    }
+
+    #[test]
+    fn deep_expression_rejected() {
+        // Right-leaning chain deeper than the register stack.
+        let mut e = Expr::num(1.0);
+        for _ in 0..8 {
+            e = Expr::add(Expr::num(1.0), e);
+        }
+        let model = ControlModel::new("deep").var("a").body(vec![Stmt::assign("a", e)]);
+        assert!(matches!(
+            compile(&model).unwrap_err(),
+            CodegenError::ExpressionTooDeep { .. }
+        ));
+    }
+
+    #[test]
+    fn epilogue_is_emitted_and_runs() {
+        let model = ControlModel::new("hk")
+            .var("u")
+            .body(vec![
+                Stmt::assign("u", Expr::input(0)),
+                Stmt::output(2, "u"),
+            ]);
+        let p = compile_with(&model, &CodegenOptions {
+            runtime_epilogue: true,
+            log_vars: vec!["u".to_string()],
+        })
+        .unwrap();
+        assert!(p.asm.contains("scrub"));
+        let mut m = Machine::new();
+        m.load_program(&p.program);
+        for _ in 0..70 {
+            m.set_port_f32(0, 3.0);
+            assert_eq!(m.run(1_000_000), RunExit::Yield, "ring wrap must work");
+        }
+    }
+
+    #[test]
+    fn first_state_variable_lands_in_line_zero() {
+        let model = ControlModel::new("m").var("x").var("y");
+        let p = compile(&model).unwrap();
+        assert_eq!(p.layout.line_of("x"), Some(0));
+    }
+
+    #[test]
+    fn too_many_log_vars_rejected() {
+        let model = ControlModel::new("m").var("a").var("b").var("c");
+        let opts = CodegenOptions {
+            runtime_epilogue: true,
+            log_vars: vec!["a".into(), "b".into(), "c".into()],
+        };
+        assert_eq!(compile_with(&model, &opts).unwrap_err(), CodegenError::TooManyLogVars);
+    }
+}

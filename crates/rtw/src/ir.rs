@@ -1,0 +1,245 @@
+//! The statement IR: what a block-diagram flattener would hand to the
+//! code generator.
+
+use serde::{Deserialize, Serialize};
+
+/// An `f32` expression over model variables, literals and input ports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A model variable (loaded from memory at evaluation).
+    Var(String),
+    /// A literal constant (an instruction-stream immediate).
+    Num(f32),
+    /// An input port read.
+    Input(u16),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Division.
+    Div(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// A variable reference.
+    #[must_use]
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+
+    /// A literal.
+    #[must_use]
+    pub fn num(v: f32) -> Expr {
+        Expr::Num(v)
+    }
+
+    /// An input-port read.
+    #[must_use]
+    pub fn input(port: u16) -> Expr {
+        Expr::Input(port)
+    }
+
+    /// `a + b`.
+    #[must_use]
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// `a - b`.
+    #[must_use]
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Sub(Box::new(a), Box::new(b))
+    }
+
+    /// `a * b`.
+    #[must_use]
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+
+    /// `a / b`.
+    #[must_use]
+    pub fn div(a: Expr, b: Expr) -> Expr {
+        Expr::Div(Box::new(a), Box::new(b))
+    }
+
+    /// Depth of the operand stack needed to evaluate this expression with
+    /// the naive right-after-left register discipline.
+    #[must_use]
+    pub fn stack_depth(&self) -> usize {
+        match self {
+            Expr::Var(_) | Expr::Num(_) | Expr::Input(_) => 1,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                a.stack_depth().max(1 + b.stack_depth())
+            }
+        }
+    }
+
+    /// All variables this expression reads.
+    pub fn variables<'a>(&'a self, into: &mut Vec<&'a str>) {
+        match self {
+            Expr::Var(v) => into.push(v),
+            Expr::Num(_) | Expr::Input(_) => {}
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                a.variables(into);
+                b.variables(into);
+            }
+        }
+    }
+}
+
+/// Comparison operators for conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// The branch mnemonic that jumps when the comparison is *false*
+    /// (the code generator branches around the then-block).
+    #[must_use]
+    pub fn inverse_branch(&self) -> &'static str {
+        match self {
+            CmpOp::Lt => "bge",
+            CmpOp::Le => "bgt",
+            CmpOp::Gt => "ble",
+            CmpOp::Ge => "blt",
+            CmpOp::Eq => "bne",
+            CmpOp::Ne => "beq",
+        }
+    }
+}
+
+/// A float comparison between two expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cond {
+    /// Left-hand side.
+    pub lhs: Expr,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right-hand side.
+    pub rhs: Expr,
+}
+
+impl Cond {
+    /// Builds a condition.
+    #[must_use]
+    pub fn new(lhs: Expr, op: CmpOp, rhs: Expr) -> Self {
+        Cond { lhs, op, rhs }
+    }
+}
+
+/// A statement of the per-iteration body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `dst := expr` — evaluate naively, store to memory.
+    Assign {
+        /// Destination variable.
+        dst: String,
+        /// Value.
+        expr: Expr,
+    },
+    /// `if cond { then } else { els }`.
+    If {
+        /// The condition.
+        cond: Cond,
+        /// Statements when true.
+        then: Vec<Stmt>,
+        /// Statements when false.
+        els: Vec<Stmt>,
+    },
+    /// Write a variable to an output port.
+    Output {
+        /// Port index.
+        port: u16,
+        /// Source variable.
+        var: String,
+    },
+}
+
+impl Stmt {
+    /// `dst := expr`.
+    #[must_use]
+    pub fn assign(dst: &str, expr: Expr) -> Stmt {
+        Stmt::Assign {
+            dst: dst.to_string(),
+            expr,
+        }
+    }
+
+    /// `if cond { then }`.
+    #[must_use]
+    pub fn if_then(cond: Cond, then: Vec<Stmt>) -> Stmt {
+        Stmt::If {
+            cond,
+            then,
+            els: Vec::new(),
+        }
+    }
+
+    /// `if cond { then } else { els }`.
+    #[must_use]
+    pub fn if_else(cond: Cond, then: Vec<Stmt>, els: Vec<Stmt>) -> Stmt {
+        Stmt::If { cond, then, els }
+    }
+
+    /// `out port, var`.
+    #[must_use]
+    pub fn output(port: u16, var: &str) -> Stmt {
+        Stmt::Output {
+            port,
+            var: var.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_depth_of_leaves_is_one() {
+        assert_eq!(Expr::num(1.0).stack_depth(), 1);
+        assert_eq!(Expr::var("x").stack_depth(), 1);
+        assert_eq!(Expr::input(0).stack_depth(), 1);
+    }
+
+    #[test]
+    fn stack_depth_grows_rightward() {
+        // (a + b) needs 2; (a + (b + c)) needs 3; ((a + b) + c) needs 2.
+        let two = Expr::add(Expr::var("a"), Expr::var("b"));
+        assert_eq!(two.stack_depth(), 2);
+        let right = Expr::add(Expr::var("a"), Expr::add(Expr::var("b"), Expr::var("c")));
+        assert_eq!(right.stack_depth(), 3);
+        let left = Expr::add(Expr::add(Expr::var("a"), Expr::var("b")), Expr::var("c"));
+        assert_eq!(left.stack_depth(), 2);
+    }
+
+    #[test]
+    fn variables_collected_in_order() {
+        let e = Expr::mul(Expr::var("e"), Expr::add(Expr::num(1.0), Expr::var("x")));
+        let mut vars = Vec::new();
+        e.variables(&mut vars);
+        assert_eq!(vars, vec!["e", "x"]);
+    }
+
+    #[test]
+    fn inverse_branches() {
+        assert_eq!(CmpOp::Lt.inverse_branch(), "bge");
+        assert_eq!(CmpOp::Gt.inverse_branch(), "ble");
+        assert_eq!(CmpOp::Eq.inverse_branch(), "bne");
+    }
+}

@@ -1,0 +1,91 @@
+//! Variable placement in data memory.
+//!
+//! Variables are packed four to a 16-byte cache line in declaration order,
+//! starting at the base of data RAM — the same discipline the hand-written
+//! workloads use (the persistent state in line 0, scratch in later lines,
+//! padding slots to force line boundaries).
+
+use std::collections::HashMap;
+
+/// Base address of generated data (start of the cacheable RAM segment).
+pub const DATA_BASE: u32 = 0x0001_0000;
+
+/// Assigned addresses for a model's variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    addresses: HashMap<String, u32>,
+    end: u32,
+}
+
+impl Layout {
+    /// Places `variables` in declaration order, four per cache line.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate variable names.
+    #[must_use]
+    pub fn place(variables: &[String]) -> Self {
+        let mut addresses = HashMap::new();
+        let mut addr = DATA_BASE;
+        for v in variables {
+            assert!(
+                addresses.insert(v.clone(), addr).is_none(),
+                "duplicate variable `{v}`"
+            );
+            addr += 4;
+        }
+        Layout {
+            addresses,
+            end: addr,
+        }
+    }
+
+    /// Address of a variable.
+    #[must_use]
+    pub fn address_of(&self, var: &str) -> Option<u32> {
+        self.addresses.get(var).copied()
+    }
+
+    /// One past the last placed address.
+    #[must_use]
+    pub fn end(&self) -> u32 {
+        self.end
+    }
+
+    /// Cache line index a variable maps to.
+    #[must_use]
+    pub fn line_of(&self, var: &str) -> Option<usize> {
+        self.address_of(var).map(bera_tcpu::cache::index_of)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn sequential_packing() {
+        let l = Layout::place(&vars(&["a", "b", "c", "d", "e"]));
+        assert_eq!(l.address_of("a"), Some(DATA_BASE));
+        assert_eq!(l.address_of("e"), Some(DATA_BASE + 16));
+        assert_eq!(l.line_of("a"), Some(0));
+        assert_eq!(l.line_of("e"), Some(1), "fifth variable starts line 1");
+        assert_eq!(l.end(), DATA_BASE + 20);
+    }
+
+    #[test]
+    fn unknown_variable_is_none() {
+        let l = Layout::place(&vars(&["a"]));
+        assert_eq!(l.address_of("zz"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicates_rejected() {
+        let _ = Layout::place(&vars(&["a", "a"]));
+    }
+}

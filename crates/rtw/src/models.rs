@@ -1,0 +1,240 @@
+//! The paper's controllers expressed as models — what the Simulink block
+//! diagram flattens to before code generation.
+
+use crate::ir::{CmpOp, Cond, Expr, Stmt};
+use crate::ControlModel;
+
+const KP: f32 = 0.045;
+const KI: f32 = 0.05;
+const T: f32 = 0.0154;
+const UMIN: f32 = 0.0;
+const UMAX: f32 = 70.0;
+
+fn v(name: &str) -> Expr {
+    Expr::var(name)
+}
+
+fn n(value: f32) -> Expr {
+    Expr::num(value)
+}
+
+/// Shared prologue: sample the ports and compute the control error.
+fn prologue() -> Vec<Stmt> {
+    vec![
+        Stmt::assign("rvar", Expr::input(0)),
+        Stmt::assign("yvar", Expr::input(1)),
+        Stmt::assign("e", Expr::sub(v("rvar"), v("yvar"))),
+    ]
+}
+
+/// Shared PI core: `u = Kp·e + x`, output limiting, anti-windup gain
+/// select, and the integration `x += T·e·Ki` — the same arithmetic in the
+/// same order as the hand-written workloads, so outputs are bit-identical.
+fn pi_core() -> Vec<Stmt> {
+    vec![
+        Stmt::assign("u", Expr::add(Expr::mul(v("e"), n(KP)), v("x"))),
+        Stmt::assign("u_lim", v("u")),
+        Stmt::if_then(
+            Cond::new(v("u_lim"), CmpOp::Gt, n(UMAX)),
+            vec![Stmt::assign("u_lim", n(UMAX))],
+        ),
+        Stmt::if_then(
+            Cond::new(v("u_lim"), CmpOp::Lt, n(UMIN)),
+            vec![Stmt::assign("u_lim", n(UMIN))],
+        ),
+        Stmt::assign("kiv", n(KI)),
+        Stmt::if_else(
+            Cond::new(v("u"), CmpOp::Gt, n(UMAX)),
+            vec![Stmt::if_then(
+                Cond::new(v("e"), CmpOp::Gt, n(0.0)),
+                vec![Stmt::assign("kiv", n(0.0))],
+            )],
+            vec![Stmt::if_then(
+                Cond::new(v("u"), CmpOp::Lt, n(UMIN)),
+                vec![Stmt::if_then(
+                    Cond::new(v("e"), CmpOp::Lt, n(0.0)),
+                    vec![Stmt::assign("kiv", n(0.0))],
+                )],
+            )],
+        ),
+        Stmt::assign("te", Expr::mul(v("e"), n(T))),
+        Stmt::assign("teki", Expr::mul(v("te"), v("kiv"))),
+        Stmt::assign("x", Expr::add(v("x"), v("teki"))),
+    ]
+}
+
+/// Algorithm I as a model: the plain PI controller.
+#[must_use]
+pub fn algorithm_one_model() -> ControlModel {
+    let mut body = prologue();
+    body.extend(pi_core());
+    body.push(Stmt::output(2, "u_lim"));
+    ControlModel::new("algorithm1")
+        .var("x")
+        .pad()
+        .pad()
+        .pad()
+        .var("e")
+        .var("u")
+        .var("u_lim")
+        .var("kiv")
+        .var("yvar")
+        .var("rvar")
+        .var("te")
+        .var("teki")
+        .body(body)
+}
+
+/// Algorithm II as a model: executable assertions on the state and output
+/// plus best effort recovery, exactly as in Section 4.3.
+#[must_use]
+pub fn algorithm_two_model() -> ControlModel {
+    let mut body = prologue();
+    // Executable assertion on x, then backup (assert *before* the backup).
+    body.push(Stmt::if_else(
+        Cond::new(v("x"), CmpOp::Lt, n(UMIN)),
+        vec![Stmt::assign("x", v("x_old"))],
+        vec![Stmt::if_else(
+            Cond::new(v("x"), CmpOp::Gt, n(UMAX)),
+            vec![Stmt::assign("x", v("x_old"))],
+            vec![Stmt::assign("x_old", v("x"))],
+        )],
+    ));
+    body.extend(pi_core());
+    // Executable assertion on the output.
+    body.push(Stmt::if_else(
+        Cond::new(v("u_lim"), CmpOp::Lt, n(UMIN)),
+        vec![
+            Stmt::assign("u_lim", v("u_old")),
+            Stmt::assign("x", v("x_old")),
+        ],
+        vec![Stmt::if_then(
+            Cond::new(v("u_lim"), CmpOp::Gt, n(UMAX)),
+            vec![
+                Stmt::assign("u_lim", v("u_old")),
+                Stmt::assign("x", v("x_old")),
+            ],
+        )],
+    ));
+    body.push(Stmt::assign("u_old", v("u_lim")));
+    body.push(Stmt::output(2, "u_lim"));
+    ControlModel::new("algorithm2")
+        .var("x")
+        .pad()
+        .pad()
+        .pad()
+        .var("e")
+        .var("u")
+        .var("u_lim")
+        .var("kiv")
+        .var("yvar")
+        .var("rvar")
+        .var("te")
+        .var("teki")
+        .var("x_old")
+        .var("u_old")
+        .body(body)
+}
+
+/// Algorithm III as a model: Algorithm II plus the rate assertion on the
+/// state ("more sophisticated assertions", the paper's future work). The
+/// state may not move more than 5° between samples, checked against the
+/// last accepted backup.
+#[must_use]
+pub fn algorithm_three_model() -> ControlModel {
+    let mut body = prologue();
+    // Range assertion, then rate assertion, then backup.
+    let accept_or_rate = vec![Stmt::if_else(
+        Cond::new(v("x"), CmpOp::Gt, n(UMAX)),
+        vec![Stmt::assign("x", v("x_old"))],
+        vec![
+            Stmt::assign("dx", Expr::sub(v("x"), v("x_old"))),
+            Stmt::if_else(
+                Cond::new(v("dx"), CmpOp::Gt, n(5.0)),
+                vec![Stmt::assign("x", v("x_old"))],
+                vec![Stmt::if_else(
+                    Cond::new(v("dx"), CmpOp::Lt, n(-5.0)),
+                    vec![Stmt::assign("x", v("x_old"))],
+                    vec![Stmt::assign("x_old", v("x"))],
+                )],
+            ),
+        ],
+    )];
+    body.push(Stmt::if_else(
+        Cond::new(v("x"), CmpOp::Lt, n(UMIN)),
+        vec![Stmt::assign("x", v("x_old"))],
+        accept_or_rate,
+    ));
+    body.extend(pi_core());
+    body.push(Stmt::if_else(
+        Cond::new(v("u_lim"), CmpOp::Lt, n(UMIN)),
+        vec![
+            Stmt::assign("u_lim", v("u_old")),
+            Stmt::assign("x", v("x_old")),
+        ],
+        vec![Stmt::if_then(
+            Cond::new(v("u_lim"), CmpOp::Gt, n(UMAX)),
+            vec![
+                Stmt::assign("u_lim", v("u_old")),
+                Stmt::assign("x", v("x_old")),
+            ],
+        )],
+    ));
+    body.push(Stmt::assign("u_old", v("u_lim")));
+    body.push(Stmt::output(2, "u_lim"));
+    ControlModel::new("algorithm3")
+        .var("x")
+        .pad()
+        .pad()
+        .pad()
+        .var("e")
+        .var("u")
+        .var("u_lim")
+        .var("kiv")
+        .var("yvar")
+        .var("rvar")
+        .var("te")
+        .var("teki")
+        .var("x_old")
+        .var("u_old")
+        .var("dx")
+        .body(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::{compile_with, CodegenOptions};
+
+    fn options() -> CodegenOptions {
+        CodegenOptions {
+            runtime_epilogue: true,
+            log_vars: vec!["u_lim".to_string(), "e".to_string()],
+        }
+    }
+
+    #[test]
+    fn both_models_compile() {
+        for model in [
+            algorithm_one_model(),
+            algorithm_two_model(),
+            algorithm_three_model(),
+        ] {
+            let p = compile_with(&model, &options()).expect("model compiles");
+            assert!(p.program.code_len() > 60, "{}", model.name);
+        }
+    }
+
+    #[test]
+    fn state_lives_in_cache_line_zero() {
+        let p = compile_with(&algorithm_one_model(), &options()).unwrap();
+        assert_eq!(p.layout.line_of("x"), Some(0));
+        assert_eq!(p.layout.line_of("e"), Some(1), "padding forced a new line");
+    }
+
+    #[test]
+    fn algorithm_two_backups_in_separate_line() {
+        let p = compile_with(&algorithm_two_model(), &options()).unwrap();
+        assert_ne!(p.layout.line_of("x"), p.layout.line_of("x_old"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property test: any well-formed model must compile to assembly that
+//! assembles and runs without panicking — terminating each iteration with
+//! a yield, or trapping in a hardware error detection mechanism (float
+//! EDMs can legitimately fire on generated arithmetic, e.g. division by
+//! zero or overflow).
+
+use bera_rtw::codegen::{compile_with, CodegenOptions};
+use bera_rtw::ir::{CmpOp, Cond, Expr, Stmt};
+use bera_rtw::ControlModel;
+use bera_tcpu::machine::{Machine, RunExit};
+use proptest::prelude::*;
+
+const VARS: [&str; 4] = ["a", "b", "c", "d"];
+
+fn leaf() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0..VARS.len()).prop_map(|i| Expr::var(VARS[i])),
+        (-100.0f32..100.0).prop_map(Expr::num),
+        (0u16..3).prop_map(Expr::input),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    leaf().prop_recursive(3, 12, 2, |inner| {
+        (inner.clone(), inner, 0..4u8).prop_map(|(a, b, op)| match op {
+            0 => Expr::add(a, b),
+            1 => Expr::sub(a, b),
+            2 => Expr::mul(a, b),
+            _ => Expr::div(a, b),
+        })
+    })
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+    ]
+}
+
+fn assign() -> impl Strategy<Value = Stmt> {
+    (0..VARS.len(), expr()).prop_map(|(i, e)| Stmt::assign(VARS[i], e))
+}
+
+fn stmt() -> impl Strategy<Value = Stmt> {
+    let output = (0..VARS.len()).prop_map(|i| Stmt::output(2, VARS[i]));
+    let simple = prop_oneof![assign(), output];
+    (
+        simple,
+        prop::collection::vec(assign(), 0..3),
+        expr(),
+        cmp_op(),
+        expr(),
+    )
+        .prop_map(|(plain, then, lhs, op, rhs)| {
+            if then.is_empty() {
+                plain
+            } else {
+                Stmt::if_else(Cond::new(lhs, op, rhs), then, vec![plain])
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn random_models_compile_and_run_safely(body in prop::collection::vec(stmt(), 1..12)) {
+        let mut model = ControlModel::new("fuzz");
+        for v in VARS {
+            model = model.var(v);
+        }
+        let model = model.body(body);
+        let compiled = match compile_with(
+            &model,
+            &CodegenOptions { runtime_epilogue: false, log_vars: vec![] },
+        ) {
+            Ok(p) => p,
+            Err(bera_rtw::CodegenError::ExpressionTooDeep { .. }) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+        };
+        let mut m = Machine::new();
+        m.load_program(&compiled.program);
+        for port in 0..3 {
+            m.set_port_f32(port, 1.5);
+        }
+        for _ in 0..5 {
+            match m.run(100_000) {
+                RunExit::Yield => {}
+                RunExit::Trap(_) => break, // float EDMs may legitimately fire
+                RunExit::Budget => {
+                    return Err(TestCaseError::fail("generated code hung"));
+                }
+            }
+        }
+    }
+}

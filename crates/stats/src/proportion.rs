@@ -1,0 +1,250 @@
+//! Binomial proportion estimates and confidence intervals.
+//!
+//! The paper's tables report `p ± z·sqrt(p(1-p)/n)` with `z = 1.96`
+//! (the 95 % normal approximation). [`Proportion::wilson_ci`] is provided as
+//! a cross-check that behaves better for the very small counts that appear in
+//! the severe-failure rows.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Confidence level for an interval, expressed through its two-sided normal
+/// quantile `z`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Confidence {
+    /// The two-sided standard-normal quantile (e.g. 1.96 for 95 %).
+    pub z: f64,
+}
+
+impl Confidence {
+    /// The 95 % confidence level used throughout the paper (z = 1.96).
+    pub const P95: Confidence = Confidence { z: 1.96 };
+    /// The 99 % confidence level (z = 2.576).
+    pub const P99: Confidence = Confidence { z: 2.576 };
+}
+
+impl Default for Confidence {
+    fn default() -> Self {
+        Confidence::P95
+    }
+}
+
+/// A symmetric or asymmetric confidence interval around a point estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Point estimate of the proportion (in `[0, 1]`).
+    pub estimate: f64,
+    /// Lower bound, clamped to `[0, 1]`.
+    pub lo: f64,
+    /// Upper bound, clamped to `[0, 1]`.
+    pub hi: f64,
+    /// Half the width of the interval (`(hi - lo) / 2`).
+    pub half_width: f64,
+}
+
+impl Interval {
+    fn from_bounds(estimate: f64, lo: f64, hi: f64) -> Self {
+        let lo = lo.clamp(0.0, 1.0);
+        let hi = hi.clamp(0.0, 1.0);
+        Interval {
+            estimate,
+            lo,
+            hi,
+            half_width: (hi - lo) / 2.0,
+        }
+    }
+
+    /// Returns `true` if `other`'s estimate falls outside this interval —
+    /// the informal significance argument used in Section 4.5 of the paper.
+    #[must_use]
+    pub fn excludes(&self, other: f64) -> bool {
+        other < self.lo || other > self.hi
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2}% (± {:.2}%)",
+            self.estimate * 100.0,
+            self.half_width * 100.0
+        )
+    }
+}
+
+/// A binomial proportion: `successes` observed out of `trials`.
+///
+/// # Example
+///
+/// ```
+/// use bera_stats::proportion::Proportion;
+/// let p = Proportion::new(466, 9290); // undetected wrong results, Table 2
+/// assert!((p.estimate() - 0.0502).abs() < 5e-4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Proportion {
+    successes: u64,
+    trials: u64,
+}
+
+impl Proportion {
+    /// Creates a proportion of `successes` out of `trials`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `successes > trials`.
+    #[must_use]
+    pub fn new(successes: u64, trials: u64) -> Self {
+        assert!(
+            successes <= trials,
+            "successes ({successes}) must not exceed trials ({trials})"
+        );
+        Proportion { successes, trials }
+    }
+
+    /// Number of observed successes.
+    #[must_use]
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// Number of trials.
+    #[must_use]
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Point estimate `successes / trials` (0 when there are no trials).
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// Normal-approximation (Wald) confidence interval, the method used by
+    /// the paper's tables.
+    #[must_use]
+    pub fn normal_ci(&self, conf: Confidence) -> Interval {
+        let p = self.estimate();
+        if self.trials == 0 {
+            return Interval::from_bounds(0.0, 0.0, 0.0);
+        }
+        let n = self.trials as f64;
+        let hw = conf.z * (p * (1.0 - p) / n).sqrt();
+        Interval::from_bounds(p, p - hw, p + hw)
+    }
+
+    /// The 95 % normal-approximation interval (`z = 1.96`).
+    #[must_use]
+    pub fn normal_ci95(&self) -> Interval {
+        self.normal_ci(Confidence::P95)
+    }
+
+    /// Wilson score interval; well-behaved for small counts and never
+    /// producing bounds outside `[0, 1]`.
+    #[must_use]
+    pub fn wilson_ci(&self, conf: Confidence) -> Interval {
+        if self.trials == 0 {
+            return Interval::from_bounds(0.0, 0.0, 0.0);
+        }
+        let n = self.trials as f64;
+        let p = self.estimate();
+        let z = conf.z;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let spread = z * ((p * (1.0 - p) + z2 / (4.0 * n)) / n).sqrt() / denom;
+        Interval::from_bounds(p, center - spread, center + spread)
+    }
+
+    /// Combines two disjoint categories observed over the same trials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trial counts differ or the combined successes would
+    /// exceed the trials.
+    #[must_use]
+    pub fn union(&self, other: &Proportion) -> Proportion {
+        assert_eq!(
+            self.trials, other.trials,
+            "union requires identical trial counts"
+        );
+        Proportion::new(self.successes + other.successes, self.trials)
+    }
+}
+
+impl fmt::Display for Proportion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.successes, self.trials)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_matches_table2_totals() {
+        // Table 2, total column: 466 undetected wrong results of 9290.
+        let p = Proportion::new(466, 9290);
+        assert!((p.estimate() - 0.050_16).abs() < 1e-4);
+        let ci = p.normal_ci95();
+        // Paper reports ± 0.44 %.
+        assert!((ci.half_width - 0.0044).abs() < 2e-4);
+    }
+
+    #[test]
+    fn zero_trials_is_safe() {
+        let p = Proportion::new(0, 0);
+        assert_eq!(p.estimate(), 0.0);
+        assert_eq!(p.normal_ci95().half_width, 0.0);
+        assert_eq!(p.wilson_ci(Confidence::P95).half_width, 0.0);
+    }
+
+    #[test]
+    fn zero_successes_normal_ci_is_degenerate_but_wilson_is_not() {
+        let p = Proportion::new(0, 2372); // permanent failures, Table 3
+        assert_eq!(p.normal_ci95().half_width, 0.0);
+        let w = p.wilson_ci(Confidence::P95);
+        assert!(w.hi > 0.0, "wilson upper bound must be positive");
+    }
+
+    #[test]
+    fn wilson_stays_in_unit_interval() {
+        let p = Proportion::new(1, 3);
+        let w = p.wilson_ci(Confidence::P99);
+        assert!(w.lo >= 0.0 && w.hi <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn more_successes_than_trials_panics() {
+        let _ = Proportion::new(3, 2);
+    }
+
+    #[test]
+    fn union_adds_disjoint_categories() {
+        let severe = Proportion::new(50, 9290);
+        let minor = Proportion::new(416, 9290);
+        let total = severe.union(&minor);
+        assert_eq!(total.successes(), 466);
+    }
+
+    #[test]
+    fn interval_excludes() {
+        let a = Proportion::new(50, 9290).normal_ci95(); // 0.54 % ± 0.15 %
+        // Algorithm II severe rate 0.17 % lies outside Algorithm I's interval.
+        assert!(a.excludes(0.0017));
+        assert!(!a.excludes(0.0054));
+    }
+
+    #[test]
+    fn display_formats_percentages() {
+        let s = Proportion::new(50, 9290).normal_ci95().to_string();
+        assert!(s.contains('%'), "got {s}");
+    }
+}

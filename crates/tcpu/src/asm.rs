@@ -1,0 +1,850 @@
+//! A two-pass assembler for the tcpu instruction set.
+//!
+//! Supported syntax (one statement per line, `;` or `#` start a comment):
+//!
+//! ```text
+//! .text                      ; switch to code (ROM) — the default
+//! .data 0x10000              ; switch to data at an absolute RAM address
+//! .equ  NAME, value          ; symbolic constant
+//! .word 1, 0x2C              ; data words
+//! .float 70.0, 0.0154        ; IEEE-754 single-precision data
+//! label:                     ; code or data label
+//!     li   r1, 0x10000       ; pseudo: lui+ori (always two words)
+//!     la   r1, label         ; pseudo: load a symbol's address
+//!     ld   r2, [r1+8]        ; memory operands: [reg], [reg+imm], [reg-imm]
+//!     beq  label             ; branches take label targets
+//! ```
+//!
+//! ## Control-flow signatures
+//!
+//! The assembler cooperates with the CPU's signature monitor: it
+//! automatically inserts a `sig` check **before every code label** (closing
+//! the fall-through block) and **after every `call`** (the return resets the
+//! run-time signature), then computes each check's expected value with the
+//! same [`signature_step`](crate::isa::signature_step) function the hardware
+//! uses. A bit-flip that diverts control flow into the middle of a block
+//! therefore fails the next check and raises CONTROL FLOW ERROR.
+
+use crate::isa::{self, Opcode};
+use crate::mem::{RAM_BASE, RAM_SIZE, ROM_BASE, ROM_SIZE, STACK_BASE, STACK_SIZE};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembled program ready for [`Machine::load_program`].
+///
+/// [`Machine::load_program`]: crate::machine::Machine::load_program
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// Instruction words, laid out from `code_base`.
+    pub code: Vec<u32>,
+    /// First code address.
+    pub code_base: u32,
+    /// Entry point (the `start` label when present, else `code_base`).
+    pub entry: u32,
+    /// Initialised data words as `(address, word)` pairs.
+    pub data: Vec<(u32, u32)>,
+    /// All symbols (labels and `.equ` constants) with their values.
+    pub symbols: HashMap<String, u32>,
+}
+
+impl Program {
+    /// Looks up a symbol's value.
+    #[must_use]
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Number of instruction words.
+    #[must_use]
+    pub fn code_len(&self) -> usize {
+        self.code.len()
+    }
+}
+
+/// An assembly error with its source line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// How a code word participates in the signature pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WordKind {
+    /// Ordinary instruction: accumulated into the running signature.
+    Plain,
+    /// A `sig` check: patched with the accumulated value, then resets it.
+    SigCheck,
+    /// A `sig` check right after a `call`: expects 0 (the `ret` reset the
+    /// run-time signature), then resets the static accumulator.
+    SigAfterCall,
+}
+
+#[derive(Debug, Clone)]
+enum Operand {
+    Reg(u8),
+    Imm(i64),
+    Float(f32),
+    Sym(String),
+    Mem { base: u8, disp: MemDisp },
+}
+
+#[derive(Debug, Clone)]
+enum MemDisp {
+    Imm(i64),
+    Sym(String, i64),
+}
+
+#[derive(Debug, Clone)]
+struct Stmt {
+    line: usize,
+    mnemonic: String,
+    operands: Vec<Operand>,
+}
+
+/// A code item placed during pass 1.
+#[derive(Debug, Clone)]
+enum Item {
+    Instr(Stmt),
+    AutoSig(WordKind),
+}
+
+/// Assembles `source` into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending source line for syntax
+/// errors, unknown mnemonics or symbols, out-of-range immediates or branch
+/// offsets, and section overflow.
+///
+/// # Example
+///
+/// ```
+/// use bera_tcpu::asm::assemble;
+/// let p = assemble(".text\nstart:\n nop\n yield\n").unwrap();
+/// assert!(p.code_len() >= 2);
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut code_items: Vec<Item> = Vec::new();
+    let mut symbols: HashMap<String, u32> = HashMap::new();
+    let mut data: Vec<(u32, u32)> = Vec::new();
+    let mut code_labels: Vec<(String, usize, usize)> = Vec::new(); // (name, item index, line)
+
+    #[derive(PartialEq)]
+    enum Section {
+        Text,
+        Data,
+    }
+    let mut section = Section::Text;
+    let mut data_addr: u32 = RAM_BASE;
+
+    // ---- Pass 1: parse, place data, record label positions ----
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let text = strip_comment(raw).trim().to_string();
+        if text.is_empty() {
+            continue;
+        }
+        let mut rest = text.as_str();
+
+        // Labels (possibly several) at the start of the line.
+        while let Some(colon) = find_label_colon(rest) {
+            let name = rest[..colon].trim();
+            if !is_ident(name) {
+                return err(line, format!("invalid label name `{name}`"));
+            }
+            match section {
+                Section::Text => {
+                    // Close the fall-through block with a signature check.
+                    code_items.push(Item::AutoSig(WordKind::SigCheck));
+                    code_labels.push((name.to_string(), code_items.len(), line));
+                }
+                Section::Data => {
+                    if symbols.insert(name.to_string(), data_addr).is_some() {
+                        return err(line, format!("duplicate symbol `{name}`"));
+                    }
+                }
+            }
+            rest = rest[colon + 1..].trim_start();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+
+        if let Some(directive) = rest.strip_prefix('.') {
+            let (name, args) = split_first_word(directive);
+            match name {
+                "text" => section = Section::Text,
+                "data" => {
+                    section = Section::Data;
+                    if !args.is_empty() {
+                        data_addr = parse_int(args.trim(), line)? as u32;
+                    }
+                }
+                "equ" => {
+                    let parts: Vec<&str> = args.splitn(2, ',').map(str::trim).collect();
+                    if parts.len() != 2 || !is_ident(parts[0]) {
+                        return err(line, ".equ NAME, value");
+                    }
+                    let value = parse_int(parts[1], line)? as u32;
+                    if symbols.insert(parts[0].to_string(), value).is_some() {
+                        return err(line, format!("duplicate symbol `{}`", parts[0]));
+                    }
+                }
+                "word" => {
+                    if section != Section::Data {
+                        return err(line, ".word only valid in .data");
+                    }
+                    for v in args.split(',') {
+                        let w = parse_int(v.trim(), line)? as u32;
+                        push_data(&mut data, &mut data_addr, w, line)?;
+                    }
+                }
+                "float" => {
+                    if section != Section::Data {
+                        return err(line, ".float only valid in .data");
+                    }
+                    for v in args.split(',') {
+                        let f: f32 = v
+                            .trim()
+                            .parse()
+                            .map_err(|_| AsmError {
+                                line,
+                                message: format!("invalid float `{}`", v.trim()),
+                            })?;
+                        push_data(&mut data, &mut data_addr, f.to_bits(), line)?;
+                    }
+                }
+                other => return err(line, format!("unknown directive `.{other}`")),
+            }
+            continue;
+        }
+
+        if section != Section::Text {
+            return err(line, "instructions only valid in .text");
+        }
+        let stmt = parse_stmt(rest, line)?;
+        let is_call = stmt.mnemonic == "call";
+        code_items.push(Item::Instr(stmt));
+        if is_call {
+            // The return resets the run-time signature: resynchronise.
+            code_items.push(Item::AutoSig(WordKind::SigAfterCall));
+        }
+    }
+
+    // ---- Layout: assign word addresses to items ----
+    let mut item_addr: Vec<u32> = Vec::with_capacity(code_items.len());
+    let mut pc = ROM_BASE;
+    for item in &code_items {
+        item_addr.push(pc);
+        let words = match item {
+            Item::Instr(s) => instr_words(&s.mnemonic),
+            Item::AutoSig(_) => 1,
+        };
+        pc += 4 * words as u32;
+        if pc > ROM_BASE + ROM_SIZE {
+            return err(0, "code does not fit in ROM");
+        }
+    }
+    let code_end = pc;
+
+    // Bind code labels (a label binds to the item *after* its auto-sig).
+    for (name, item_index, line) in code_labels {
+        let addr = if item_index < code_items.len() {
+            item_addr[item_index]
+        } else {
+            code_end
+        };
+        if symbols.insert(name.clone(), addr).is_some() {
+            return err(line, format!("duplicate symbol `{name}`"));
+        }
+    }
+
+    // ---- Pass 2: encode ----
+    let mut code: Vec<u32> = Vec::new();
+    let mut kinds: Vec<WordKind> = Vec::new();
+    for (item, &addr) in code_items.iter().zip(item_addr.iter()) {
+        match item {
+            Item::AutoSig(kind) => {
+                code.push(isa::encode_i(Opcode::Sig, 0, 0, 0));
+                kinds.push(*kind);
+            }
+            Item::Instr(stmt) => {
+                encode_stmt(stmt, addr, &symbols, &mut code, &mut kinds)?;
+            }
+        }
+    }
+
+    // ---- Signature pass: patch `sig` immediates ----
+    let mut acc: u16 = 0;
+    for (word, kind) in code.iter_mut().zip(kinds.iter()) {
+        match kind {
+            WordKind::Plain => acc = isa::signature_step(acc, *word),
+            WordKind::SigCheck => {
+                *word = isa::encode_i(Opcode::Sig, 0, 0, acc as i32);
+                acc = 0;
+            }
+            WordKind::SigAfterCall => {
+                *word = isa::encode_i(Opcode::Sig, 0, 0, 0);
+                acc = 0;
+            }
+        }
+    }
+
+    let entry = symbols.get("start").copied().unwrap_or(ROM_BASE);
+    Ok(Program {
+        code,
+        code_base: ROM_BASE,
+        entry,
+        data,
+        symbols,
+    })
+}
+
+fn push_data(
+    data: &mut Vec<(u32, u32)>,
+    addr: &mut u32,
+    word: u32,
+    line: usize,
+) -> Result<(), AsmError> {
+    let a = *addr;
+    let in_ram = (RAM_BASE..RAM_BASE + RAM_SIZE).contains(&a)
+        || (STACK_BASE..STACK_BASE + STACK_SIZE).contains(&a);
+    if !in_ram || !a.is_multiple_of(4) {
+        return err(line, format!("data address {a:#x} invalid"));
+    }
+    data.push((a, word));
+    *addr += 4;
+    Ok(())
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find([';', '#']) {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Finds the colon terminating a leading label, if any.
+fn find_label_colon(s: &str) -> Option<usize> {
+    let colon = s.find(':')?;
+    let head = &s[..colon];
+    (is_ident(head.trim()) && !head.trim().is_empty()).then_some(colon)
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn split_first_word(s: &str) -> (&str, &str) {
+    match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], &s[i..]),
+        None => (s, ""),
+    }
+}
+
+fn parse_int(s: &str, line: usize) -> Result<i64, AsmError> {
+    let t = s.trim();
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        t.parse::<i64>()
+    };
+    match v {
+        Ok(v) => Ok(if neg { -v } else { v }),
+        Err(_) => err(line, format!("invalid integer `{s}`")),
+    }
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<u8, AsmError> {
+    let t = s.trim().to_ascii_lowercase();
+    let t = match t.as_str() {
+        "sp" => return Ok(isa::REG_SP),
+        "lr" => return Ok(isa::REG_LR),
+        _ => t,
+    };
+    if let Some(n) = t.strip_prefix('r') {
+        if let Ok(i) = n.parse::<u8>() {
+            if i < 16 {
+                return Ok(i);
+            }
+        }
+    }
+    err(line, format!("invalid register `{s}`"))
+}
+
+fn parse_operand(s: &str, line: usize) -> Result<Operand, AsmError> {
+    let t = s.trim();
+    if t.starts_with('[') {
+        if !t.ends_with(']') {
+            return err(line, format!("unterminated memory operand `{t}`"));
+        }
+        let inner = &t[1..t.len() - 1];
+        let (base_str, disp) = match inner.find(['+', '-']) {
+            None => (inner, MemDisp::Imm(0)),
+            Some(i) => {
+                let sign = if inner.as_bytes()[i] == b'-' { -1 } else { 1 };
+                let rest = inner[i + 1..].trim();
+                let disp = if rest.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_') {
+                    MemDisp::Sym(rest.to_string(), sign)
+                } else {
+                    MemDisp::Imm(sign * parse_int(rest, line)?)
+                };
+                (&inner[..i], disp)
+            }
+        };
+        return Ok(Operand::Mem {
+            base: parse_reg(base_str, line)?,
+            disp,
+        });
+    }
+    if t.eq_ignore_ascii_case("sp") || t.eq_ignore_ascii_case("lr") {
+        return Ok(Operand::Reg(parse_reg(t, line)?));
+    }
+    let lower = t.to_ascii_lowercase();
+    if lower.starts_with('r') && lower[1..].chars().all(|c| c.is_ascii_digit()) && lower.len() <= 3
+    {
+        return Ok(Operand::Reg(parse_reg(t, line)?));
+    }
+    if t.contains('.') && !t.starts_with("0x") && !t.starts_with("0X") {
+        if let Ok(f) = t.parse::<f32>() {
+            return Ok(Operand::Float(f));
+        }
+    }
+    if t.starts_with('-') || t.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return Ok(Operand::Imm(parse_int(t, line)?));
+    }
+    if is_ident(t) {
+        return Ok(Operand::Sym(t.to_string()));
+    }
+    err(line, format!("invalid operand `{t}`"))
+}
+
+fn parse_stmt(s: &str, line: usize) -> Result<Stmt, AsmError> {
+    let (mn, rest) = split_first_word(s);
+    let mnemonic = mn.to_ascii_lowercase();
+    let mut operands = Vec::new();
+    let rest = rest.trim();
+    if !rest.is_empty() {
+        for part in rest.split(',') {
+            operands.push(parse_operand(part, line)?);
+        }
+    }
+    Ok(Stmt {
+        line,
+        mnemonic,
+        operands,
+    })
+}
+
+/// Number of machine words a mnemonic expands to.
+fn instr_words(mnemonic: &str) -> usize {
+    match mnemonic {
+        "li" | "la" | "lif" => 2,
+        _ => 1,
+    }
+}
+
+fn resolve(sym: &str, symbols: &HashMap<String, u32>, line: usize) -> Result<u32, AsmError> {
+    symbols
+        .get(sym)
+        .copied()
+        .ok_or_else(|| AsmError {
+            line,
+            message: format!("undefined symbol `{sym}`"),
+        })
+}
+
+#[allow(clippy::too_many_lines)]
+fn encode_stmt(
+    stmt: &Stmt,
+    addr: u32,
+    symbols: &HashMap<String, u32>,
+    code: &mut Vec<u32>,
+    kinds: &mut Vec<WordKind>,
+) -> Result<(), AsmError> {
+    let line = stmt.line;
+    let ops = &stmt.operands;
+
+    let reg = |i: usize| -> Result<u8, AsmError> {
+        match ops.get(i) {
+            Some(Operand::Reg(r)) => Ok(*r),
+            _ => err(line, format!("operand {} must be a register", i + 1)),
+        }
+    };
+    let value = |i: usize| -> Result<i64, AsmError> {
+        match ops.get(i) {
+            Some(Operand::Imm(v)) => Ok(*v),
+            Some(Operand::Sym(s)) => Ok(resolve(s, symbols, line)? as i64),
+            _ => err(line, format!("operand {} must be a value", i + 1)),
+        }
+    };
+    let mem = |i: usize| -> Result<(u8, i64), AsmError> {
+        match ops.get(i) {
+            Some(Operand::Mem { base, disp }) => {
+                let d = match disp {
+                    MemDisp::Imm(v) => *v,
+                    MemDisp::Sym(s, sign) => sign * resolve(s, symbols, line)? as i64,
+                };
+                Ok((*base, d))
+            }
+            _ => err(line, format!("operand {} must be a memory operand", i + 1)),
+        }
+    };
+    let imm16s = |v: i64| -> Result<i32, AsmError> {
+        if (-32768..=32767).contains(&v) {
+            Ok(v as i32)
+        } else {
+            err(line, format!("immediate {v} out of signed 16-bit range"))
+        }
+    };
+    let imm16u = |v: i64| -> Result<i32, AsmError> {
+        if (0..=0xFFFF).contains(&v) {
+            Ok(v as i32)
+        } else {
+            err(line, format!("immediate {v} out of unsigned 16-bit range"))
+        }
+    };
+    let expect = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            err(
+                line,
+                format!("`{}` takes {} operand(s), got {}", stmt.mnemonic, n, ops.len()),
+            )
+        }
+    };
+
+    let mut push = |word: u32| {
+        code.push(word);
+        kinds.push(WordKind::Plain);
+    };
+
+    use Opcode::*;
+    match stmt.mnemonic.as_str() {
+        "nop" => {
+            expect(0)?;
+            push(isa::encode_r(Nop, 0, 0, 0));
+        }
+        "halt" => {
+            expect(0)?;
+            push(isa::encode_r(Halt, 0, 0, 0));
+        }
+        "yield" => {
+            expect(0)?;
+            push(isa::encode_r(Yield, 0, 0, 0));
+        }
+        "ret" => {
+            expect(0)?;
+            push(isa::encode_r(Ret, 0, 0, 0));
+        }
+        "sig" => {
+            expect(0)?;
+            code.push(isa::encode_i(Sig, 0, 0, 0));
+            kinds.push(WordKind::SigCheck);
+        }
+        "lif" => {
+            expect(2)?;
+            let rd = reg(0)?;
+            let v = match ops.get(1) {
+                Some(Operand::Float(f)) => f.to_bits(),
+                Some(Operand::Imm(i)) => (*i as f64 as f32).to_bits(),
+                _ => return err(line, "lif takes a float immediate"),
+            };
+            push(isa::encode_i(Lui, rd, 0, ((v >> 16) & 0xFFFF) as i32));
+            push(isa::encode_i(Ori, rd, rd, (v & 0xFFFF) as i32));
+        }
+        "li" | "la" => {
+            expect(2)?;
+            let rd = reg(0)?;
+            let v = value(1)? as u32;
+            push(isa::encode_i(Lui, rd, 0, ((v >> 16) & 0xFFFF) as i32));
+            push(isa::encode_i(Ori, rd, rd, (v & 0xFFFF) as i32));
+        }
+        "lui" => {
+            expect(2)?;
+            push(isa::encode_i(Lui, reg(0)?, 0, imm16u(value(1)?)?));
+        }
+        "ori" => {
+            expect(3)?;
+            push(isa::encode_i(Ori, reg(0)?, reg(1)?, imm16u(value(2)?)?));
+        }
+        "addi" => {
+            expect(3)?;
+            push(isa::encode_i(Addi, reg(0)?, reg(1)?, imm16s(value(2)?)?));
+        }
+        "ld" | "st" => {
+            expect(2)?;
+            let r = reg(0)?;
+            let (base, disp) = mem(1)?;
+            let op = if stmt.mnemonic == "ld" { Ld } else { St };
+            push(isa::encode_i(op, r, base, imm16s(disp)?));
+        }
+        "add" | "sub" | "mul" | "div" | "and" | "or" | "xor" | "shl" | "shr" | "fadd"
+        | "fsub" | "fmul" | "fdiv" | "chk" => {
+            expect(3)?;
+            let op = match stmt.mnemonic.as_str() {
+                "add" => Add,
+                "sub" => Sub,
+                "mul" => Mul,
+                "div" => Div,
+                "and" => And,
+                "or" => Or,
+                "xor" => Xor,
+                "shl" => Shl,
+                "shr" => Shr,
+                "fadd" => Fadd,
+                "fsub" => Fsub,
+                "fmul" => Fmul,
+                "fdiv" => Fdiv,
+                _ => Chk,
+            };
+            push(isa::encode_r(op, reg(0)?, reg(1)?, reg(2)?));
+        }
+        "fcmp" | "cmp" => {
+            expect(2)?;
+            let op = if stmt.mnemonic == "fcmp" { Fcmp } else { Cmp };
+            push(isa::encode_r(op, 0, reg(0)?, reg(1)?));
+        }
+        "mov" | "itof" | "ftoi" => {
+            expect(2)?;
+            let op = match stmt.mnemonic.as_str() {
+                "mov" => Mov,
+                "itof" => Itof,
+                _ => Ftoi,
+            };
+            push(isa::encode_r(op, reg(0)?, reg(1)?, 0));
+        }
+        "beq" | "bne" | "blt" | "bge" | "bgt" | "ble" => {
+            expect(1)?;
+            let target = value(0)? as u32;
+            let off = (i64::from(target) - i64::from(addr) - 4) / 4;
+            if (i64::from(target) - i64::from(addr) - 4) % 4 != 0 {
+                return err(line, "branch target misaligned");
+            }
+            let off = imm16s(off)?;
+            let op = match stmt.mnemonic.as_str() {
+                "beq" => Beq,
+                "bne" => Bne,
+                "blt" => Blt,
+                "bge" => Bge,
+                "bgt" => Bgt,
+                _ => Ble,
+            };
+            push(isa::encode_i(op, 0, 0, off));
+        }
+        "jmp" | "call" => {
+            expect(1)?;
+            let target = value(0)? as u32;
+            if !target.is_multiple_of(4) || target / 4 > 0x3F_FFFF {
+                return err(line, format!("jump target {target:#x} unencodable"));
+            }
+            let op = if stmt.mnemonic == "jmp" { Jmp } else { Call };
+            push(isa::encode_j(op, target / 4));
+        }
+        "in" | "out" => {
+            expect(2)?;
+            let op = if stmt.mnemonic == "in" { In } else { Out };
+            push(isa::encode_i(op, reg(0)?, 0, imm16u(value(1)?)?));
+        }
+        "setsb" => {
+            expect(2)?;
+            push(isa::encode_r(Setsb, 0, reg(0)?, reg(1)?));
+        }
+        other => return err(line, format!("unknown mnemonic `{other}`")),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::decode;
+
+    #[test]
+    fn empty_program() {
+        let p = assemble("").unwrap();
+        assert_eq!(p.code_len(), 0);
+        assert_eq!(p.entry, ROM_BASE);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let p = assemble("; nothing\n\n   # also nothing\n.text\n nop ; trailing\n").unwrap();
+        assert_eq!(p.code_len(), 1);
+    }
+
+    #[test]
+    fn li_expands_to_two_words() {
+        let p = assemble(".text\n li r3, 0x12345678\n").unwrap();
+        assert_eq!(p.code_len(), 2);
+        let d0 = decode(p.code[0]).unwrap();
+        let d1 = decode(p.code[1]).unwrap();
+        assert_eq!(d0.op, Opcode::Lui);
+        assert_eq!(d0.uimm16, 0x1234);
+        assert_eq!(d1.op, Opcode::Ori);
+        assert_eq!(d1.uimm16, 0x5678);
+    }
+
+    #[test]
+    fn start_label_sets_entry() {
+        let p = assemble(".text\n nop\nstart:\n yield\n").unwrap();
+        // Entry skips the nop and the auto-sig before `start`.
+        assert_eq!(p.entry, ROM_BASE + 8);
+    }
+
+    #[test]
+    fn labels_get_auto_sig() {
+        let p = assemble(".text\nstart:\n nop\nloop:\n jmp loop\n").unwrap();
+        // sig, nop, sig, jmp
+        assert_eq!(p.code_len(), 4);
+        assert_eq!(decode(p.code[0]).unwrap().op, Opcode::Sig);
+        assert_eq!(decode(p.code[2]).unwrap().op, Opcode::Sig);
+    }
+
+    #[test]
+    fn signature_values_match_accumulation() {
+        let p = assemble(".text\nstart:\n nop\n nop\nnext:\n yield\n").unwrap();
+        // Words: sig(0), nop, nop, sig(acc over both nops), yield.
+        let d = decode(p.code[0]).unwrap();
+        assert_eq!(d.uimm16, 0, "first check expects a fresh signature");
+        let nop = p.code[1];
+        let expected = isa::signature_step(isa::signature_step(0, nop), nop);
+        let d3 = decode(p.code[3]).unwrap();
+        assert_eq!(d3.uimm16, u32::from(expected));
+    }
+
+    #[test]
+    fn data_section_words_and_floats() {
+        let p = assemble(".data 0x10010\nk: .float 70.0\nv: .word 5, 6\n").unwrap();
+        assert_eq!(p.symbol("k"), Some(0x10010));
+        assert_eq!(p.symbol("v"), Some(0x10014));
+        assert_eq!(p.data, vec![
+            (0x10010, 70.0f32.to_bits()),
+            (0x10014, 5),
+            (0x10018, 6)
+        ]);
+    }
+
+    #[test]
+    fn equ_constants_resolve() {
+        let p = assemble(".equ BASE, 0x10000\n.text\n li r1, BASE\n").unwrap();
+        let d1 = decode(p.code[1]).unwrap();
+        assert_eq!(d1.uimm16, 0); // low half of 0x10000
+        let d0 = decode(p.code[0]).unwrap();
+        assert_eq!(d0.uimm16, 1); // high half
+    }
+
+    #[test]
+    fn memory_operand_symbolic_offset() {
+        let src = ".equ OFF, 8\n.text\n ld r2, [r1+OFF]\n st r2, [r1-4]\n";
+        let p = assemble(src).unwrap();
+        let d0 = decode(p.code[0]).unwrap();
+        assert_eq!((d0.op, d0.imm16), (Opcode::Ld, 8));
+        let d1 = decode(p.code[1]).unwrap();
+        assert_eq!((d1.op, d1.imm16), (Opcode::St, -4));
+    }
+
+    #[test]
+    fn branch_offsets_resolve_both_directions() {
+        let src = ".text\nstart:\n nop\n beq start\n bne fwd\n nop\nfwd:\n yield\n";
+        let p = assemble(src).unwrap();
+        // Layout: sig start nop beq bne nop sig yield
+        let beq = decode(p.code[2]).unwrap();
+        assert_eq!(beq.op, Opcode::Beq);
+        // start = word 1; beq at word 2 → offset = 1 - (2+1) = -2.
+        assert_eq!(beq.imm16, -2);
+        let bne = decode(p.code[3]).unwrap();
+        // fwd label binds after auto-sig at word 6... the label points at
+        // word 6 (sig) + 1 = 7? fwd = address of item after its auto-sig.
+        assert_eq!(bne.op, Opcode::Bne);
+        assert!(bne.imm16 > 0);
+    }
+
+    #[test]
+    fn call_inserts_resync_sig() {
+        let p = assemble(".text\nstart:\n call fn\n yield\nfn:\n ret\n").unwrap();
+        // Words: sig, call, sig(aftercall), yield, sig, ret.
+        assert_eq!(decode(p.code[2]).unwrap().op, Opcode::Sig);
+        assert_eq!(decode(p.code[2]).unwrap().uimm16, 0);
+    }
+
+    #[test]
+    fn error_unknown_mnemonic() {
+        let e = assemble(".text\n frobnicate r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn error_undefined_symbol() {
+        let e = assemble(".text\n jmp nowhere\n").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn error_bad_register() {
+        let e = assemble(".text\n mov r16, r1\n").unwrap_err();
+        assert!(e.message.contains("register") || e.message.contains("r16"));
+    }
+
+    #[test]
+    fn error_immediate_out_of_range() {
+        let e = assemble(".text\n addi r1, r1, 40000\n").unwrap_err();
+        assert!(e.message.contains("range"));
+    }
+
+    #[test]
+    fn error_duplicate_label() {
+        let e = assemble(".text\na:\n nop\na:\n nop\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn error_data_outside_ram() {
+        let e = assemble(".data 0x5000\n .word 1\n").unwrap_err();
+        assert!(e.message.contains("invalid"));
+    }
+
+    #[test]
+    fn sp_and_lr_aliases() {
+        let p = assemble(".text\n mov sp, lr\n").unwrap();
+        let d = decode(p.code[0]).unwrap();
+        assert_eq!(d.rd, isa::REG_SP);
+        assert_eq!(d.ra, isa::REG_LR);
+    }
+
+    #[test]
+    fn explicit_sig_statement() {
+        let p = assemble(".text\n nop\n sig\n nop\n").unwrap();
+        let d = decode(p.code[1]).unwrap();
+        assert_eq!(d.op, Opcode::Sig);
+        let nop = p.code[0];
+        assert_eq!(d.uimm16, u32::from(isa::signature_step(0, nop)));
+    }
+}

@@ -1,0 +1,130 @@
+//! The hardware error detection mechanisms (EDMs) of Table 1.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the processor's hardware error detection mechanisms.
+///
+/// The variants mirror Table 1 of the paper. `MasterSlaveComparator` exists
+/// for completeness but, as in the paper, is not used in this study (the
+/// target runs a single CPU).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ErrorMechanism {
+    /// Bus time-out on external memory access.
+    BusError,
+    /// Access to non-existing or protected memory.
+    AddressError,
+    /// Attempt to execute a privileged instruction in user mode, or an
+    /// illegal instruction.
+    InstructionError,
+    /// Attempt to jump, call or return to a target address outside the
+    /// memory address space.
+    JumpError,
+    /// A run-time assertion (constraint check instruction) failed.
+    ConstraintError,
+    /// Attempt to follow a null pointer.
+    AccessCheck,
+    /// Attempt to access memory outside the task's stack in user mode.
+    StorageError,
+    /// Overflow of signed integer or float arithmetic operations.
+    OverflowCheck,
+    /// Underflow or denormalised result of float arithmetic operations.
+    UnderflowCheck,
+    /// Divide by zero (integer) or by ±0 (float).
+    DivisionCheck,
+    /// Illegal operation for float arithmetic involving 0 and ∞ (NaNs,
+    /// ∞−∞, 0·∞, …).
+    IllegalOperation,
+    /// Uncorrectable EDAC error in data read from memory.
+    DataError,
+    /// A control-flow error (wrong sequence of instructions) occurred —
+    /// detected by the signature-monitoring logic.
+    ControlFlowError,
+    /// Mismatch between master and slave processors (not used in this
+    /// study).
+    MasterSlaveComparator,
+}
+
+impl ErrorMechanism {
+    /// All mechanisms, in the order Table 1 lists them.
+    pub const ALL: [ErrorMechanism; 14] = [
+        ErrorMechanism::BusError,
+        ErrorMechanism::AddressError,
+        ErrorMechanism::InstructionError,
+        ErrorMechanism::JumpError,
+        ErrorMechanism::ConstraintError,
+        ErrorMechanism::AccessCheck,
+        ErrorMechanism::StorageError,
+        ErrorMechanism::OverflowCheck,
+        ErrorMechanism::UnderflowCheck,
+        ErrorMechanism::DivisionCheck,
+        ErrorMechanism::IllegalOperation,
+        ErrorMechanism::DataError,
+        ErrorMechanism::ControlFlowError,
+        ErrorMechanism::MasterSlaveComparator,
+    ];
+
+    /// The human-readable name used in the paper's tables.
+    #[must_use]
+    pub fn table_name(&self) -> &'static str {
+        match self {
+            ErrorMechanism::BusError => "Bus Error",
+            ErrorMechanism::AddressError => "Address Error",
+            ErrorMechanism::InstructionError => "Instruction Error",
+            ErrorMechanism::JumpError => "Jump Error",
+            ErrorMechanism::ConstraintError => "Constraint Check",
+            ErrorMechanism::AccessCheck => "Access Check",
+            ErrorMechanism::StorageError => "Storage Error",
+            ErrorMechanism::OverflowCheck => "Overflow",
+            ErrorMechanism::UnderflowCheck => "Underflow",
+            ErrorMechanism::DivisionCheck => "Division Check",
+            ErrorMechanism::IllegalOperation => "Illegal Operation",
+            ErrorMechanism::DataError => "Data Error",
+            ErrorMechanism::ControlFlowError => "Control Flow Errors",
+            ErrorMechanism::MasterSlaveComparator => "Master/Slave Comparator Error",
+        }
+    }
+}
+
+impl fmt::Display for ErrorMechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.table_name())
+    }
+}
+
+/// A detected error: which mechanism fired and at which dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trap {
+    /// The mechanism that detected the error.
+    pub mechanism: ErrorMechanism,
+    /// The dynamic instruction index at which the trap was raised.
+    pub at_instruction: u64,
+    /// The program counter of the trapping instruction.
+    pub pc: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_mechanisms_enumerated() {
+        assert_eq!(ErrorMechanism::ALL.len(), 14, "Table 1 has 14 rows");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = ErrorMechanism::ALL.iter().map(|m| m.table_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 14);
+    }
+
+    #[test]
+    fn display_matches_table_name() {
+        assert_eq!(
+            ErrorMechanism::AddressError.to_string(),
+            "Address Error"
+        );
+    }
+}

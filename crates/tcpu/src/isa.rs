@@ -1,0 +1,432 @@
+//! The instruction set architecture: opcodes, instruction encoding and
+//! decoding, and a disassembler.
+//!
+//! Instructions are fixed 32-bit words:
+//!
+//! ```text
+//! R-type:  [31:26 op][25:22 rd][21:18 ra][17:14 rb][13:0  zero]
+//! I-type:  [31:26 op][25:22 rd][21:18 ra][17:16 zero][15:0 imm16]
+//! J-type:  [31:26 op][25:22 zero]               [21:0  imm22]
+//! ```
+//!
+//! Branch offsets (`imm16`) are signed word offsets relative to the
+//! instruction *after* the branch. Jump/call targets (`imm22`) are absolute
+//! word addresses (`byte address / 4`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of general-purpose registers.
+pub const NUM_REGS: usize = 16;
+
+/// Conventional stack-pointer register.
+pub const REG_SP: u8 = 14;
+/// Conventional link register (written by `call`, read by `ret`).
+pub const REG_LR: u8 = 15;
+
+/// Operation codes. Values are the 6-bit field in bits 31:26.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+#[allow(missing_docs)] // variant meanings are given in the table below
+pub enum Opcode {
+    /// No operation.
+    Nop = 0x00,
+    /// Stop the processor — privileged.
+    Halt = 0x01,
+    /// End of one workload iteration: pause and exchange I/O with the host.
+    Yield = 0x02,
+    /// Control-flow signature check: compare the signature register with
+    /// `imm16`, trap on mismatch, reset on match.
+    Sig = 0x03,
+    /// `rd = imm16 << 16`.
+    Lui = 0x04,
+    /// `rd = ra | zext(imm16)`.
+    Ori = 0x05,
+    /// `rd = ra + sext(imm16)` with signed-overflow check.
+    Addi = 0x06,
+    /// `rd = mem[ra + sext(imm16)]` (32-bit, through the data cache).
+    Ld = 0x07,
+    /// `mem[ra + sext(imm16)] = rd` (32-bit, through the data cache).
+    St = 0x08,
+    /// Integer add with signed-overflow check.
+    Add = 0x09,
+    /// Integer subtract with signed-overflow check.
+    Sub = 0x0A,
+    /// Integer multiply with signed-overflow check.
+    Mul = 0x0B,
+    /// Integer divide; traps on divide-by-zero.
+    Div = 0x0C,
+    /// Bitwise and.
+    And = 0x0D,
+    /// Bitwise or.
+    Or = 0x0E,
+    /// Bitwise xor.
+    Xor = 0x0F,
+    /// Logical shift left by `rb & 31`.
+    Shl = 0x10,
+    /// Logical shift right by `rb & 31`.
+    Shr = 0x11,
+    /// IEEE-754 single add (`rd = ra + rb`), with float EDM checks.
+    Fadd = 0x12,
+    /// IEEE-754 single subtract.
+    Fsub = 0x13,
+    /// IEEE-754 single multiply.
+    Fmul = 0x14,
+    /// IEEE-754 single divide; traps on division by ±0.
+    Fdiv = 0x15,
+    /// Float compare `ra ? rb`: sets the EQ/LT flags; traps on NaN input.
+    Fcmp = 0x16,
+    /// Signed integer compare `ra ? rb`: sets the EQ/LT flags.
+    Cmp = 0x17,
+    /// Branch if EQ.
+    Beq = 0x18,
+    /// Branch if not EQ.
+    Bne = 0x19,
+    /// Branch if LT.
+    Blt = 0x1A,
+    /// Branch if not LT.
+    Bge = 0x1B,
+    /// Branch if neither LT nor EQ.
+    Bgt = 0x1C,
+    /// Branch if LT or EQ.
+    Ble = 0x1D,
+    /// Unconditional jump to an absolute word address.
+    Jmp = 0x1E,
+    /// Call: `r15 = return address`, jump to absolute word address.
+    Call = 0x1F,
+    /// Return: jump to `r15`.
+    Ret = 0x20,
+    /// Read input port `imm16` into `rd`.
+    In = 0x21,
+    /// Write `rd` to output port `imm16`.
+    Out = 0x22,
+    /// Constraint check: trap unless `ra ≤ rd ≤ rb` (float compare) — the
+    /// run-time assertion instruction behind Thor's CONSTRAINT ERROR.
+    Chk = 0x23,
+    /// Convert signed integer `ra` to float.
+    Itof = 0x24,
+    /// Convert float `ra` to signed integer (truncating); overflow traps.
+    Ftoi = 0x25,
+    /// Register move `rd = ra`.
+    Mov = 0x26,
+    /// Set stack bounds from `ra`/`rb` — privileged.
+    Setsb = 0x27,
+}
+
+impl Opcode {
+    /// Decodes the 6-bit opcode field; `None` for illegal encodings.
+    #[must_use]
+    pub fn from_bits(bits: u32) -> Option<Opcode> {
+        use Opcode::*;
+        Some(match bits {
+            0x00 => Nop,
+            0x01 => Halt,
+            0x02 => Yield,
+            0x03 => Sig,
+            0x04 => Lui,
+            0x05 => Ori,
+            0x06 => Addi,
+            0x07 => Ld,
+            0x08 => St,
+            0x09 => Add,
+            0x0A => Sub,
+            0x0B => Mul,
+            0x0C => Div,
+            0x0D => And,
+            0x0E => Or,
+            0x0F => Xor,
+            0x10 => Shl,
+            0x11 => Shr,
+            0x12 => Fadd,
+            0x13 => Fsub,
+            0x14 => Fmul,
+            0x15 => Fdiv,
+            0x16 => Fcmp,
+            0x17 => Cmp,
+            0x18 => Beq,
+            0x19 => Bne,
+            0x1A => Blt,
+            0x1B => Bge,
+            0x1C => Bgt,
+            0x1D => Ble,
+            0x1E => Jmp,
+            0x1F => Call,
+            0x20 => Ret,
+            0x21 => In,
+            0x22 => Out,
+            0x23 => Chk,
+            0x24 => Itof,
+            0x25 => Ftoi,
+            0x26 => Mov,
+            0x27 => Setsb,
+            _ => return None,
+        })
+    }
+
+    /// `true` for instructions that may only execute in supervisor mode.
+    /// Executing them in user mode raises INSTRUCTION ERROR.
+    #[must_use]
+    pub fn is_privileged(&self) -> bool {
+        matches!(self, Opcode::Halt | Opcode::Setsb)
+    }
+
+    /// `true` for conditional branches.
+    #[must_use]
+    pub fn is_branch(&self) -> bool {
+        matches!(
+            self,
+            Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge | Opcode::Bgt | Opcode::Ble
+        )
+    }
+
+    /// The assembler mnemonic.
+    #[must_use]
+    pub fn mnemonic(&self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Nop => "nop",
+            Halt => "halt",
+            Yield => "yield",
+            Sig => "sig",
+            Lui => "lui",
+            Ori => "ori",
+            Addi => "addi",
+            Ld => "ld",
+            St => "st",
+            Add => "add",
+            Sub => "sub",
+            Mul => "mul",
+            Div => "div",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Shl => "shl",
+            Shr => "shr",
+            Fadd => "fadd",
+            Fsub => "fsub",
+            Fmul => "fmul",
+            Fdiv => "fdiv",
+            Fcmp => "fcmp",
+            Cmp => "cmp",
+            Beq => "beq",
+            Bne => "bne",
+            Blt => "blt",
+            Bge => "bge",
+            Bgt => "bgt",
+            Ble => "ble",
+            Jmp => "jmp",
+            Call => "call",
+            Ret => "ret",
+            In => "in",
+            Out => "out",
+            Chk => "chk",
+            Itof => "itof",
+            Ftoi => "ftoi",
+            Mov => "mov",
+            Setsb => "setsb",
+        }
+    }
+}
+
+/// A decoded instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decoded {
+    /// The operation.
+    pub op: Opcode,
+    /// Destination register (or source, for `st`/`out`).
+    pub rd: u8,
+    /// First source register.
+    pub ra: u8,
+    /// Second source register.
+    pub rb: u8,
+    /// Sign-extended 16-bit immediate.
+    pub imm16: i32,
+    /// Zero-extended 16-bit immediate (ports, `lui`, `ori`, `sig`).
+    pub uimm16: u32,
+    /// 22-bit jump target (word address).
+    pub imm22: u32,
+}
+
+/// Extracts the opcode field without validating it.
+#[must_use]
+pub fn opcode_bits(word: u32) -> u32 {
+    word >> 26
+}
+
+/// Decodes an instruction word. Returns `None` when the opcode field is
+/// illegal — the caller raises INSTRUCTION ERROR.
+#[must_use]
+pub fn decode(word: u32) -> Option<Decoded> {
+    let op = Opcode::from_bits(opcode_bits(word))?;
+    let rd = ((word >> 22) & 0xF) as u8;
+    let ra = ((word >> 18) & 0xF) as u8;
+    let rb = ((word >> 14) & 0xF) as u8;
+    let uimm16 = word & 0xFFFF;
+    let imm16 = (uimm16 as u16) as i16 as i32;
+    let imm22 = word & 0x3F_FFFF;
+    Some(Decoded {
+        op,
+        rd,
+        ra,
+        rb,
+        imm16,
+        uimm16,
+        imm22,
+    })
+}
+
+/// Encodes an R-type instruction.
+#[must_use]
+pub fn encode_r(op: Opcode, rd: u8, ra: u8, rb: u8) -> u32 {
+    debug_assert!(rd < 16 && ra < 16 && rb < 16);
+    ((op as u32) << 26) | ((rd as u32) << 22) | ((ra as u32) << 18) | ((rb as u32) << 14)
+}
+
+/// Encodes an I-type instruction (16-bit immediate taken modulo 2¹⁶).
+#[must_use]
+pub fn encode_i(op: Opcode, rd: u8, ra: u8, imm: i32) -> u32 {
+    debug_assert!(rd < 16 && ra < 16);
+    ((op as u32) << 26) | ((rd as u32) << 22) | ((ra as u32) << 18) | ((imm as u32) & 0xFFFF)
+}
+
+/// Encodes a J-type instruction (`target` is a word address).
+#[must_use]
+pub fn encode_j(op: Opcode, target_word: u32) -> u32 {
+    debug_assert!(target_word <= 0x3F_FFFF);
+    ((op as u32) << 26) | (target_word & 0x3F_FFFF)
+}
+
+/// One step of the control-flow signature accumulator.
+///
+/// The signature monitor hashes every executed instruction word into a
+/// 16-bit running signature; `sig` instructions compare it against the
+/// value the assembler computed for the same straight-line block and reset
+/// it. The same function is used by the hardware model
+/// ([`crate::machine::Machine`]) and by the assembler's signature pass, so
+/// the two stay consistent by construction.
+#[must_use]
+pub fn signature_step(sig: u16, word: u32) -> u16 {
+    sig.rotate_left(3) ^ (word as u16) ^ ((word >> 16) as u16)
+}
+
+/// Disassembles one instruction word for diagnostics.
+#[must_use]
+pub fn disassemble(word: u32) -> String {
+    let Some(d) = decode(word) else {
+        return format!(".illegal 0x{word:08X}");
+    };
+    use Opcode::*;
+    match d.op {
+        Nop | Halt | Yield | Ret => d.op.mnemonic().to_string(),
+        Sig => format!("sig 0x{:04X}", d.uimm16),
+        Lui => format!("lui r{}, 0x{:04X}", d.rd, d.uimm16),
+        Ori => format!("ori r{}, r{}, 0x{:04X}", d.rd, d.ra, d.uimm16),
+        Addi => format!("addi r{}, r{}, {}", d.rd, d.ra, d.imm16),
+        Ld => format!("ld r{}, [r{}{:+}]", d.rd, d.ra, d.imm16),
+        St => format!("st r{}, [r{}{:+}]", d.rd, d.ra, d.imm16),
+        Add | Sub | Mul | Div | And | Or | Xor | Shl | Shr | Fadd | Fsub | Fmul | Fdiv | Chk => {
+            format!("{} r{}, r{}, r{}", d.op.mnemonic(), d.rd, d.ra, d.rb)
+        }
+        Fcmp | Cmp | Setsb => format!("{} r{}, r{}", d.op.mnemonic(), d.ra, d.rb),
+        Beq | Bne | Blt | Bge | Bgt | Ble => format!("{} {:+}", d.op.mnemonic(), d.imm16),
+        Jmp | Call => format!("{} 0x{:08X}", d.op.mnemonic(), d.imm22 * 4),
+        In => format!("in r{}, {}", d.rd, d.uimm16),
+        Out => format!("out r{}, {}", d.rd, d.uimm16),
+        Itof | Ftoi | Mov => format!("{} r{}, r{}", d.op.mnemonic(), d.rd, d.ra),
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_r_type() {
+        let w = encode_r(Opcode::Fadd, 3, 4, 5);
+        let d = decode(w).unwrap();
+        assert_eq!(d.op, Opcode::Fadd);
+        assert_eq!((d.rd, d.ra, d.rb), (3, 4, 5));
+    }
+
+    #[test]
+    fn roundtrip_i_type_negative_imm() {
+        let w = encode_i(Opcode::Addi, 1, 2, -12);
+        let d = decode(w).unwrap();
+        assert_eq!(d.op, Opcode::Addi);
+        assert_eq!(d.imm16, -12);
+        assert_eq!((d.rd, d.ra), (1, 2));
+    }
+
+    #[test]
+    fn roundtrip_j_type() {
+        let w = encode_j(Opcode::Jmp, 0x1234);
+        let d = decode(w).unwrap();
+        assert_eq!(d.op, Opcode::Jmp);
+        assert_eq!(d.imm22, 0x1234);
+    }
+
+    #[test]
+    fn illegal_opcodes_rejected() {
+        for op in 0x28u32..0x40 {
+            assert!(decode(op << 26).is_none(), "opcode {op:#x} must be illegal");
+        }
+    }
+
+    #[test]
+    fn all_legal_opcodes_decode() {
+        for op in 0x00u32..=0x27 {
+            assert!(decode(op << 26).is_some(), "opcode {op:#x} must decode");
+        }
+    }
+
+    #[test]
+    fn privileged_set() {
+        assert!(Opcode::Halt.is_privileged());
+        assert!(Opcode::Setsb.is_privileged());
+        assert!(!Opcode::Yield.is_privileged());
+        assert!(!Opcode::Ld.is_privileged());
+    }
+
+    #[test]
+    fn branch_set() {
+        assert!(Opcode::Beq.is_branch());
+        assert!(Opcode::Ble.is_branch());
+        assert!(!Opcode::Jmp.is_branch());
+    }
+
+    #[test]
+    fn every_opcode_value_roundtrips_through_bits() {
+        use Opcode::*;
+        for op in [
+            Nop, Halt, Yield, Sig, Lui, Ori, Addi, Ld, St, Add, Sub, Mul, Div, And, Or, Xor,
+            Shl, Shr, Fadd, Fsub, Fmul, Fdiv, Fcmp, Cmp, Beq, Bne, Blt, Bge, Bgt, Ble, Jmp,
+            Call, Ret, In, Out, Chk, Itof, Ftoi, Mov, Setsb,
+        ] {
+            assert_eq!(Opcode::from_bits(op as u32), Some(op));
+        }
+    }
+
+    #[test]
+    fn disassembly_smoke() {
+        assert_eq!(disassemble(encode_r(Opcode::Add, 1, 2, 3)), "add r1, r2, r3");
+        assert_eq!(disassemble(encode_i(Opcode::Ld, 5, 1, 16)), "ld r5, [r1+16]");
+        assert_eq!(disassemble(encode_i(Opcode::Beq, 0, 0, -3)), "beq -3");
+        assert!(disassemble(0xFFFF_FFFF).starts_with(".illegal"));
+    }
+
+    #[test]
+    fn mnemonics_unique() {
+        let mut names: Vec<&str> = (0x00u32..=0x27)
+            .map(|b| Opcode::from_bits(b).unwrap().mnemonic())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 40);
+    }
+}

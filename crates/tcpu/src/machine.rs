@@ -1,0 +1,1348 @@
+//! The CPU core: registers, pipeline fetch latch, PSR, signature register,
+//! data cache, and every error detection mechanism of Table 1.
+//!
+//! # Execution model
+//!
+//! The simulator is behavioural, not cycle-accurate, but the *state* of the
+//! four-stage pipeline is modelled explicitly so scan-chain fault injection
+//! has an authentic surface:
+//!
+//! * the **fetch latch** holds the next instruction word (prefetched at the
+//!   end of the previous step), so a flip between two instructions corrupts
+//!   the instruction about to execute — exactly like a flip in Thor's IF/ID
+//!   pipeline register;
+//! * the **operand latch** and **result latch** hold the last consumed
+//!   operands and the last committed result (flips there are usually
+//!   overwritten or latent, as in the real pipeline);
+//! * the **store buffer**, **fill buffer** and **EDAC syndrome** model the
+//!   memory interface state.
+//!
+//! A trap (a detected error) freezes the machine: the experiment has
+//! terminated, as in GOOFI's termination condition.
+
+use crate::cache::{DataCache, LINE_BYTES};
+use crate::edm::{ErrorMechanism as Edm, Trap};
+use crate::isa::{self, Decoded, Opcode};
+use crate::mem::{self, Memory, Region};
+use serde::{Deserialize, Serialize};
+
+/// Number of host-writable input ports.
+pub const NUM_IN_PORTS: usize = 4;
+/// Number of host-readable output ports.
+pub const NUM_OUT_PORTS: usize = 4;
+
+/// Input port carrying the reference value `r`.
+pub const PORT_R: u16 = 0;
+/// Input port carrying the measured value `y`.
+pub const PORT_Y: u16 = 1;
+/// Output port carrying the actuator command `u_lim`.
+pub const PORT_U: u16 = 2;
+
+/// PSR flag bit: last compare was equal.
+pub const PSR_EQ: u8 = 0b01;
+/// PSR flag bit: last compare was less-than.
+pub const PSR_LT: u8 = 0b10;
+
+/// Default guarded stack window: the top 1 KiB of the stack segment.
+pub const DEFAULT_STACK_LO: u32 = mem::STACK_BASE + mem::STACK_SIZE - 0x400;
+/// One past the last valid stack address.
+pub const DEFAULT_STACK_HI: u32 = mem::STACK_BASE + mem::STACK_SIZE;
+
+/// The prefetched-instruction latch (IF/ID pipeline register).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub(crate) struct FetchLatch {
+    pub word: u32,
+    pub pc: u32,
+    pub valid: bool,
+}
+
+/// Last consumed operand pair (ID/EX pipeline register).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub(crate) struct OperandLatch {
+    pub a: u32,
+    pub b: u32,
+}
+
+/// Last committed result (EX/WB pipeline register).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub(crate) struct ResultLatch {
+    pub value: u32,
+    pub rd: u8,
+    pub we: bool,
+}
+
+/// Last store accepted by the memory interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub(crate) struct StoreBuffer {
+    pub addr: u32,
+    pub data: u32,
+    pub valid: bool,
+}
+
+/// Last word transferred by a cache-line fill, with its parity bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub(crate) struct FillBuffer {
+    pub addr: u32,
+    pub data: u32,
+    pub parity: bool,
+    pub valid: bool,
+}
+
+/// The outcome of one [`Machine::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// An ordinary instruction completed.
+    Normal,
+    /// A `yield` executed: one workload iteration finished; the host should
+    /// exchange I/O data now.
+    Yield,
+}
+
+/// Why [`Machine::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExit {
+    /// A `yield` executed.
+    Yield,
+    /// An error detection mechanism fired; the machine is frozen.
+    Trap(Trap),
+    /// The instruction budget was exhausted.
+    Budget,
+}
+
+/// The Thor-like processor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Machine {
+    pub(crate) regs: [u32; isa::NUM_REGS],
+    pub(crate) pc: u32,
+    pub(crate) psr: u8,
+    pub(crate) sig: u16,
+    pub(crate) stack_lo: u32,
+    pub(crate) stack_hi: u32,
+    pub(crate) epc: u32,
+    pub(crate) cause: u8,
+    pub(crate) save: [u32; 2],
+    pub(crate) fetch: FetchLatch,
+    pub(crate) idex: OperandLatch,
+    pub(crate) exwb: ResultLatch,
+    pub(crate) cache: DataCache,
+    pub(crate) sbuf: StoreBuffer,
+    pub(crate) fbuf: FillBuffer,
+    pub(crate) edac_syndrome: u8,
+    pub(crate) ports_out: [u32; NUM_OUT_PORTS],
+    ports_in: [u32; NUM_IN_PORTS],
+    mem: Memory,
+    instr_count: u64,
+    trapped: Option<Trap>,
+    /// Parity protection over the data cache (the custom-hardware
+    /// alternative the paper rejects on cost grounds; modelled for the
+    /// ablation study). When enabled, any cache state that was not written
+    /// by the cache controller itself is detected on the next access.
+    parity_cache: bool,
+    shadow: [crate::cache::CacheLine; crate::cache::NUM_LINES],
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Machine::new()
+    }
+}
+
+impl Machine {
+    /// Creates a machine with zeroed state and empty memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Machine {
+            regs: [0; isa::NUM_REGS],
+            pc: mem::ROM_BASE,
+            psr: 0,
+            sig: 0,
+            stack_lo: DEFAULT_STACK_LO,
+            stack_hi: DEFAULT_STACK_HI,
+            epc: 0,
+            cause: 0,
+            save: [0; 2],
+            fetch: FetchLatch::default(),
+            idex: OperandLatch::default(),
+            exwb: ResultLatch::default(),
+            cache: DataCache::new(),
+            sbuf: StoreBuffer::default(),
+            fbuf: FillBuffer::default(),
+            edac_syndrome: 0,
+            ports_out: [0; NUM_OUT_PORTS],
+            ports_in: [0; NUM_IN_PORTS],
+            mem: Memory::new(),
+            instr_count: 0,
+            trapped: None,
+            parity_cache: false,
+            shadow: [crate::cache::CacheLine::default(); crate::cache::NUM_LINES],
+        }
+    }
+
+    /// Enables or disables parity protection of the data cache. With
+    /// parity on, a scan-chain bit-flip anywhere in a cache line (data,
+    /// tag, or flags) raises DATA ERROR at the next access to that line —
+    /// the custom-hardware alternative discussed in Section 4.3 of the
+    /// paper.
+    pub fn set_cache_parity(&mut self, enabled: bool) {
+        self.parity_cache = enabled;
+    }
+
+    /// Resets all CPU and memory state and loads `program` (code into ROM,
+    /// initialised data into RAM), leaving the PC at the entry point.
+    pub fn load_program(&mut self, program: &crate::asm::Program) {
+        *self = Machine::new();
+        for (i, word) in program.code.iter().enumerate() {
+            self.mem
+                .load_rom_word(program.code_base + (i as u32) * 4, *word);
+        }
+        for &(addr, word) in &program.data {
+            assert!(self.mem.poke(addr, word), "data word outside RAM: {addr:#x}");
+        }
+        self.pc = program.entry;
+    }
+
+    /// Sets an input port to a raw word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn set_port(&mut self, port: u16, value: u32) {
+        self.ports_in[port as usize] = value;
+    }
+
+    /// Sets an input port to the bit pattern of an `f32`.
+    pub fn set_port_f32(&mut self, port: u16, value: f32) {
+        self.set_port(port, value.to_bits());
+    }
+
+    /// Reads an output port as a raw word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    #[must_use]
+    pub fn port_out(&self, port: u16) -> u32 {
+        self.ports_out[port as usize]
+    }
+
+    /// Reads an output port as an `f32`.
+    #[must_use]
+    pub fn port_out_f32(&self, port: u16) -> f32 {
+        f32::from_bits(self.port_out(port))
+    }
+
+    /// Number of instructions executed (including a trapping one).
+    #[must_use]
+    pub fn instr_count(&self) -> u64 {
+        self.instr_count
+    }
+
+    /// The pending trap, if an EDM has fired.
+    #[must_use]
+    pub fn trap(&self) -> Option<Trap> {
+        self.trapped
+    }
+
+    /// Current program counter (next fetch address).
+    #[must_use]
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Reads a general-purpose register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= 16`.
+    #[must_use]
+    pub fn reg(&self, r: u8) -> u32 {
+        self.regs[r as usize]
+    }
+
+    /// The main memory (for test assertions and end-state comparison).
+    #[must_use]
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Host-side write of a data word (campaign initialisation).
+    pub fn poke_data(&mut self, addr: u32, word: u32) -> bool {
+        self.mem.poke(addr, word)
+    }
+
+    /// The address and word of the instruction about to execute (from the
+    /// fetch latch when it is primed, else from memory at the PC). Used by
+    /// the detail-mode tracer; a word of `0xFFFF_FFFF` is reported when the
+    /// PC points at unfetchable memory.
+    #[must_use]
+    pub fn peek_next_instruction(&self) -> (u32, u32) {
+        if self.fetch.valid {
+            (self.fetch.pc, self.fetch.word)
+        } else {
+            (self.pc, self.mem.fetch(self.pc).unwrap_or(0xFFFF_FFFF))
+        }
+    }
+
+    /// Reads a data word as the CPU would see it: from the cache when the
+    /// address hits, otherwise from memory. Used by detail-mode logging.
+    #[must_use]
+    pub fn peek_data(&self, addr: u32) -> Option<u32> {
+        if self.cache.hits(addr) {
+            Some(self.cache.read_word(addr))
+        } else {
+            self.mem.read_word(addr).map(|(w, _)| w)
+        }
+    }
+
+    /// Configures the guarded stack window (supervisor operation, performed
+    /// by the host before the workload starts).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo < hi` and both lie in the stack segment.
+    pub fn set_stack_window(&mut self, lo: u32, hi: u32) {
+        assert!(lo < hi, "empty stack window");
+        assert_eq!(mem::region(lo), Region::Stack, "lo outside stack segment");
+        assert_eq!(mem::region(hi - 4), Region::Stack, "hi outside stack segment");
+        self.stack_lo = lo;
+        self.stack_hi = hi;
+    }
+
+    /// Executes at most `budget` instructions, returning early on a `yield`
+    /// or a trap.
+    pub fn run(&mut self, budget: u64) -> RunExit {
+        for _ in 0..budget {
+            match self.step() {
+                Ok(StepEvent::Normal) => {}
+                Ok(StepEvent::Yield) => return RunExit::Yield,
+                Err(trap) => return RunExit::Trap(trap),
+            }
+        }
+        RunExit::Budget
+    }
+
+    /// Executes instructions until `instr_count` reaches `stop_at`,
+    /// returning early on a `yield` or a trap. Used to position the machine
+    /// at a fault-injection breakpoint.
+    pub fn run_until(&mut self, stop_at: u64) -> RunExit {
+        while self.instr_count < stop_at {
+            match self.step() {
+                Ok(StepEvent::Normal) => {}
+                Ok(StepEvent::Yield) => return RunExit::Yield,
+                Err(trap) => return RunExit::Trap(trap),
+            }
+        }
+        RunExit::Budget
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the trap when an error detection mechanism fires; the machine
+    /// freezes and every subsequent call returns the same trap.
+    pub fn step(&mut self) -> Result<StepEvent, Trap> {
+        if let Some(t) = self.trapped {
+            return Err(t);
+        }
+        let idx = self.instr_count;
+        match self.step_inner() {
+            Ok(ev) => {
+                self.instr_count += 1;
+                Ok(ev)
+            }
+            Err((mechanism, pc)) => {
+                let trap = Trap {
+                    mechanism,
+                    at_instruction: idx,
+                    pc,
+                };
+                self.instr_count += 1;
+                self.trapped = Some(trap);
+                self.epc = pc;
+                self.cause = Edm::ALL
+                    .iter()
+                    .position(|m| *m == mechanism)
+                    .unwrap_or(0) as u8;
+                Err(trap)
+            }
+        }
+    }
+
+    fn step_inner(&mut self) -> Result<StepEvent, (Edm, u32)> {
+        // Consume the prefetched instruction (fetch now if the latch was
+        // invalidated by a control transfer or a failed prefetch).
+        if !self.fetch.valid {
+            self.fill_latch().map_err(|m| (m, self.pc))?;
+        }
+        let word = self.fetch.word;
+        let ipc = self.fetch.pc;
+        self.fetch.valid = false;
+
+        let d = isa::decode(word).ok_or((Edm::InstructionError, ipc))?;
+        if d.op.is_privileged() {
+            return Err((Edm::InstructionError, ipc));
+        }
+
+        // The signature monitor hashes every executed word except the check
+        // instruction itself (mirrors the assembler's static accumulation).
+        if d.op != Opcode::Sig {
+            self.sig = isa::signature_step(self.sig, word);
+        }
+
+        let mut event = StepEvent::Normal;
+        let mut transferred = false;
+        self.execute(&d, ipc, &mut event, &mut transferred)
+            .map_err(|m| (m, ipc))?;
+
+        if !transferred {
+            self.try_prefetch();
+        }
+        Ok(event)
+    }
+
+    fn execute(
+        &mut self,
+        d: &Decoded,
+        ipc: u32,
+        event: &mut StepEvent,
+        transferred: &mut bool,
+    ) -> Result<(), Edm> {
+        use Opcode::*;
+        match d.op {
+            Nop => {}
+            Yield => *event = StepEvent::Yield,
+            Halt | Setsb => unreachable!("privileged ops rejected in decode"),
+            Sig => {
+                if self.sig != d.uimm16 as u16 {
+                    return Err(Edm::ControlFlowError);
+                }
+                self.sig = 0;
+            }
+            Lui => self.write_reg(d.rd, d.uimm16 << 16),
+            Ori => {
+                let a = self.read_reg(d.ra);
+                self.write_reg(d.rd, a | d.uimm16);
+            }
+            Addi => {
+                let a = self.read_reg(d.ra) as i32;
+                let v = a.checked_add(d.imm16).ok_or(Edm::OverflowCheck)?;
+                self.write_reg(d.rd, v as u32);
+            }
+            Ld => {
+                let addr = self.read_reg(d.ra).wrapping_add(d.imm16 as u32);
+                let v = self.data_access(addr, None)?;
+                self.write_reg(d.rd, v);
+            }
+            St => {
+                let addr = self.read_reg(d.ra).wrapping_add(d.imm16 as u32);
+                let v = self.read_reg(d.rd);
+                self.data_access(addr, Some(v))?;
+            }
+            Add | Sub | Mul => {
+                let a = self.read_reg(d.ra) as i32;
+                let b = self.read_reg(d.rb) as i32;
+                let v = match d.op {
+                    Add => a.checked_add(b),
+                    Sub => a.checked_sub(b),
+                    _ => a.checked_mul(b),
+                }
+                .ok_or(Edm::OverflowCheck)?;
+                self.write_reg(d.rd, v as u32);
+            }
+            Div => {
+                let a = self.read_reg(d.ra) as i32;
+                let b = self.read_reg(d.rb) as i32;
+                if b == 0 {
+                    return Err(Edm::DivisionCheck);
+                }
+                let v = a.checked_div(b).ok_or(Edm::OverflowCheck)?;
+                self.write_reg(d.rd, v as u32);
+            }
+            And | Or | Xor | Shl | Shr => {
+                let a = self.read_reg(d.ra);
+                let b = self.read_reg(d.rb);
+                let v = match d.op {
+                    And => a & b,
+                    Or => a | b,
+                    Xor => a ^ b,
+                    Shl => a.wrapping_shl(b & 31),
+                    _ => a.wrapping_shr(b & 31),
+                };
+                self.write_reg(d.rd, v);
+            }
+            Fadd | Fsub | Fmul | Fdiv => {
+                let a = f32::from_bits(self.read_reg(d.ra));
+                let b = f32::from_bits(self.read_reg(d.rb));
+                let v = self.float_binop(d.op, a, b)?;
+                self.write_reg(d.rd, v.to_bits());
+            }
+            Fcmp => {
+                let a = f32::from_bits(self.read_reg(d.ra));
+                let b = f32::from_bits(self.read_reg(d.rb));
+                if a.is_nan() || b.is_nan() {
+                    return Err(Edm::IllegalOperation);
+                }
+                self.set_flags(a == b, a < b);
+            }
+            Cmp => {
+                let a = self.read_reg(d.ra) as i32;
+                let b = self.read_reg(d.rb) as i32;
+                self.set_flags(a == b, a < b);
+            }
+            Beq | Bne | Blt | Bge | Bgt | Ble => {
+                let eq = self.psr & PSR_EQ != 0;
+                let lt = self.psr & PSR_LT != 0;
+                let taken = match d.op {
+                    Beq => eq,
+                    Bne => !eq,
+                    Blt => lt,
+                    Bge => !lt,
+                    Bgt => !lt && !eq,
+                    _ => lt || eq,
+                };
+                if taken {
+                    let target = ipc
+                        .wrapping_add(4)
+                        .wrapping_add((d.imm16 as u32).wrapping_mul(4));
+                    self.control_transfer(target)?;
+                    *transferred = true;
+                }
+            }
+            Jmp => {
+                self.control_transfer(d.imm22.wrapping_mul(4))?;
+                *transferred = true;
+            }
+            Call => {
+                self.write_reg(isa::REG_LR, ipc.wrapping_add(4));
+                self.control_transfer(d.imm22.wrapping_mul(4))?;
+                *transferred = true;
+            }
+            Ret => {
+                let target = self.read_reg(isa::REG_LR);
+                self.control_transfer(target)?;
+                *transferred = true;
+            }
+            In => {
+                let port = d.uimm16 as usize;
+                if port >= NUM_IN_PORTS {
+                    return Err(Edm::AddressError);
+                }
+                self.write_reg(d.rd, self.ports_in[port]);
+            }
+            Out => {
+                let port = d.uimm16 as usize;
+                if port >= NUM_OUT_PORTS {
+                    return Err(Edm::AddressError);
+                }
+                let v = self.read_reg(d.rd);
+                self.ports_out[port] = v;
+            }
+            Chk => {
+                let v = f32::from_bits(self.read_reg(d.rd));
+                let lo = f32::from_bits(self.read_reg(d.ra));
+                let hi = f32::from_bits(self.read_reg(d.rb));
+                if v.is_nan() || lo.is_nan() || hi.is_nan() || v < lo || v > hi {
+                    return Err(Edm::ConstraintError);
+                }
+            }
+            Itof => {
+                let a = self.read_reg(d.ra) as i32;
+                self.write_reg(d.rd, (a as f32).to_bits());
+            }
+            Ftoi => {
+                let a = f32::from_bits(self.read_reg(d.ra));
+                if a.is_nan() || !(-2147483648.0..2147483648.0).contains(&a) {
+                    return Err(Edm::OverflowCheck);
+                }
+                self.write_reg(d.rd, (a as i32) as u32);
+            }
+            Mov => {
+                let a = self.read_reg(d.ra);
+                self.write_reg(d.rd, a);
+            }
+        }
+        Ok(())
+    }
+
+    fn float_binop(&mut self, op: Opcode, a: f32, b: f32) -> Result<f32, Edm> {
+        if a.is_nan() || b.is_nan() || a.is_infinite() || b.is_infinite() {
+            return Err(Edm::IllegalOperation);
+        }
+        if op == Opcode::Fdiv && b == 0.0 {
+            return Err(Edm::DivisionCheck);
+        }
+        let r = match op {
+            Opcode::Fadd => a + b,
+            Opcode::Fsub => a - b,
+            Opcode::Fmul => a * b,
+            Opcode::Fdiv => a / b,
+            _ => unreachable!("not a float binop"),
+        };
+        if r.is_infinite() || r.is_nan() {
+            return Err(Edm::OverflowCheck);
+        }
+        if r != 0.0 && r.is_subnormal() {
+            return Err(Edm::UnderflowCheck);
+        }
+        Ok(r)
+    }
+
+    fn set_flags(&mut self, eq: bool, lt: bool) {
+        self.psr &= !(PSR_EQ | PSR_LT);
+        if eq {
+            self.psr |= PSR_EQ;
+        }
+        if lt {
+            self.psr |= PSR_LT;
+        }
+    }
+
+    fn read_reg(&mut self, r: u8) -> u32 {
+        let v = self.regs[(r & 0xF) as usize];
+        self.idex.a = self.idex.b;
+        self.idex.b = v;
+        v
+    }
+
+    fn write_reg(&mut self, r: u8, v: u32) {
+        self.exwb = ResultLatch {
+            value: v,
+            rd: r & 0xF,
+            we: true,
+        };
+        self.regs[(r & 0xF) as usize] = v;
+    }
+
+    /// Validates a jump/call/return/branch target and redirects fetch.
+    fn control_transfer(&mut self, target: u32) -> Result<(), Edm> {
+        if mem::region(target) != Region::Rom || !target.is_multiple_of(4) {
+            return Err(Edm::JumpError);
+        }
+        self.pc = target;
+        self.fetch.valid = false;
+        // Entering a new basic block: the signature monitor restarts.
+        self.sig = 0;
+        Ok(())
+    }
+
+    fn fetch_fault(pc: u32) -> Edm {
+        match mem::region(pc) {
+            Region::Bus => Edm::BusError,
+            Region::Null => Edm::AccessCheck,
+            _ => Edm::AddressError,
+        }
+    }
+
+    fn fill_latch(&mut self) -> Result<(), Edm> {
+        match self.mem.fetch(self.pc) {
+            Some(word) => {
+                self.fetch = FetchLatch {
+                    word,
+                    pc: self.pc,
+                    valid: true,
+                };
+                self.pc = self.pc.wrapping_add(4);
+                Ok(())
+            }
+            None => Err(Self::fetch_fault(self.pc)),
+        }
+    }
+
+    /// Prefetch at the end of a straight-line instruction; on failure the
+    /// latch stays invalid and the fault is raised when the instruction is
+    /// actually needed.
+    fn try_prefetch(&mut self) {
+        let _ = self.fill_latch();
+    }
+
+    fn data_access(&mut self, addr: u32, write: Option<u32>) -> Result<u32, Edm> {
+        if !addr.is_multiple_of(4) {
+            return Err(Edm::AddressError);
+        }
+        match mem::region(addr) {
+            Region::Null => Err(Edm::AccessCheck),
+            Region::Rom | Region::Unmapped => Err(Edm::AddressError),
+            Region::Bus => Err(Edm::BusError),
+            Region::Stack => {
+                if addr < self.stack_lo || addr >= self.stack_hi {
+                    return Err(Edm::StorageError);
+                }
+                self.cached_access(addr, write)
+            }
+            Region::Ram => self.cached_access(addr, write),
+        }
+    }
+
+    fn cached_access(&mut self, addr: u32, write: Option<u32>) -> Result<u32, Edm> {
+        if self.parity_cache {
+            let idx = crate::cache::index_of(addr);
+            if *self.cache.line(idx) != self.shadow[idx] {
+                return Err(Edm::DataError);
+            }
+        }
+        if !self.cache.hits(addr) {
+            if let Some((wb_addr, data)) = self.cache.pending_writeback(addr) {
+                self.write_back(wb_addr, &data)?;
+            }
+            self.fill_line(addr)?;
+        }
+        match write {
+            Some(w) => {
+                self.sbuf = StoreBuffer {
+                    addr,
+                    data: w,
+                    valid: true,
+                };
+                self.cache.write_word(addr, w);
+                self.update_shadow(addr);
+                Ok(w)
+            }
+            None => Ok(self.cache.read_word(addr)),
+        }
+    }
+
+    /// Records the legitimate cache state for the parity model.
+    fn update_shadow(&mut self, addr: u32) {
+        if self.parity_cache {
+            let idx = crate::cache::index_of(addr);
+            self.shadow[idx] = *self.cache.line(idx);
+        }
+    }
+
+    fn write_back(&mut self, wb_addr: u32, data: &[u8; LINE_BYTES]) -> Result<(), Edm> {
+        match mem::region(wb_addr) {
+            Region::Ram | Region::Stack => {
+                for i in 0..4 {
+                    let w = u32::from_le_bytes(data[i * 4..i * 4 + 4].try_into().unwrap());
+                    self.mem.write_word(wb_addr + (i as u32) * 4, w);
+                }
+                Ok(())
+            }
+            Region::Null => Err(Edm::AccessCheck),
+            Region::Bus => Err(Edm::BusError),
+            Region::Rom | Region::Unmapped => Err(Edm::AddressError),
+        }
+    }
+
+    fn fill_line(&mut self, addr: u32) -> Result<(), Edm> {
+        let base = addr & !0xF;
+        let mut data = [0u8; LINE_BYTES];
+        for i in 0..4 {
+            let a = base + (i as u32) * 4;
+            let (w, parity_ok) = self.mem.read_word(a).ok_or(Edm::AddressError)?;
+            if !parity_ok || self.edac_syndrome != 0 {
+                return Err(Edm::DataError);
+            }
+            self.fbuf = FillBuffer {
+                addr: a,
+                data: w,
+                parity: mem::parity(w),
+                valid: true,
+            };
+            data[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        self.cache.fill(base, data);
+        self.update_shadow(base);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn machine_with(src: &str) -> Machine {
+        let program = assemble(src).expect("test program must assemble");
+        let mut m = Machine::new();
+        m.load_program(&program);
+        m
+    }
+
+    #[test]
+    fn arithmetic_and_ports() {
+        let mut m = machine_with(
+            r#"
+            .text
+            start:
+                li r1, 6
+                li r2, 7
+                mul r3, r1, r2
+                out r3, 2
+                yield
+            loop:
+                jmp loop
+            "#,
+        );
+        assert_eq!(m.run(100), RunExit::Yield);
+        assert_eq!(m.port_out(2), 42);
+    }
+
+    #[test]
+    fn float_pipeline() {
+        let mut m = machine_with(
+            r#"
+            .text
+            start:
+                li r1, 0x40490FDB    ; 3.14159274
+                li r2, 0x40000000    ; 2.0
+                fmul r3, r1, r2
+                out r3, 2
+                yield
+            loop:
+                jmp loop
+            "#,
+        );
+        assert_eq!(m.run(100), RunExit::Yield);
+        let v = m.port_out_f32(2);
+        assert!((v - 6.283_185_5).abs() < 1e-5, "got {v}");
+    }
+
+    #[test]
+    fn load_store_through_cache() {
+        let mut m = machine_with(
+            r#"
+            .data 0x10000
+            value: .float 10.5
+            result: .word 0
+            .text
+            start:
+                la r1, value
+                ld r2, [r1+0]
+                st r2, [r1+4]
+                ld r3, [r1+4]
+                out r3, 2
+                yield
+            loop:
+                jmp loop
+            "#,
+        );
+        assert_eq!(m.run(100), RunExit::Yield);
+        assert_eq!(m.port_out_f32(2), 10.5);
+    }
+
+    #[test]
+    fn input_ports_reach_the_program() {
+        let mut m = machine_with(
+            r#"
+            .text
+            start:
+                in r1, 0
+                in r2, 1
+                fsub r3, r1, r2
+                out r3, 2
+                yield
+            loop:
+                jmp loop
+            "#,
+        );
+        m.set_port_f32(PORT_R, 2000.0);
+        m.set_port_f32(PORT_Y, 1850.0);
+        assert_eq!(m.run(100), RunExit::Yield);
+        assert_eq!(m.port_out_f32(PORT_U), 150.0);
+    }
+
+    #[test]
+    fn branches_and_compare() {
+        let mut m = machine_with(
+            r#"
+            .text
+            start:
+                li r1, 5
+                li r2, 9
+                cmp r1, r2
+                blt less
+                li r3, 0
+                jmp done
+            less:
+                li r3, 1
+            done:
+                out r3, 2
+                yield
+            loop:
+                jmp loop
+            "#,
+        );
+        assert_eq!(m.run(100), RunExit::Yield);
+        assert_eq!(m.port_out(2), 1);
+    }
+
+    #[test]
+    fn loop_counts_iterations() {
+        let mut m = machine_with(
+            r#"
+            .text
+            start:
+                li r1, 0
+                li r2, 10
+            loop:
+                addi r1, r1, 1
+                yield
+                cmp r1, r2
+                blt loop
+            forever:
+                jmp forever
+            "#,
+        );
+        let mut yields = 0;
+        loop {
+            match m.run(10_000) {
+                RunExit::Yield => yields += 1,
+                RunExit::Budget => break,
+                RunExit::Trap(t) => panic!("unexpected trap {t:?}"),
+            }
+            if yields > 20 {
+                break;
+            }
+        }
+        assert_eq!(yields, 10);
+        assert_eq!(m.reg(1), 10);
+    }
+
+    #[test]
+    fn illegal_instruction_traps() {
+        let mut m = Machine::new();
+        let program = assemble(".text\nstart:\n nop\n").unwrap();
+        m.load_program(&program);
+        // Overwrite the nop at the entry point with an illegal opcode (0x3F).
+        m.mem.load_rom_word(program.entry, 0xFC00_0000);
+        match m.run(10) {
+            RunExit::Trap(t) => assert_eq!(t.mechanism, Edm::InstructionError),
+            other => panic!("expected trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn privileged_instruction_traps() {
+        let mut m = machine_with(".text\nstart:\n halt\n");
+        match m.run(10) {
+            RunExit::Trap(t) => assert_eq!(t.mechanism, Edm::InstructionError),
+            other => panic!("expected trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn null_pointer_access_check() {
+        let mut m = machine_with(
+            r#"
+            .text
+            start:
+                li r1, 0
+                ld r2, [r1+0]
+            "#,
+        );
+        match m.run(10) {
+            RunExit::Trap(t) => assert_eq!(t.mechanism, Edm::AccessCheck),
+            other => panic!("expected trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unmapped_address_error() {
+        let mut m = machine_with(
+            r#"
+            .text
+            start:
+                li r1, 0x30000
+                ld r2, [r1+0]
+            "#,
+        );
+        match m.run(10) {
+            RunExit::Trap(t) => assert_eq!(t.mechanism, Edm::AddressError),
+            other => panic!("expected trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bus_error_on_external_bus() {
+        let mut m = machine_with(
+            r#"
+            .text
+            start:
+                li r1, 0x80000000
+                ld r2, [r1+0]
+            "#,
+        );
+        match m.run(10) {
+            RunExit::Trap(t) => assert_eq!(t.mechanism, Edm::BusError),
+            other => panic!("expected trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stack_window_enforced() {
+        let mut m = machine_with(
+            r#"
+            .text
+            start:
+                li r1, 0x20000      ; stack segment, below the guarded window
+                st r1, [r1+0]
+            "#,
+        );
+        match m.run(10) {
+            RunExit::Trap(t) => assert_eq!(t.mechanism, Edm::StorageError),
+            other => panic!("expected trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stack_access_inside_window_ok() {
+        let mut m = machine_with(
+            r#"
+            .text
+            start:
+                li r14, 0x20FF0
+                li r1, 77
+                st r1, [r14-8]
+                ld r2, [r14-8]
+                out r2, 2
+                yield
+            loop:
+                jmp loop
+            "#,
+        );
+        assert_eq!(m.run(100), RunExit::Yield);
+        assert_eq!(m.port_out(2), 77);
+    }
+
+    #[test]
+    fn misaligned_access_traps() {
+        let mut m = machine_with(
+            r#"
+            .text
+            start:
+                li r1, 0x10002
+                ld r2, [r1+0]
+            "#,
+        );
+        match m.run(10) {
+            RunExit::Trap(t) => assert_eq!(t.mechanism, Edm::AddressError),
+            other => panic!("expected trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn integer_overflow_traps() {
+        let mut m = machine_with(
+            r#"
+            .text
+            start:
+                li r1, 0x7FFFFFFF
+                addi r2, r1, 1
+            "#,
+        );
+        match m.run(10) {
+            RunExit::Trap(t) => assert_eq!(t.mechanism, Edm::OverflowCheck),
+            other => panic!("expected trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn float_overflow_traps() {
+        let mut m = machine_with(
+            r#"
+            .text
+            start:
+                li r1, 0x7F7FFFFF   ; f32::MAX
+                fadd r2, r1, r1
+            "#,
+        );
+        match m.run(10) {
+            RunExit::Trap(t) => assert_eq!(t.mechanism, Edm::OverflowCheck),
+            other => panic!("expected trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn float_nan_input_is_illegal_operation() {
+        let mut m = machine_with(
+            r#"
+            .text
+            start:
+                li r1, 0x7FC00000   ; NaN
+                li r2, 0x3F800000   ; 1.0
+                fadd r3, r1, r2
+            "#,
+        );
+        match m.run(10) {
+            RunExit::Trap(t) => assert_eq!(t.mechanism, Edm::IllegalOperation),
+            other => panic!("expected trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn float_division_by_zero_traps() {
+        let mut m = machine_with(
+            r#"
+            .text
+            start:
+                li r1, 0x3F800000   ; 1.0
+                li r2, 0x00000000   ; +0.0
+                fdiv r3, r1, r2
+            "#,
+        );
+        match m.run(10) {
+            RunExit::Trap(t) => assert_eq!(t.mechanism, Edm::DivisionCheck),
+            other => panic!("expected trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn integer_division_by_zero_traps() {
+        let mut m = machine_with(
+            r#"
+            .text
+            start:
+                li r1, 10
+                li r2, 0
+                div r3, r1, r2
+            "#,
+        );
+        match m.run(10) {
+            RunExit::Trap(t) => assert_eq!(t.mechanism, Edm::DivisionCheck),
+            other => panic!("expected trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn float_underflow_traps() {
+        let mut m = machine_with(
+            r#"
+            .text
+            start:
+                li r1, 0x00800000   ; smallest normal
+                li r2, 0x3F000000   ; 0.5
+                fmul r3, r1, r2
+            "#,
+        );
+        match m.run(10) {
+            RunExit::Trap(t) => assert_eq!(t.mechanism, Edm::UnderflowCheck),
+            other => panic!("expected trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jump_outside_rom_is_jump_error() {
+        let mut m = machine_with(
+            r#"
+            .text
+            start:
+                li r15, 0x10000
+                ret
+            "#,
+        );
+        match m.run(10) {
+            RunExit::Trap(t) => assert_eq!(t.mechanism, Edm::JumpError),
+            other => panic!("expected trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let mut m = machine_with(
+            r#"
+            .text
+            start:
+                li r1, 1
+                call fn
+                out r1, 2
+                yield
+            loop:
+                jmp loop
+            fn:
+                addi r1, r1, 41
+                ret
+            "#,
+        );
+        assert_eq!(m.run(100), RunExit::Yield);
+        assert_eq!(m.port_out(2), 42);
+    }
+
+    #[test]
+    fn chk_constraint_error() {
+        let mut m = machine_with(
+            r#"
+            .text
+            start:
+                li r1, 0x42CC0000   ; 102.0
+                li r2, 0x00000000   ; 0.0
+                li r3, 0x428C0000   ; 70.0
+                chk r1, r2, r3
+            "#,
+        );
+        match m.run(10) {
+            RunExit::Trap(t) => assert_eq!(t.mechanism, Edm::ConstraintError),
+            other => panic!("expected trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chk_passes_in_range() {
+        let mut m = machine_with(
+            r#"
+            .text
+            start:
+                li r1, 0x42200000   ; 40.0
+                li r2, 0x00000000
+                li r3, 0x428C0000   ; 70.0
+                chk r1, r2, r3
+                yield
+            loop:
+                jmp loop
+            "#,
+        );
+        assert_eq!(m.run(10), RunExit::Yield);
+    }
+
+    #[test]
+    fn itof_ftoi_roundtrip() {
+        let mut m = machine_with(
+            r#"
+            .text
+            start:
+                li r1, 123
+                itof r2, r1
+                ftoi r3, r2
+                out r3, 2
+                yield
+            loop:
+                jmp loop
+            "#,
+        );
+        assert_eq!(m.run(100), RunExit::Yield);
+        assert_eq!(m.port_out(2), 123);
+    }
+
+    #[test]
+    fn trap_freezes_machine() {
+        let mut m = machine_with(
+            r#"
+            .text
+            start:
+                li r1, 0
+                ld r2, [r1+0]
+            "#,
+        );
+        let RunExit::Trap(first) = m.run(10) else {
+            panic!("expected trap");
+        };
+        // Further stepping returns the same trap and does not advance.
+        let count = m.instr_count();
+        assert_eq!(m.step(), Err(first));
+        assert_eq!(m.instr_count(), count);
+    }
+
+    #[test]
+    fn run_until_positions_exactly() {
+        let mut m = machine_with(
+            r#"
+            .text
+            start:
+                li r1, 0
+            loop:
+                addi r1, r1, 1
+                jmp loop
+            "#,
+        );
+        assert_eq!(m.run_until(7), RunExit::Budget);
+        assert_eq!(m.instr_count(), 7);
+    }
+
+    #[test]
+    fn determinism_same_program_same_state() {
+        let src = r#"
+            .text
+            start:
+                li r1, 3
+                li r2, 4
+            loop:
+                add r3, r1, r2
+                mul r2, r3, r1
+                st r2, [r4+0x7F00]
+                yield
+                jmp loop
+        "#;
+        // r4 = 0 is the null page... use a valid base instead.
+        let src = &src.replace("st r2, [r4+0x7F00]", "li r4, 0x10000\n st r2, [r4+0]");
+        let mut a = machine_with(src);
+        let mut b = machine_with(src);
+        for _ in 0..3 {
+            a.run(1000);
+            b.run(1000);
+        }
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod parity_tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::scan::BitLocation;
+
+    fn x_resident_machine() -> Machine {
+        let program = assemble(
+            r#"
+            .data 0x10000
+            x: .float 10.0
+            .text
+            start:
+                li r1, 0x10000
+                ld r2, [r1+0]
+                yield
+            loop:
+                li r1, 0x10000
+                ld r3, [r1+0]
+                out r3, 2
+                yield
+                jmp loop
+            "#,
+        )
+        .unwrap();
+        let mut m = Machine::new();
+        m.load_program(&program);
+        m.set_cache_parity(true);
+        m
+    }
+
+    #[test]
+    fn parity_cache_detects_data_flip() {
+        let mut m = x_resident_machine();
+        assert_eq!(m.run(1000), RunExit::Yield);
+        m.scan_flip(BitLocation::CacheData { line: 0, bit: 31 });
+        match m.run(1000) {
+            RunExit::Trap(t) => assert_eq!(t.mechanism, Edm::DataError),
+            other => panic!("parity must detect the flip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parity_cache_detects_tag_flip() {
+        let mut m = x_resident_machine();
+        assert_eq!(m.run(1000), RunExit::Yield);
+        m.scan_flip(BitLocation::CacheTag { line: 0, bit: 3 });
+        match m.run(1000) {
+            RunExit::Trap(t) => assert_eq!(t.mechanism, Edm::DataError),
+            other => panic!("parity must detect the flip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parity_cache_quiet_when_fault_free() {
+        let mut m = x_resident_machine();
+        for _ in 0..100 {
+            assert_eq!(m.run(1000), RunExit::Yield, "no spurious detections");
+        }
+    }
+
+    #[test]
+    fn unprotected_cache_lets_the_flip_through() {
+        let mut m = x_resident_machine();
+        m.set_cache_parity(false);
+        assert_eq!(m.run(1000), RunExit::Yield);
+        m.scan_flip(BitLocation::CacheData { line: 0, bit: 31 });
+        assert_eq!(m.run(1000), RunExit::Yield);
+        assert_eq!(m.port_out_f32(2), -10.0, "corruption reaches the program");
+    }
+}

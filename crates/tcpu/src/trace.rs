@@ -1,0 +1,179 @@
+//! Instruction-level execution tracing — the substrate for GOOFI's
+//! *detail mode*, which logs the system state "before the execution of
+//! each machine instruction" so error propagation can be analysed.
+
+use crate::isa;
+use crate::machine::{Machine, RunExit, StepEvent};
+use serde::{Deserialize, Serialize};
+
+/// A compact per-instruction record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Dynamic instruction index.
+    pub index: u64,
+    /// Address of the executed instruction.
+    pub pc: u32,
+    /// The instruction word.
+    pub word: u32,
+    /// Disassembly of the instruction.
+    pub disasm: String,
+    /// Registers written by this instruction, as `(register, new value)`.
+    pub writes: Vec<(u8, u32)>,
+}
+
+/// Runs a machine for up to `budget` instructions, recording one
+/// [`TraceEntry`] per executed instruction. Returns the trace and the exit
+/// condition.
+///
+/// This is GOOFI's detail mode: slow (state is inspected before and after
+/// every instruction) but complete.
+#[must_use]
+pub fn trace_run(machine: &mut Machine, budget: u64) -> (Vec<TraceEntry>, RunExit) {
+    let mut entries = Vec::new();
+    for _ in 0..budget {
+        let index = machine.instr_count();
+        let before_regs: Vec<u32> = (0..isa::NUM_REGS as u8).map(|r| machine.reg(r)).collect();
+        // The next instruction sits in the fetch latch (or will be fetched
+        // from the PC); peek at it for the record.
+        let (pc, word) = machine.peek_next_instruction();
+        match machine.step() {
+            Ok(event) => {
+                let writes: Vec<(u8, u32)> = (0..isa::NUM_REGS as u8)
+                    .filter(|&r| machine.reg(r) != before_regs[r as usize])
+                    .map(|r| (r, machine.reg(r)))
+                    .collect();
+                entries.push(TraceEntry {
+                    index,
+                    pc,
+                    word,
+                    disasm: isa::disassemble(word),
+                    writes,
+                });
+                if event == StepEvent::Yield {
+                    return (entries, RunExit::Yield);
+                }
+            }
+            Err(trap) => {
+                entries.push(TraceEntry {
+                    index,
+                    pc,
+                    word,
+                    disasm: isa::disassemble(word),
+                    writes: Vec::new(),
+                });
+                return (entries, RunExit::Trap(trap));
+            }
+        }
+    }
+    (entries, RunExit::Budget)
+}
+
+/// Formats a trace as human-readable text, one line per instruction.
+#[must_use]
+pub fn render(entries: &[TraceEntry]) -> String {
+    let mut out = String::new();
+    for e in entries {
+        let writes: Vec<String> = e
+            .writes
+            .iter()
+            .map(|(r, v)| format!("r{r}={v:#010x}"))
+            .collect();
+        out.push_str(&format!(
+            "{:>8}  {:#07x}  {:<28} {}\n",
+            e.index,
+            e.pc,
+            e.disasm,
+            writes.join(" ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn machine() -> Machine {
+        let program = assemble(
+            r#"
+            .text
+            start:
+                li  r1, 7
+                li  r2, 6
+                mul r3, r1, r2
+                out r3, 2
+                yield
+            loop:
+                jmp loop
+            "#,
+        )
+        .unwrap();
+        let mut m = Machine::new();
+        m.load_program(&program);
+        m
+    }
+
+    #[test]
+    fn traces_every_instruction_until_yield() {
+        let mut m = machine();
+        let (entries, exit) = trace_run(&mut m, 100);
+        assert_eq!(exit, RunExit::Yield);
+        // lui, ori, lui, ori, mul, out, yield
+        assert_eq!(entries.len(), 7);
+        assert_eq!(entries.last().unwrap().disasm, "yield");
+        assert_eq!(m.port_out(2), 42);
+    }
+
+    #[test]
+    fn register_writes_recorded() {
+        let mut m = machine();
+        let (entries, _) = trace_run(&mut m, 100);
+        let mul = entries.iter().find(|e| e.disasm.starts_with("mul")).unwrap();
+        assert_eq!(mul.writes, vec![(3, 42)]);
+    }
+
+    #[test]
+    fn indices_are_sequential() {
+        let mut m = machine();
+        let (entries, _) = trace_run(&mut m, 100);
+        for (i, e) in entries.iter().enumerate() {
+            assert_eq!(e.index, i as u64);
+        }
+    }
+
+    #[test]
+    fn trace_records_the_trapping_instruction() {
+        let program = assemble(
+            r#"
+            .text
+            start:
+                li r1, 0
+                ld r2, [r1+0]
+            "#,
+        )
+        .unwrap();
+        let mut m = Machine::new();
+        m.load_program(&program);
+        let (entries, exit) = trace_run(&mut m, 100);
+        assert!(matches!(exit, RunExit::Trap(_)));
+        assert!(entries.last().unwrap().disasm.starts_with("ld"));
+    }
+
+    #[test]
+    fn render_is_one_line_per_instruction() {
+        let mut m = machine();
+        let (entries, _) = trace_run(&mut m, 100);
+        let text = render(&entries);
+        assert_eq!(text.lines().count(), entries.len());
+        assert!(text.contains("mul r3, r1, r2"));
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let mut m = machine();
+        let (entries, exit) = trace_run(&mut m, 3);
+        assert_eq!(exit, RunExit::Budget);
+        assert_eq!(entries.len(), 3);
+    }
+}

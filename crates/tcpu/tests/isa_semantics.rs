@@ -1,0 +1,150 @@
+//! Instruction-semantics matrix: every arithmetic/logic instruction checked
+//! against the equivalent Rust computation on a grid of operand values,
+//! through assembled programs (so the encoder, assembler, decoder and
+//! executor are all on the path).
+
+use bera_tcpu::asm::assemble;
+use bera_tcpu::machine::{Machine, RunExit};
+
+/// Runs `op rd, ra, rb` with the given raw register values and returns the
+/// result word (or None if the machine trapped).
+fn run_binop(mnemonic: &str, a: u32, b: u32) -> Option<u32> {
+    let src = format!(
+        ".text\nstart:\n li r1, {a:#x}\n li r2, {b:#x}\n {mnemonic} r3, r1, r2\n out r3, 2\n yield\nloop:\n jmp loop\n"
+    );
+    let program = assemble(&src).expect("program assembles");
+    let mut m = Machine::new();
+    m.load_program(&program);
+    match m.run(100) {
+        RunExit::Yield => Some(m.port_out(2)),
+        RunExit::Trap(_) => None,
+        RunExit::Budget => panic!("did not terminate"),
+    }
+}
+
+const INT_SAMPLES: [i32; 7] = [0, 1, -1, 12345, -54321, i32::MAX, i32::MIN];
+
+#[test]
+fn integer_add_sub_mul_match_checked_semantics() {
+    for &a in &INT_SAMPLES {
+        for &b in &INT_SAMPLES {
+            for (mn, f) in [
+                ("add", i32::checked_add as fn(i32, i32) -> Option<i32>),
+                ("sub", i32::checked_sub),
+                ("mul", i32::checked_mul),
+            ] {
+                let got = run_binop(mn, a as u32, b as u32);
+                let expected = f(a, b).map(|v| v as u32);
+                assert_eq!(got, expected, "{mn} {a} {b}");
+            }
+        }
+    }
+}
+
+#[test]
+fn integer_div_matches_checked_semantics() {
+    for &a in &INT_SAMPLES {
+        for &b in &INT_SAMPLES {
+            let got = run_binop("div", a as u32, b as u32);
+            let expected = if b == 0 { None } else { a.checked_div(b).map(|v| v as u32) };
+            assert_eq!(got, expected, "div {a} {b}");
+        }
+    }
+}
+
+#[test]
+fn logic_ops_match() {
+    let samples = [0u32, 1, 0xFFFF_FFFF, 0xA5A5_5A5A, 0x8000_0000];
+    for &a in &samples {
+        for &b in &samples {
+            assert_eq!(run_binop("and", a, b), Some(a & b));
+            assert_eq!(run_binop("or", a, b), Some(a | b));
+            assert_eq!(run_binop("xor", a, b), Some(a ^ b));
+        }
+    }
+}
+
+#[test]
+fn shifts_mask_the_count() {
+    for &a in &[1u32, 0x8000_0000, 0xDEAD_BEEF] {
+        for &n in &[0u32, 1, 31, 32, 63, 100] {
+            assert_eq!(run_binop("shl", a, n), Some(a.wrapping_shl(n & 31)));
+            assert_eq!(run_binop("shr", a, n), Some(a.wrapping_shr(n & 31)));
+        }
+    }
+}
+
+const FLOAT_SAMPLES: [f32; 8] = [0.0, -0.0, 1.0, -1.0, 0.0154, 70.0, 2000.0, 1.0e30];
+
+#[test]
+fn float_ops_match_ieee_when_no_trap() {
+    for &a in &FLOAT_SAMPLES {
+        for &b in &FLOAT_SAMPLES {
+            for (mn, f) in [
+                ("fadd", (|x, y| x + y) as fn(f32, f32) -> f32),
+                ("fsub", |x, y| x - y),
+                ("fmul", |x, y| x * y),
+                ("fdiv", |x, y| x / y),
+            ] {
+                let expected = f(a, b);
+                let got = run_binop(mn, a.to_bits(), b.to_bits());
+                let trap_expected = (mn == "fdiv" && b == 0.0)
+                    || expected.is_infinite()
+                    || expected.is_nan()
+                    || (expected != 0.0 && expected.is_subnormal());
+                if trap_expected {
+                    assert_eq!(got, None, "{mn} {a} {b} must trap");
+                } else {
+                    assert_eq!(got, Some(expected.to_bits()), "{mn} {a} {b}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fcmp_flags_drive_all_branches() {
+    // For each ordered pair relation, check every branch condition.
+    let cases = [(1.0f32, 2.0f32), (2.0, 1.0), (1.5, 1.5)];
+    for (a, b) in cases {
+        for (branch, taken) in [
+            ("beq", a == b),
+            ("bne", a != b),
+            ("blt", a < b),
+            ("bge", a >= b),
+            ("bgt", a > b),
+            ("ble", a <= b),
+        ] {
+            let src = format!(
+                ".text\nstart:\n li r1, {:#x}\n li r2, {:#x}\n fcmp r1, r2\n {branch} yes\n li r3, 0\n jmp done\nyes:\n li r3, 1\ndone:\n out r3, 2\n yield\nloop:\n jmp loop\n",
+                a.to_bits(),
+                b.to_bits()
+            );
+            let program = assemble(&src).unwrap();
+            let mut m = Machine::new();
+            m.load_program(&program);
+            assert_eq!(m.run(100), RunExit::Yield);
+            assert_eq!(
+                m.port_out(2) == 1,
+                taken,
+                "{branch} with {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mov_itof_ftoi_roundtrips() {
+    for &v in &[0i32, 1, -1, 1234567, -7654321] {
+        let src = format!(
+            ".text\nstart:\n li r1, {:#x}\n itof r2, r1\n ftoi r3, r2\n out r3, 2\n yield\nloop:\n jmp loop\n",
+            v as u32
+        );
+        let program = assemble(&src).unwrap();
+        let mut m = Machine::new();
+        m.load_program(&program);
+        assert_eq!(m.run(100), RunExit::Yield);
+        // f32 has 24 bits of precision; these samples fit exactly or round.
+        assert_eq!(m.port_out(2) as i32, (v as f32) as i32, "roundtrip {v}");
+    }
+}

@@ -1,0 +1,67 @@
+//! A small SCIFI fault-injection campaign, end to end.
+//!
+//! ```bash
+//! cargo run --release --example fault_injection_campaign
+//! ```
+//!
+//! Follows GOOFI's four phases on the Thor-like CPU simulator: configure
+//! (Algorithm I, 600 faults), set up (uniform sampling over scan-chain
+//! bits × dynamic instructions), inject (one experiment per fault), and
+//! analyse (the paper's Table 2 layout), then tells the story of the worst
+//! failure it found.
+
+use bera::goofi::campaign::{run_scifi_campaign, CampaignConfig};
+use bera::goofi::classify::Outcome;
+use bera::goofi::table::tabulate;
+use bera::goofi::workload::Workload;
+
+fn main() {
+    // Phase 1 — configuration.
+    let workload = Workload::algorithm_one();
+    let cfg = CampaignConfig::paper(600, 7);
+    println!(
+        "campaign: {} faults into `{}` over {} control iterations",
+        cfg.faults,
+        workload.name(),
+        cfg.loop_cfg.iterations
+    );
+
+    // Phases 2 + 3 — set-up and injection (golden run inside).
+    let result = run_scifi_campaign(&workload, &cfg);
+
+    // Phase 4 — analysis.
+    let table = tabulate(&result);
+    println!("\n{}", table.render());
+
+    // The worst undetected wrong result.
+    let worst = result
+        .records
+        .iter()
+        .filter(|r| r.outcome.is_value_failure())
+        .max_by(|a, b| a.max_deviation.total_cmp(&b.max_deviation));
+    match worst {
+        Some(rec) => {
+            println!(
+                "worst value failure: {} after flipping {:?} at dynamic instruction {}\n\
+                 max output deviation {:.2}°, first visible at iteration {:?}",
+                rec.outcome,
+                rec.location,
+                rec.fault.inject_at,
+                rec.max_deviation,
+                rec.first_strong_iteration
+            );
+        }
+        None => println!("no value failures in this campaign"),
+    }
+
+    // How often each mechanism saved the day.
+    let detected = result
+        .records
+        .iter()
+        .filter(|r| matches!(r.outcome, Outcome::Detected(_)))
+        .count();
+    println!(
+        "\n{} of {} faults were caught by the hardware error detection mechanisms",
+        detected, cfg.faults
+    );
+}

@@ -1,0 +1,59 @@
+//! Protecting a MIMO controller — the paper's future-work direction.
+//!
+//! ```bash
+//! cargo run --release --example protected_mimo
+//! ```
+//!
+//! Wraps a two-spool jet-engine-style state-space controller with the
+//! Section 4.3 recipe (one executable assertion per state variable and per
+//! output, best effort recovery from one-sample-old backups), corrupts
+//! each state in turn, and shows the recovery log.
+
+use bera::core::controller::Limits;
+use bera::core::{MimoController, Protected, StateController, StateSpace};
+
+fn main() {
+    let sys = StateSpace::jet_engine_demo();
+    let ctrl = MimoController::new(sys, vec![Limits::new(0.0, 1.0); 2]);
+    // States are integrators of bounded errors: assert a generous
+    // physical envelope.
+    let mut protected = Protected::uniform(ctrl, Limits::new(-10.0, 10.0));
+
+    // A static two-output plant to close the loop against.
+    let mut y = [0.0f64; 2];
+    let r = [0.4f64, 0.25];
+    let mut u = [0.0f64; 2];
+
+    println!("two-loop jet-engine controller, references {r:?}");
+    for k in 0..4000 {
+        let e = [r[0] - y[0], r[1] - y[1]];
+        protected.compute(&e, &mut u);
+        y[0] = 0.5 * u[0];
+        y[1] = 0.5 * u[1];
+
+        // Upset a different state variable every thousand samples.
+        if k % 1000 == 500 {
+            let idx = (k / 1000) % protected.num_states();
+            let mut states = protected.states();
+            let before = states[idx];
+            states[idx] = -4.0e9; // far outside the asserted envelope
+            protected.set_states(&states);
+            println!(
+                "k={k}: corrupted state {idx} ({before:.4} -> -4e9), \
+                 next iteration recovers from backup"
+            );
+        }
+    }
+
+    let report = protected.report();
+    println!(
+        "\nafter {} iterations: {} state recoveries, {} output recoveries",
+        report.iterations, report.state_recoveries, report.output_recoveries
+    );
+    println!(
+        "loops settled at y = [{:.4}, {:.4}] (references [{}, {}])",
+        y[0], y[1], r[0], r[1]
+    );
+    assert!((y[0] - r[0]).abs() < 0.01 && (y[1] - r[1]).abs() < 0.01);
+    println!("both loops on target despite the injected upsets");
+}

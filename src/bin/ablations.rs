@@ -1,0 +1,81 @@
+//! Ablation study over the design choices DESIGN.md calls out:
+//!
+//! 1. **Parity-protected cache** (the custom-hardware alternative the
+//!    paper rejects on cost grounds) — severe value failures from cache
+//!    faults should essentially disappear, detected as DATA ERROR instead;
+//! 2. **Backups co-located with the state** — a single flip can then hit a
+//!    variable and its backup together, weakening Algorithm II;
+//! 3. **Assertion after the backup** — the corrupted state is saved before
+//!    it is checked, so "recovery" restores the corrupted value;
+//! 4. **Algorithm III (rate assertion)** — the paper's future-work
+//!    extension, catching in-range corruptions like Figure 10's.
+
+use bera::goofi::campaign::{run_scifi_campaign, CampaignConfig};
+use bera::goofi::experiment::FaultModel;
+use bera::goofi::table::tabulate;
+use bera::goofi::workload::Workload;
+use bera::repro;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let faults = repro::fault_override(4000);
+    let mut report = String::new();
+    report.push_str(&format!(
+        "{:<42}{:>8}{:>10}{:>10}{:>12}{:>12}\n",
+        "Configuration", "faults", "severe", "minor", "severe %", "data err %"
+    ));
+
+    let mut run = |label: &str, workload: &Workload, parity: bool, model: FaultModel| {
+        let mut cfg = CampaignConfig::paper(faults, repro::CAMPAIGN_SEED);
+        cfg.loop_cfg.parity_cache = parity;
+        cfg.fault_model = model;
+        let result = run_scifi_campaign(workload, &cfg);
+        let table = tabulate(&result);
+        let severe = table.count(bera::goofi::table::RowKind::SevereWrong, None);
+        let minor = table.count(bera::goofi::table::RowKind::MinorWrong, None);
+        let data_err = table.count(
+            bera::goofi::table::RowKind::Edm(bera::tcpu::edm::ErrorMechanism::DataError),
+            None,
+        );
+        let n = table.total_faults();
+        report.push_str(&format!(
+            "{label:<42}{n:>8}{severe:>10}{minor:>10}{:>11.2}%{:>11.2}%\n",
+            100.0 * severe as f64 / n as f64,
+            100.0 * data_err as f64 / n as f64,
+        ));
+    };
+
+    let single = FaultModel::SingleBit;
+    run("Algorithm I", &Workload::algorithm_one(), false, single);
+    run("Algorithm I + parity cache", &Workload::algorithm_one(), true, single);
+    run("Algorithm II", &Workload::algorithm_two(), false, single);
+    run(
+        "Algorithm II, co-located backups",
+        &Workload::algorithm_two_colocated_backup(),
+        false,
+        single,
+    );
+    run(
+        "Algorithm II, assert after backup",
+        &Workload::algorithm_two_assert_after_backup(),
+        false,
+        single,
+    );
+    run("Algorithm III (range + rate)", &Workload::algorithm_three(), false, single);
+
+    // Multi-cell upsets: two adjacent scan cells flip together. This is the
+    // model under which separating the backups from the state matters.
+    let double = FaultModel::AdjacentDoubleBit;
+    run("Algorithm II [2-bit upsets]", &Workload::algorithm_two(), false, double);
+    run(
+        "Algorithm II, co-located backups [2-bit]",
+        &Workload::algorithm_two_colocated_backup(),
+        false,
+        double,
+    );
+
+    println!("{report}");
+    println!("ablation wall time: {:.1?}", t0.elapsed());
+    repro::write_artifact("ablations.txt", &report);
+}

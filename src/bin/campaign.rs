@@ -1,0 +1,137 @@
+//! General-purpose campaign runner — GOOFI's command-line face.
+//!
+//! ```text
+//! campaign [--workload alg1|alg2|alg2-colocated|alg2-assert-after|alg3]
+//!          [--faults N] [--seed S] [--iterations K] [--threads T]
+//!          [--parity-cache] [--json FILE]
+//! ```
+
+use bera::goofi::campaign::{run_scifi_campaign, CampaignConfig};
+use bera::goofi::experiment::LoopConfig;
+use bera::goofi::table::tabulate;
+use bera::goofi::workload::Workload;
+use std::process::ExitCode;
+
+struct Args {
+    workload: Workload,
+    faults: usize,
+    seed: u64,
+    iterations: usize,
+    threads: usize,
+    parity_cache: bool,
+    json: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workload: Workload::algorithm_one(),
+        faults: 2000,
+        seed: 1,
+        iterations: 650,
+        threads: 0,
+        parity_cache: false,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--workload" => {
+                args.workload = match value("--workload")?.as_str() {
+                    "alg1" => Workload::algorithm_one(),
+                    "alg2" => Workload::algorithm_two(),
+                    "alg2-colocated" => Workload::algorithm_two_colocated_backup(),
+                    "alg2-assert-after" => Workload::algorithm_two_assert_after_backup(),
+                    "alg3" => Workload::algorithm_three(),
+                    other => return Err(format!("unknown workload `{other}`")),
+                };
+            }
+            "--faults" => {
+                args.faults = value("--faults")?
+                    .parse()
+                    .map_err(|e| format!("--faults: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--iterations" => {
+                args.iterations = value("--iterations")?
+                    .parse()
+                    .map_err(|e| format!("--iterations: {e}"))?;
+            }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--parity-cache" => args.parity_cache = true,
+            "--json" => args.json = Some(value("--json")?),
+            "--help" | "-h" => {
+                return Err(String::new()); // triggers usage
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: campaign [--workload alg1|alg2|alg2-colocated|alg2-assert-after|alg3]\n\
+         \t[--faults N] [--seed S] [--iterations K] [--threads T]\n\
+         \t[--parity-cache] [--json FILE]"
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut cfg = CampaignConfig::paper(args.faults, args.seed);
+    cfg.loop_cfg = LoopConfig {
+        iterations: args.iterations,
+        parity_cache: args.parity_cache,
+        ..LoopConfig::paper()
+    };
+    cfg.threads = args.threads;
+
+    eprintln!(
+        "running {} faults into `{}` ({} iterations, seed {})...",
+        args.faults,
+        args.workload.name(),
+        args.iterations,
+        args.seed
+    );
+    let result = run_scifi_campaign(&args.workload, &cfg);
+    println!("{}", tabulate(&result).render());
+
+    if let Some(path) = args.json {
+        match result.to_json() {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("error writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("database written to {path}");
+            }
+            Err(e) => {
+                eprintln!("error serialising results: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,18 @@
+//! Regenerates **Table 4**: the Algorithm I vs Algorithm II comparison with
+//! the permanent / semi-permanent / transient / insignificant split.
+
+use bera::goofi::table::ComparisonTable;
+use bera::goofi::workload::Workload;
+use bera::repro;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let alg1 = repro::canonical_campaign(&Workload::algorithm_one(), repro::ALG1_FAULTS);
+    let alg2 = repro::canonical_campaign(&Workload::algorithm_two(), repro::ALG2_FAULTS);
+    let cmp = ComparisonTable::new(&alg1, &alg2);
+    let rendered = cmp.render();
+    println!("{rendered}");
+    println!("campaign wall time: {:.1?}", t0.elapsed());
+    repro::write_artifact("table4.txt", &rendered);
+}

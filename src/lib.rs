@@ -1,0 +1,41 @@
+//! # BERA — Best Effort Recovery & Assertions
+//!
+//! A reproduction of the DSN 2001 paper *"Reducing Critical Failures for
+//! Control Algorithms Using Executable Assertions and Best Effort Recovery"*
+//! (Vinter, Aidemark, Folkesson, Karlsson — Chalmers University of
+//! Technology).
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`bera_core`] (re-exported as `core`) — controllers, executable assertions, best effort
+//!   recovery (the paper's contribution);
+//! * [`bera_tcpu`] (`tcpu`) — a Thor-like 32-bit CPU simulator with scan-chain
+//!   access to its state elements and the full set of hardware error
+//!   detection mechanisms;
+//! * [`bera_plant`] (`plant`) — the engine model and workload profiles;
+//! * [`bera_goofi`] (`goofi`) — the fault-injection campaign framework
+//!   (configuration, injection, logging, analysis);
+//! * [`bera_stats`] (`stats`) — proportion confidence intervals and samplers;
+//! * [`bera_rtw`] (`rtw`) — a Real-Time-Workshop-style code generator that
+//!   compiles controller models to tcpu assembly.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bera::core::{Controller, PiController, ProtectedPiController};
+//! use bera::plant::{ClosedLoop, Engine, Profiles};
+//!
+//! let profiles = Profiles::paper();
+//! let mut loop_ = ClosedLoop::new(Engine::paper(), PiController::paper());
+//! let trace = loop_.run(&profiles, 650);
+//! assert_eq!(trace.len(), 650);
+//! ```
+
+pub use bera_core as core;
+pub use bera_goofi as goofi;
+pub use bera_plant as plant;
+pub use bera_rtw as rtw;
+pub use bera_stats as stats;
+pub use bera_tcpu as tcpu;
+
+pub mod repro;

@@ -1,0 +1,137 @@
+//! Cross-validation between the three implementations of the same
+//! algorithms: native Rust controllers, the generic Section 4.3 wrapper,
+//! and the tcpu assembly workloads running on the CPU simulator.
+
+use bera::core::controller::Limits;
+use bera::core::{Controller, PiController, Protected, ProtectedPiController, Siso};
+use bera::plant::{Engine, Profiles};
+use bera::tcpu::machine::{Machine, RunExit, PORT_R, PORT_U, PORT_Y};
+
+const DT: f64 = 0.0154;
+
+fn run_native<C: Controller>(mut ctrl: C, iterations: usize) -> Vec<f64> {
+    let mut engine = Engine::paper();
+    let profiles = Profiles::paper();
+    let mut outputs = Vec::new();
+    for k in 0..iterations {
+        let t = k as f64 * DT;
+        // Quantise through f32 exactly as the tcpu I/O ports do.
+        let r = f64::from(profiles.reference(t) as f32);
+        let y = f64::from(engine.speed_rpm() as f32);
+        let u = ctrl.step(r, y);
+        outputs.push(u);
+        engine.advance(u, profiles.load(t), DT);
+    }
+    outputs
+}
+
+fn run_tcpu(workload: &bera::goofi::Workload, iterations: usize) -> Vec<f64> {
+    let mut m = Machine::new();
+    m.load_program(workload.program());
+    let mut engine = Engine::paper();
+    let profiles = Profiles::paper();
+    let mut outputs = Vec::new();
+    for k in 0..iterations {
+        let t = k as f64 * DT;
+        m.set_port_f32(PORT_R, profiles.reference(t) as f32);
+        m.set_port_f32(PORT_Y, engine.speed_rpm() as f32);
+        assert_eq!(m.run(1_000_000), RunExit::Yield, "iteration {k}");
+        let u = f64::from(m.port_out_f32(PORT_U));
+        outputs.push(u);
+        engine.advance(u, profiles.load(t), DT);
+    }
+    outputs
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn three_implementations_of_algorithm_two_agree() {
+    let n = 650;
+    let native = run_native(ProtectedPiController::paper(), n);
+    let generic = run_native(
+        Siso::new(
+            Protected::uniform(PiController::paper(), Limits::throttle()),
+            Limits::throttle(),
+        ),
+        n,
+    );
+    let tcpu = run_tcpu(&bera::goofi::Workload::algorithm_two(), n);
+
+    assert_eq!(
+        max_abs_diff(&native, &generic),
+        0.0,
+        "hand-written and generic Algorithm II are bit-identical"
+    );
+    assert!(
+        max_abs_diff(&native, &tcpu) < 0.5,
+        "f32 target tracks the f64 reference: {}",
+        max_abs_diff(&native, &tcpu)
+    );
+}
+
+#[test]
+fn algorithm_one_tcpu_vs_native() {
+    let n = 650;
+    let native = run_native(PiController::paper(), n);
+    let tcpu = run_tcpu(&bera::goofi::Workload::algorithm_one(), n);
+    assert!(max_abs_diff(&native, &tcpu) < 0.5);
+}
+
+#[test]
+fn corrupted_state_recovery_agrees_between_native_and_tcpu() {
+    // Force the same out-of-range state corruption into the native
+    // controller and the cache-resident x of the tcpu workload; both
+    // Algorithm II implementations must avoid a permanent lock-up.
+    let n = 300;
+    let kick = 200; // iteration of the corruption
+
+    // Native.
+    let mut native_out = Vec::new();
+    {
+        let mut ctrl = ProtectedPiController::paper();
+        let mut engine = Engine::paper();
+        let profiles = Profiles::paper();
+        for k in 0..n {
+            if k == kick {
+                ctrl.set_state(0, 2.0e9);
+            }
+            let t = k as f64 * DT;
+            let u = ctrl.step(profiles.reference(t), engine.speed_rpm());
+            native_out.push(u);
+            engine.advance(u, profiles.load(t), DT);
+        }
+    }
+
+    // tcpu.
+    let workload = bera::goofi::Workload::algorithm_two();
+    let mut tcpu_out = Vec::new();
+    {
+        let mut m = Machine::new();
+        m.load_program(workload.program());
+        let mut engine = Engine::paper();
+        let profiles = Profiles::paper();
+        for k in 0..n {
+            if k == kick {
+                assert!(m.scan_write_cached(workload.x_address(), 2.0e9f32.to_bits()));
+            }
+            let t = k as f64 * DT;
+            m.set_port_f32(PORT_R, profiles.reference(t) as f32);
+            m.set_port_f32(PORT_Y, engine.speed_rpm() as f32);
+            assert_eq!(m.run(1_000_000), RunExit::Yield);
+            let u = f64::from(m.port_out_f32(PORT_U));
+            tcpu_out.push(u);
+            engine.advance(u.clamp(0.0, 70.0), profiles.load(t), DT);
+        }
+    }
+
+    for (label, out) in [("native", &native_out), ("tcpu", &tcpu_out)] {
+        let locked = out[kick + 2..].iter().filter(|&&u| u >= 70.0).count();
+        assert_eq!(locked, 0, "{label}: no permanent lock after recovery");
+    }
+}

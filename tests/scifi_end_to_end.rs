@@ -1,0 +1,130 @@
+//! End-to-end SCIFI campaigns through the public API: the paper's
+//! qualitative claims must hold on small, fast campaigns.
+
+use bera::goofi::campaign::{run_scifi_campaign, CampaignConfig, FaultList};
+use bera::goofi::classify::{Outcome, Severity};
+use bera::goofi::experiment::{golden_run, LoopConfig};
+use bera::goofi::table::{tabulate, ComparisonTable, RowKind};
+use bera::goofi::workload::Workload;
+use bera::tcpu::scan::CpuPart;
+
+fn campaign(workload: &Workload, faults: usize, seed: u64) -> bera::goofi::CampaignResult {
+    let mut cfg = CampaignConfig::quick(faults, seed);
+    cfg.loop_cfg = LoopConfig::short(80);
+    cfg.threads = 0; // use all cores
+    run_scifi_campaign(workload, &cfg)
+}
+
+#[test]
+fn every_fault_gets_exactly_one_outcome() {
+    let r = campaign(&Workload::algorithm_one(), 150, 1);
+    assert_eq!(r.records.len(), 150);
+    let t = tabulate(&r);
+    assert_eq!(t.non_effective(None) + t.effective(None), 150);
+}
+
+#[test]
+fn fault_lists_cover_both_cpu_parts() {
+    let r = campaign(&Workload::algorithm_one(), 200, 2);
+    let cache = r.records.iter().filter(|x| x.part == CpuPart::Cache).count();
+    let regs = r.records.iter().filter(|x| x.part == CpuPart::Registers).count();
+    assert!(cache > 0 && regs > 0);
+    assert_eq!(cache + regs, 200);
+}
+
+#[test]
+fn most_errors_are_non_effective() {
+    // Section 4.2: the vast majority of injected faults have no effect on
+    // the output (latent or overwritten).
+    let r = campaign(&Workload::algorithm_one(), 300, 3);
+    let t = tabulate(&r);
+    assert!(
+        t.non_effective(None) * 2 > t.total_faults(),
+        "non-effective {} of {}",
+        t.non_effective(None),
+        t.total_faults()
+    );
+}
+
+#[test]
+fn detections_happen_and_are_attributed() {
+    let r = campaign(&Workload::algorithm_one(), 300, 4);
+    let detected = r
+        .records
+        .iter()
+        .filter(|x| matches!(x.outcome, Outcome::Detected(_)))
+        .count();
+    assert!(detected > 0, "some faults must be detected by the EDMs");
+}
+
+#[test]
+fn comparison_table_is_consistent() {
+    let a = campaign(&Workload::algorithm_one(), 150, 5);
+    let b = campaign(&Workload::algorithm_two(), 150, 5);
+    let cmp = ComparisonTable::new(&a, &b);
+    for t in [&cmp.first, &cmp.second] {
+        let severity_total = t.severity_count(Severity::Permanent, None)
+            + t.severity_count(Severity::SemiPermanent, None)
+            + t.severity_count(Severity::Transient, None)
+            + t.severity_count(Severity::Insignificant, None);
+        assert_eq!(severity_total, t.wrong_results(None));
+        assert_eq!(
+            t.count(RowKind::SevereWrong, None) + t.count(RowKind::MinorWrong, None),
+            t.wrong_results(None)
+        );
+    }
+}
+
+#[test]
+fn campaigns_are_reproducible_across_invocations() {
+    let a = campaign(&Workload::algorithm_one(), 100, 6);
+    let b = campaign(&Workload::algorithm_one(), 100, 6);
+    let oa: Vec<_> = a.records.iter().map(|x| x.outcome).collect();
+    let ob: Vec<_> = b.records.iter().map(|x| x.outcome).collect();
+    assert_eq!(oa, ob);
+}
+
+#[test]
+fn fault_list_respects_the_golden_run_length() {
+    let w = Workload::algorithm_one();
+    let cfg = LoopConfig::short(40);
+    let golden = golden_run(&w, &cfg);
+    let list = FaultList::sample(500, 9, golden.total_instructions);
+    assert!(list
+        .faults
+        .iter()
+        .all(|f| f.inject_at < golden.total_instructions));
+}
+
+#[test]
+fn parity_cache_ablation_shifts_failures_to_detections() {
+    let w = Workload::algorithm_one();
+    let mut cfg = CampaignConfig::quick(250, 10);
+    cfg.loop_cfg = LoopConfig::short(80);
+    cfg.threads = 0;
+    let unprotected = run_scifi_campaign(&w, &cfg);
+    cfg.loop_cfg.parity_cache = true;
+    let protected = run_scifi_campaign(&w, &cfg);
+
+    let uwr = |r: &bera::goofi::CampaignResult| {
+        r.records
+            .iter()
+            .filter(|x| x.outcome.is_value_failure() && x.part == CpuPart::Cache)
+            .count()
+    };
+    assert!(
+        uwr(&protected) <= uwr(&unprotected),
+        "parity must not increase cache value failures"
+    );
+    let data_errors = protected
+        .records
+        .iter()
+        .filter(|x| {
+            matches!(
+                x.outcome,
+                Outcome::Detected(bera::tcpu::edm::ErrorMechanism::DataError)
+            )
+        })
+        .count();
+    assert!(data_errors > 0, "parity detections must appear");
+}
