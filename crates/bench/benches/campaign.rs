@@ -2,12 +2,12 @@
 //! experiment, and small end-to-end campaigns for each algorithm and
 //! ablation variant — one series per table/figure-producing configuration.
 
-use bera_bench::bench_loop_config;
+use bera_bench::{bench_loop_config, bench_loop_config_checkpointed};
+use bera_core::PiController;
 use bera_goofi::campaign::{run_scifi_campaign, CampaignConfig};
 use bera_goofi::experiment::{golden_run, run_experiment, FaultSpec};
 use bera_goofi::swifi::{run_swifi, SwifiConfig};
 use bera_goofi::workload::Workload;
-use bera_core::PiController;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -32,11 +32,28 @@ fn bench_campaign(c: &mut Criterion) {
         b.iter(|| run_experiment(black_box(&w), &cfg, &golden, fault, false));
     });
 
+    // The same experiment on the checkpointed engine: fast-forward from the
+    // nearest golden checkpoint, prune the tail once converged.
+    group.bench_function("checkpointed_single_experiment", |b| {
+        let w = Workload::algorithm_one();
+        let ckpt_cfg = bench_loop_config_checkpointed(100, 4);
+        let golden = golden_run(&w, &ckpt_cfg);
+        let fault = FaultSpec {
+            location_index: 40,
+            inject_at: golden.total_instructions / 2,
+        };
+        b.iter(|| run_experiment(black_box(&w), &ckpt_cfg, &golden, fault, false));
+    });
+
     // One series per campaign configuration used by the table binaries.
     for (label, workload, parity) in [
         ("campaign_algorithm1", Workload::algorithm_one(), false),
         ("campaign_algorithm2", Workload::algorithm_two(), false),
-        ("campaign_algorithm1_parity", Workload::algorithm_one(), true),
+        (
+            "campaign_algorithm1_parity",
+            Workload::algorithm_one(),
+            true,
+        ),
         ("campaign_algorithm3", Workload::algorithm_three(), false),
         (
             "campaign_alg2_colocated",
@@ -53,6 +70,26 @@ fn bench_campaign(c: &mut Criterion) {
             let mut ccfg = CampaignConfig::quick(40, 11);
             ccfg.loop_cfg = bench_loop_config(60);
             ccfg.loop_cfg.parity_cache = parity;
+            ccfg.threads = 1;
+            b.iter(|| run_scifi_campaign(black_box(&workload), &ccfg));
+        });
+    }
+
+    // Checkpointed counterparts of the two headline campaign series — the
+    // before/after pair EXPERIMENTS.md reports the speedup ratio from.
+    for (label, workload) in [
+        (
+            "checkpointed_campaign_algorithm1",
+            Workload::algorithm_one(),
+        ),
+        (
+            "checkpointed_campaign_algorithm2",
+            Workload::algorithm_two(),
+        ),
+    ] {
+        group.bench_function(label, |b| {
+            let mut ccfg = CampaignConfig::quick(40, 11);
+            ccfg.loop_cfg = bench_loop_config_checkpointed(60, 4);
             ccfg.threads = 1;
             b.iter(|| run_scifi_campaign(black_box(&workload), &ccfg));
         });

@@ -12,8 +12,8 @@
 use bera_core::assertion::{All, Assertion};
 use bera_core::controller::{Controller, Limits};
 use bera_core::{
-    MimoController, PiController, Protected, ProtectedPiController, RangeAssertion,
-    RateAssertion, Siso, StateController, StateSpace,
+    MimoController, PiController, Protected, ProtectedPiController, RangeAssertion, RateAssertion,
+    Siso, StateController, StateSpace,
 };
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;

@@ -8,7 +8,9 @@
 use bera_goofi::experiment::LoopConfig;
 use bera_plant::{Engine, Profiles};
 
-/// A standard short loop configuration for campaign benches.
+/// A standard short loop configuration for campaign benches, with
+/// checkpointing disabled — the from-reset baseline the paper-era campaign
+/// engine used.
 #[must_use]
 pub fn bench_loop_config(iterations: usize) -> LoopConfig {
     LoopConfig {
@@ -17,5 +19,16 @@ pub fn bench_loop_config(iterations: usize) -> LoopConfig {
         profiles: Profiles::paper(),
         engine: Engine::paper(),
         parity_cache: false,
+        checkpoint_stride: 0,
+    }
+}
+
+/// [`bench_loop_config`] with golden-run checkpointing enabled: experiments
+/// fast-forward from the nearest checkpoint and prune converged tails.
+#[must_use]
+pub fn bench_loop_config_checkpointed(iterations: usize, stride: usize) -> LoopConfig {
+    LoopConfig {
+        checkpoint_stride: stride,
+        ..bench_loop_config(iterations)
     }
 }

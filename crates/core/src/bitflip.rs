@@ -101,7 +101,10 @@ mod tests {
     fn flip_is_involutive_f64() {
         let x = 12.345_f64;
         for bit in 0..64 {
-            assert_eq!(flip_bit_f64(flip_bit_f64(x, bit), bit).to_bits(), x.to_bits());
+            assert_eq!(
+                flip_bit_f64(flip_bit_f64(x, bit), bit).to_bits(),
+                x.to_bits()
+            );
         }
     }
 
@@ -109,7 +112,10 @@ mod tests {
     fn flip_is_involutive_f32() {
         let x = 12.345_f32;
         for bit in 0..32 {
-            assert_eq!(flip_bit_f32(flip_bit_f32(x, bit), bit).to_bits(), x.to_bits());
+            assert_eq!(
+                flip_bit_f32(flip_bit_f32(x, bit), bit).to_bits(),
+                x.to_bits()
+            );
         }
     }
 

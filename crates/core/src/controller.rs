@@ -75,7 +75,10 @@ impl Limits {
     #[must_use]
     pub fn new(lo: f64, hi: f64) -> Self {
         assert!(lo.is_finite() && hi.is_finite(), "limits must be finite");
-        assert!(lo <= hi, "lower limit {lo} must not exceed upper limit {hi}");
+        assert!(
+            lo <= hi,
+            "lower limit {lo} must not exceed upper limit {hi}"
+        );
         Limits { lo, hi }
     }
 

@@ -75,12 +75,10 @@ impl Matrix {
     pub fn mul_add_vec(&self, v: &[f64], out: &mut [f64]) {
         assert_eq!(v.len(), self.cols, "vector length mismatch");
         assert_eq!(out.len(), self.rows, "output length mismatch");
-        for r in 0..self.rows {
-            let mut acc = 0.0;
-            for c in 0..self.cols {
-                acc += self.data[r * self.cols + c] * v[c];
-            }
-            out[r] += acc;
+        for (r, slot) in out.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let acc: f64 = row.iter().zip(v).map(|(a, b)| a * b).sum();
+            *slot += acc;
         }
     }
 }

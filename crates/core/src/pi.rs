@@ -198,7 +198,7 @@ mod tests {
     fn anti_windup_allows_integration_back_into_range() {
         let mut c = PiController::new(unit_gains(), Limits::new(0.0, 10.0));
         c.set_x(100.0); // wound-up (or corrupted) state
-        // e < 0 now pulls the output back toward range: integration enabled.
+                        // e < 0 now pulls the output back toward range: integration enabled.
         c.step(0.0, 5.0); // e = -5, u = -5 + 100 = 95 > hi, but e < 0
         assert_eq!(c.x(), 95.0, "x must integrate downwards");
     }

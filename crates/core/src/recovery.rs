@@ -556,8 +556,8 @@ mod tests {
 
     #[test]
     fn depth_one_matches_paper_semantics() {
-        let mut deep = Protected::uniform(PiController::paper(), Limits::throttle())
-            .with_backup_depth(1);
+        let mut deep =
+            Protected::uniform(PiController::paper(), Limits::throttle()).with_backup_depth(1);
         let mut paper = Protected::uniform(PiController::paper(), Limits::throttle());
         let mut out_a = [0.0];
         let mut out_b = [0.0];
@@ -575,8 +575,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least 1")]
     fn zero_backup_depth_rejected() {
-        let _ = Protected::uniform(PiController::paper(), Limits::throttle())
-            .with_backup_depth(0);
+        let _ = Protected::uniform(PiController::paper(), Limits::throttle()).with_backup_depth(0);
     }
 
     #[test]

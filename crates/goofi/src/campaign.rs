@@ -9,6 +9,7 @@ use crate::workload::Workload;
 use bera_stats::sampling::UniformSampler;
 use bera_tcpu::scan;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Configuration of one SCIFI campaign (GOOFI's set-up phase).
 #[derive(Debug, Clone)]
@@ -122,13 +123,21 @@ pub fn run_scifi_campaign(workload: &Workload, cfg: &CampaignConfig) -> Campaign
     let golden = golden_run(workload, &cfg.loop_cfg);
     let list = FaultList::sample(cfg.faults, cfg.seed, golden.total_instructions);
     let records = run_fault_list(workload, cfg, &golden, &list.faults);
+    // The golden run is no longer needed once the experiments are done:
+    // move its logged vectors into the result instead of cloning them.
+    let GoldenRun {
+        outputs: golden_outputs,
+        speeds: golden_speeds,
+        total_instructions,
+        ..
+    } = golden;
     CampaignResult {
         workload: workload.name().to_string(),
         seed: cfg.seed,
         total_locations: scan::catalog().len(),
-        total_instructions: golden.total_instructions,
-        golden_outputs: golden.outputs.clone(),
-        golden_speeds: golden.speeds.clone(),
+        total_instructions,
+        golden_outputs,
+        golden_speeds,
         records,
     }
 }
@@ -150,40 +159,61 @@ pub fn run_fault_list(
         return faults
             .iter()
             .map(|&f| {
-                run_experiment_with_model(workload, &cfg.loop_cfg, golden, f, cfg.fault_model, cfg.detail)
+                run_experiment_with_model(
+                    workload,
+                    &cfg.loop_cfg,
+                    golden,
+                    f,
+                    cfg.fault_model,
+                    cfg.detail,
+                )
             })
             .collect();
     }
 
-    let chunk = faults.len().div_ceil(threads);
-    let mut results: Vec<Vec<ExperimentRecord>> = Vec::new();
-    crossbeam::scope(|scope| {
-        let handles: Vec<_> = faults
-            .chunks(chunk)
-            .map(|slice| {
-                scope.spawn(move |_| {
-                    slice
-                        .iter()
-                        .map(|&f| {
-                            run_experiment_with_model(
-                                workload,
-                                &cfg.loop_cfg,
-                                golden,
-                                f,
-                                cfg.fault_model,
-                                cfg.detail,
-                            )
-                        })
-                        .collect::<Vec<_>>()
+    // Dynamic work distribution: experiment run times vary by orders of
+    // magnitude (a detected fault traps within microseconds, a hang burns
+    // the whole instruction cap), so static chunking leaves threads idle
+    // behind the slowest chunk. Each worker instead claims the next
+    // unclaimed fault index from a shared atomic counter and records the
+    // index with its result, so the merged record order is exactly the
+    // fault-list order regardless of which worker ran what.
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<ExperimentRecord>> = Vec::new();
+    slots.resize_with(faults.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&f) = faults.get(i) else { break };
+                        let record = run_experiment_with_model(
+                            workload,
+                            &cfg.loop_cfg,
+                            golden,
+                            f,
+                            cfg.fault_model,
+                            cfg.detail,
+                        );
+                        done.push((i, record));
+                    }
+                    done
                 })
             })
             .collect();
         for h in handles {
-            results.push(h.join().expect("campaign worker panicked"));
+            for (i, record) in h.join().expect("campaign worker panicked") {
+                slots[i] = Some(record);
+            }
         }
-    })
-    .expect("campaign scope panicked");
-    results.into_iter().flatten().collect()
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every fault index was claimed by exactly one worker"))
+        .collect()
 }
 
 #[cfg(test)]

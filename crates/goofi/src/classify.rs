@@ -161,7 +161,10 @@ impl Classifier {
         if golden == observed {
             return None;
         }
-        let g: Vec<f64> = golden.iter().map(|&b| f64::from(f32::from_bits(b))).collect();
+        let g: Vec<f64> = golden
+            .iter()
+            .map(|&b| f64::from(f32::from_bits(b)))
+            .collect();
         let o: Vec<f64> = observed
             .iter()
             .map(|&b| f64::from(f32::from_bits(b)))
@@ -277,7 +280,7 @@ mod tests {
     }
 
     #[test]
-    fn permanent_pinned_at_max(){
+    fn permanent_pinned_at_max() {
         let g = constant(20.0, 650);
         let mut o = g.clone();
         for v in o.iter_mut().skip(300) {
@@ -300,9 +303,7 @@ mod tests {
     fn pinned_then_recovering_is_semi_permanent() {
         let g = constant(20.0, 650);
         let mut o = g.clone();
-        for k in 300..400 {
-            o[k] = 70.0;
-        }
+        o[300..400].fill(70.0);
         // Converges back before the end of the window.
         assert_eq!(c().classify_values(&g, &o), Severity::SemiPermanent);
     }

@@ -22,6 +22,14 @@ pub struct LoopConfig {
     /// Run the target with a parity-protected data cache (the hardware
     /// alternative of Section 4.3; used by the ablation study).
     pub parity_cache: bool,
+    /// Capture a golden-run checkpoint every this many iterations. Each
+    /// experiment then fast-forwards by cloning the nearest checkpoint at
+    /// or before its injection point, and prunes its tail once the faulty
+    /// state provably rejoins the golden trajectory. `0` disables both:
+    /// every experiment replays from reset. Outcomes are bit-identical
+    /// either way; the stride only trades checkpoint memory for campaign
+    /// speed.
+    pub checkpoint_stride: usize,
 }
 
 impl LoopConfig {
@@ -35,6 +43,7 @@ impl LoopConfig {
             profiles: Profiles::paper(),
             engine: Engine::paper(),
             parity_cache: false,
+            checkpoint_stride: 4,
         }
     }
 
@@ -100,6 +109,59 @@ pub struct GoldenRun {
     pub end_scan: ScanSnapshot,
     /// The machine at the end of the run (for memory comparison).
     pub end_machine: Machine,
+    /// Periodic snapshots of the whole loop (see [`Checkpoint`]); one per
+    /// [`LoopConfig::checkpoint_stride`] iterations, starting at iteration
+    /// 0. Empty when checkpointing is disabled.
+    pub checkpoints: Vec<Checkpoint>,
+}
+
+impl GoldenRun {
+    /// The last checkpoint whose instruction count does not exceed
+    /// `inject_at` — the state an experiment may legally resume from, since
+    /// the fault-free prefix up to the injection point is bit-identical to
+    /// the golden run.
+    #[must_use]
+    pub fn checkpoint_before(&self, inject_at: u64) -> Option<&Checkpoint> {
+        self.checkpoints
+            .iter()
+            .rev()
+            .find(|c| c.machine.instr_count() <= inject_at)
+    }
+}
+
+/// A snapshot of the whole closed loop at the start of one control
+/// iteration: machine (input ports already loaded for that iteration),
+/// plant, and a digest for cheap convergence filtering.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Iteration index `k`: when this state is live, the golden run has
+    /// logged `outputs[..k]` and `speeds[..=k]`.
+    pub iteration: usize,
+    /// Machine state, with `set_ports` for iteration `k` already applied.
+    pub machine: Machine,
+    /// Plant state after `k` control intervals.
+    pub engine: Engine,
+    /// Combined machine + plant digest (see [`Machine::state_digest`]).
+    pub digest: u64,
+}
+
+impl Checkpoint {
+    fn capture(iteration: usize, machine: &Machine, engine: &Engine) -> Self {
+        Checkpoint {
+            iteration,
+            machine: machine.clone(),
+            engine: engine.clone(),
+            digest: loop_digest(machine, engine),
+        }
+    }
+}
+
+/// Digest of the combined machine + plant state at an iteration boundary.
+fn loop_digest(machine: &Machine, engine: &Engine) -> u64 {
+    let mut h = bera_tcpu::Fnv64::new();
+    h.write_u64(machine.state_digest());
+    h.write_u64(engine.state_digest());
+    h.finish()
 }
 
 /// The record of one completed experiment.
@@ -124,6 +186,11 @@ pub struct ExperimentRecord {
     pub detection_latency: Option<u64>,
     /// Full output sequence (bit patterns); populated only in detail mode.
     pub outputs: Option<Vec<u32>>,
+    /// Iteration at which convergence pruning ended the run early, the
+    /// golden tail being provably identical (`None` when the run executed
+    /// to its natural termination). Metadata only: the classification is
+    /// unaffected by pruning.
+    pub pruned_at: Option<usize>,
 }
 
 /// How a closed-loop drive ended.
@@ -131,12 +198,47 @@ enum DriveEnd {
     Completed,
     Trapped(bera_tcpu::edm::Trap),
     Hang,
+    /// The faulty state provably rejoined the golden trajectory at the
+    /// start of this iteration; the remaining iterations were not executed
+    /// because they would replay the golden tail bit-for-bit.
+    Converged {
+        iteration: usize,
+    },
 }
 
 struct DriveResult {
     outputs: Vec<u32>,
     speeds: Vec<f64>,
     end: DriveEnd,
+}
+
+/// What [`drive_from`] does at checkpoint-stride iteration boundaries.
+enum DriveMode<'a> {
+    /// Plain closed-loop drive (checkpointing disabled).
+    Plain,
+    /// Golden run: capture a [`Checkpoint`] at every stride boundary.
+    Capture(&'a mut Vec<Checkpoint>),
+    /// Experiment: once the fault has been injected, test for convergence
+    /// against the golden checkpoint of the same iteration and stop early
+    /// on a proven match.
+    Prune(&'a GoldenRun),
+}
+
+/// Worst-case dynamic instructions one control iteration may execute; used
+/// to budget the golden run's hang cap before the true per-run instruction
+/// count is known. The workloads execute a few hundred instructions per
+/// iteration, so this is a generous bound.
+const WORST_CASE_ITERATION_INSTRUCTIONS: u64 = 10_000;
+
+/// Hang-detection instruction cap for a run expected to execute
+/// `expected_instructions`: 100% headroom for fault-induced detours plus a
+/// fixed allowance so very short runs are not capped too tightly. The
+/// golden run and every experiment derive their caps from this one helper
+/// (they previously used two different formulas, which made hang
+/// classification depend on which path computed the cap).
+#[must_use]
+pub fn instruction_cap(expected_instructions: u64) -> u64 {
+    expected_instructions * 2 + 20_000
 }
 
 fn set_ports(machine: &mut Machine, cfg: &LoopConfig, k: usize, engine: &Engine) {
@@ -157,22 +259,92 @@ fn actuate(u: f32) -> f64 {
     }
 }
 
-/// Drives the machine in closed loop. `fault` flips one scan-chain bit when
-/// the dynamic instruction count reaches `inject_at`. `instr_cap` bounds the
-/// total instruction count to detect hangs.
-fn drive(
+/// Proven convergence test at an iteration boundary: exact plant and
+/// machine equality first, then the hang-cap guard. `true` means a
+/// from-reset run of this experiment would finish by replaying the golden
+/// tail bit-for-bit, so executing the tail is unnecessary.
+///
+/// Equality is checked directly rather than via the digest: comparing two
+/// resident states is a short-circuiting memcmp (nanoseconds on the common
+/// diverged path), while hashing the faulty state costs a full pass over
+/// memory every checked boundary. The stored digest still identifies the
+/// checkpoint across runs; here it only cross-checks a positive match.
+fn converged(
+    machine: &Machine,
+    engine: &Engine,
+    ckpt: &Checkpoint,
+    golden: &GoldenRun,
+    instr_cap: u64,
+) -> bool {
+    if *engine != ckpt.engine || !machine.state_equals(&ckpt.machine) {
+        return false;
+    }
+    debug_assert_eq!(
+        loop_digest(machine, engine),
+        ckpt.digest,
+        "equal states must agree on the checkpoint digest"
+    );
+    // The golden tail from this checkpoint executes a known number of
+    // further instructions. Prune only if the faulty run's counter stays
+    // under the hang cap for the whole tail; otherwise keep executing so a
+    // genuine from-reset Hang classification is reproduced exactly.
+    let tail = golden.total_instructions - ckpt.machine.instr_count();
+    machine.instr_count() + tail <= instr_cap
+}
+
+/// Drives the machine in closed loop from the state the caller prepared:
+/// iteration index `k` with `set_ports(k)` already applied, `outputs`
+/// holding the first `k` logged outputs and `speeds` the first `k + 1`
+/// speed samples. `fault` flips scan-chain bits when the dynamic
+/// instruction count reaches `inject_at`; `instr_cap` bounds the total
+/// instruction count to detect hangs; `mode` selects the checkpoint
+/// behaviour at stride boundaries.
+#[allow(clippy::too_many_arguments)]
+fn drive_from(
     machine: &mut Machine,
     cfg: &LoopConfig,
+    mut engine: Engine,
+    mut k: usize,
+    mut outputs: Vec<u32>,
+    mut speeds: Vec<f64>,
     mut fault: Option<(u64, Vec<BitLocation>)>,
     instr_cap: u64,
+    mut mode: DriveMode<'_>,
 ) -> DriveResult {
-    let mut engine = cfg.engine.clone();
-    let mut outputs = Vec::with_capacity(cfg.iterations);
-    let mut speeds = Vec::with_capacity(cfg.iterations);
-    let mut k = 0usize;
-    speeds.push(engine.speed_rpm());
-    set_ports(machine, cfg, 0, &engine);
+    let stride = cfg.checkpoint_stride;
+    // Set when execution sits at the start of iteration `k` (function entry
+    // and after every completed iteration); cleared once the boundary has
+    // been processed so mid-iteration injection resumes don't repeat it.
+    let mut at_boundary = true;
     while k < cfg.iterations {
+        if at_boundary {
+            at_boundary = false;
+            if stride > 0 && k.is_multiple_of(stride) {
+                match &mut mode {
+                    DriveMode::Plain => {}
+                    DriveMode::Capture(into) => {
+                        into.push(Checkpoint::capture(k, machine, &engine));
+                    }
+                    DriveMode::Prune(golden) => {
+                        // Convergence is only meaningful after injection
+                        // (before it, the run *is* the golden run).
+                        if fault.is_none() {
+                            if let Some(ckpt) = golden.checkpoints.get(k / stride) {
+                                if ckpt.iteration == k
+                                    && converged(machine, &engine, ckpt, golden, instr_cap)
+                                {
+                                    return DriveResult {
+                                        outputs,
+                                        speeds,
+                                        end: DriveEnd::Converged { iteration: k },
+                                    };
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
         let stop = match &fault {
             Some((at, _)) => (*at).min(instr_cap),
             None => instr_cap,
@@ -188,6 +360,7 @@ fn drive(
                     speeds.push(engine.speed_rpm());
                     set_ports(machine, cfg, k, &engine);
                 }
+                at_boundary = true;
             }
             RunExit::Trap(trap) => {
                 return DriveResult {
@@ -196,22 +369,20 @@ fn drive(
                     end: DriveEnd::Trapped(trap),
                 };
             }
-            RunExit::Budget => {
-                match fault.take() {
-                    Some((_, locs)) if machine.instr_count() < instr_cap => {
-                        for loc in locs {
-                            machine.scan_flip(loc);
-                        }
-                    }
-                    _ => {
-                        return DriveResult {
-                            outputs,
-                            speeds,
-                            end: DriveEnd::Hang,
-                        };
+            RunExit::Budget => match fault.take() {
+                Some((_, locs)) if machine.instr_count() < instr_cap => {
+                    for loc in locs {
+                        machine.scan_flip(loc);
                     }
                 }
-            }
+                _ => {
+                    return DriveResult {
+                        outputs,
+                        speeds,
+                        end: DriveEnd::Hang,
+                    };
+                }
+            },
         }
     }
     DriveResult {
@@ -232,12 +403,32 @@ pub fn golden_run(workload: &Workload, cfg: &LoopConfig) -> GoldenRun {
     let mut machine = Machine::new();
     machine.load_program(workload.program());
     machine.set_cache_parity(cfg.parity_cache);
-    let cap = (cfg.iterations as u64 + 2) * 10_000;
-    let result = drive(&mut machine, cfg, None, cap);
+    let engine = cfg.engine.clone();
+    let speeds = vec![engine.speed_rpm()];
+    set_ports(&mut machine, cfg, 0, &engine);
+    let cap = instruction_cap(cfg.iterations as u64 * WORST_CASE_ITERATION_INSTRUCTIONS);
+    let mut checkpoints = Vec::new();
+    let mode = if cfg.checkpoint_stride > 0 {
+        DriveMode::Capture(&mut checkpoints)
+    } else {
+        DriveMode::Plain
+    };
+    let result = drive_from(
+        &mut machine,
+        cfg,
+        engine,
+        0,
+        Vec::with_capacity(cfg.iterations),
+        speeds,
+        None,
+        cap,
+        mode,
+    );
     match result.end {
         DriveEnd::Completed => {}
         DriveEnd::Trapped(t) => panic!("golden run trapped: {t:?}"),
         DriveEnd::Hang => panic!("golden run exceeded the instruction cap"),
+        DriveEnd::Converged { .. } => unreachable!("golden run never prunes"),
     }
     GoldenRun {
         outputs: result.outputs,
@@ -245,6 +436,7 @@ pub fn golden_run(workload: &Workload, cfg: &LoopConfig) -> GoldenRun {
         total_instructions: machine.instr_count(),
         end_scan: machine.scan_snapshot(),
         end_machine: machine,
+        checkpoints,
     }
 }
 
@@ -286,36 +478,91 @@ pub fn run_experiment_with_model(
         .into_iter()
         .map(|i| scan::catalog()[i])
         .collect();
-    let mut machine = Machine::new();
-    machine.load_program(workload.program());
-    machine.set_cache_parity(cfg.parity_cache);
-    let cap = golden.total_instructions * 2 + 20_000;
-    let result = drive(&mut machine, cfg, Some((fault.inject_at, locations)), cap);
+    let cap = instruction_cap(golden.total_instructions);
 
+    // Fast-forward: resume from the nearest golden checkpoint at or before
+    // the injection point instead of re-executing the fault-free prefix
+    // (which is bit-identical to the golden run by determinism). With
+    // checkpointing disabled this falls back to a from-reset run.
+    let (mut machine, engine, start_k, prefix_outputs, prefix_speeds) =
+        match golden.checkpoint_before(fault.inject_at) {
+            Some(ckpt) => (
+                ckpt.machine.clone(),
+                ckpt.engine.clone(),
+                ckpt.iteration,
+                golden.outputs[..ckpt.iteration].to_vec(),
+                golden.speeds[..=ckpt.iteration].to_vec(),
+            ),
+            None => {
+                let mut machine = Machine::new();
+                machine.load_program(workload.program());
+                machine.set_cache_parity(cfg.parity_cache);
+                let engine = cfg.engine.clone();
+                let speeds = vec![engine.speed_rpm()];
+                set_ports(&mut machine, cfg, 0, &engine);
+                (
+                    machine,
+                    engine,
+                    0,
+                    Vec::with_capacity(cfg.iterations),
+                    speeds,
+                )
+            }
+        };
+    let result = drive_from(
+        &mut machine,
+        cfg,
+        engine,
+        start_k,
+        prefix_outputs,
+        prefix_speeds,
+        Some((fault.inject_at, locations)),
+        cap,
+        DriveMode::Prune(golden),
+    );
+
+    let DriveResult {
+        mut outputs, end, ..
+    } = result;
     let mut detection_latency = None;
-    let (outcome, max_deviation, first_strong) = match result.end {
+    let mut pruned_at = None;
+    let (outcome, max_deviation, first_strong) = match end {
         DriveEnd::Trapped(trap) => {
             detection_latency = Some(trap.at_instruction.saturating_sub(fault.inject_at));
             (Outcome::Detected(trap.mechanism), 0.0, None)
         }
         DriveEnd::Hang => (Outcome::Hang, 0.0, None),
         DriveEnd::Completed => {
-            let (max_dev, first) = deviation_stats(&golden.outputs, &result.outputs, classifier.threshold);
-            match classifier.classify_bits(&golden.outputs, &result.outputs) {
+            let (max_dev, first) = deviation_stats(&golden.outputs, &outputs, classifier.threshold);
+            match classifier.classify_bits(&golden.outputs, &outputs) {
                 Some(severity) => (Outcome::ValueFailure(severity), max_dev, first),
                 None => {
                     // Outputs identical: latent iff any machine or memory
                     // state differs from the golden end state.
-                    let scan_differs =
-                        machine.scan_snapshot().diff_count(&golden.end_scan) != 0;
-                    let mem_differs =
-                        !machine.memory().data_equals(golden.end_machine.memory());
+                    let scan_differs = machine.scan_snapshot().diff_count(&golden.end_scan) != 0;
+                    let mem_differs = !machine.memory().data_equals(golden.end_machine.memory());
                     if scan_differs || mem_differs {
                         (Outcome::Latent, 0.0, None)
                     } else {
                         (Outcome::Overwritten, 0.0, None)
                     }
                 }
+            }
+        }
+        DriveEnd::Converged { iteration } => {
+            // The run provably rejoined the golden trajectory at this
+            // boundary: splice the golden tail in place of executing it.
+            // The spliced sequence equals what a from-reset run would have
+            // produced, so the value-failure classification is unchanged.
+            pruned_at = Some(iteration);
+            outputs.extend_from_slice(&golden.outputs[iteration..]);
+            let (max_dev, first) = deviation_stats(&golden.outputs, &outputs, classifier.threshold);
+            match classifier.classify_bits(&golden.outputs, &outputs) {
+                Some(severity) => (Outcome::ValueFailure(severity), max_dev, first),
+                // Convergence proved the machine and plant equal to the
+                // golden checkpoint, so the run would end in exactly the
+                // golden end state: no latent damage is possible.
+                None => (Outcome::Overwritten, 0.0, None),
             }
         }
     };
@@ -328,7 +575,8 @@ pub fn run_experiment_with_model(
         max_deviation,
         first_strong_iteration: first_strong,
         detection_latency,
-        outputs: detail.then_some(result.outputs),
+        outputs: detail.then_some(outputs),
+        pruned_at,
     }
 }
 

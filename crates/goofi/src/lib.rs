@@ -49,7 +49,8 @@ pub mod workload;
 pub use campaign::{run_scifi_campaign, CampaignConfig, CampaignResult};
 pub use classify::{Classifier, Outcome, Severity};
 pub use experiment::{
-    golden_run, run_experiment, ExperimentRecord, FaultModel, FaultSpec, GoldenRun, LoopConfig,
+    golden_run, instruction_cap, run_experiment, Checkpoint, ExperimentRecord, FaultModel,
+    FaultSpec, GoldenRun, LoopConfig,
 };
 pub use table::{tabulate, ComparisonTable, PaperTable};
 pub use workload::Workload;

@@ -81,8 +81,13 @@ impl Lockstep {
             Ok(StepEvent::Yield) => {
                 let u = f64::from(self.machine.port_out_f32(PORT_U));
                 let t = self.iteration as f64 * cfg.sample_interval;
-                let act = if u.is_finite() { u.clamp(0.0, 70.0) } else { 0.0 };
-                self.engine.advance(act, cfg.profiles.load(t), cfg.sample_interval);
+                let act = if u.is_finite() {
+                    u.clamp(0.0, 70.0)
+                } else {
+                    0.0
+                };
+                self.engine
+                    .advance(act, cfg.profiles.load(t), cfg.sample_interval);
                 self.iteration += 1;
                 self.set_ports(cfg);
                 Ok(())
@@ -282,7 +287,10 @@ mod tests {
             })
             .filter(|r| r.detected.is_some())
             .count();
-        assert!(detections > 10, "most wild PCs must be caught: {detections}");
+        assert!(
+            detections > 10,
+            "most wild PCs must be caught: {detections}"
+        );
     }
 
     #[test]

@@ -130,7 +130,11 @@ fn run_loop<C: Controller>(
         outputs.push(u);
         // The actuator saturates mechanically; non-finite commands fall to
         // the lower stop (same convention as the SCIFI driver).
-        let act = if u.is_finite() { u.clamp(0.0, 70.0) } else { 0.0 };
+        let act = if u.is_finite() {
+            u.clamp(0.0, 70.0)
+        } else {
+            0.0
+        };
         engine.advance(act, profiles.load(t), dt);
     }
     outputs
@@ -159,7 +163,13 @@ pub fn run_swifi<C: Controller, F: Fn() -> C>(make: F, cfg: &SwifiConfig) -> Swi
         let max_deviation = golden
             .iter()
             .zip(observed.iter())
-            .map(|(g, o)| if o.is_finite() { (g - o).abs() } else { f64::INFINITY })
+            .map(|(g, o)| {
+                if o.is_finite() {
+                    (g - o).abs()
+                } else {
+                    f64::INFINITY
+                }
+            })
             .fold(0.0, f64::max);
         let severity = if golden
             .iter()
@@ -398,7 +408,13 @@ where
             let dev = g
                 .iter()
                 .zip(o.iter())
-                .map(|(a, b)| if b.is_finite() { (a - b).abs() } else { f64::INFINITY })
+                .map(|(a, b)| {
+                    if b.is_finite() {
+                        (a - b).abs()
+                    } else {
+                        f64::INFINITY
+                    }
+                })
                 .fold(0.0, f64::max);
             max_deviation = max_deviation.max(dev);
             worst = Some(match worst {

@@ -59,9 +59,7 @@ pub fn detection_latency_summary(result: &CampaignResult) -> bera_stats::Summary
 /// Per-mechanism detection-latency summaries, in table order; mechanisms
 /// that never fired are omitted.
 #[must_use]
-pub fn latency_by_mechanism(
-    result: &CampaignResult,
-) -> Vec<(ErrorMechanism, bera_stats::Summary)> {
+pub fn latency_by_mechanism(result: &CampaignResult) -> Vec<(ErrorMechanism, bera_stats::Summary)> {
     TABLE_MECHANISMS
         .iter()
         .filter_map(|&m| {
@@ -288,7 +286,10 @@ impl PaperTable {
                 f(None),
             ]
         };
-        out.push_str(&self.row("Latent Errors", per_part(&|p| self.count(RowKind::Latent, p))));
+        out.push_str(&self.row(
+            "Latent Errors",
+            per_part(&|p| self.count(RowKind::Latent, p)),
+        ));
         out.push_str(&self.row(
             "Overwritten Errors",
             per_part(&|p| self.count(RowKind::Overwritten, p)),
@@ -323,7 +324,9 @@ impl PaperTable {
         out.push_str(&format!(
             "{:<38}{:>24}{:>24}{:>24}\n",
             "Coverage",
-            self.coverage(Some(CpuPart::Cache)).normal_ci95().to_string(),
+            self.coverage(Some(CpuPart::Cache))
+                .normal_ci95()
+                .to_string(),
             self.coverage(Some(CpuPart::Registers))
                 .normal_ci95()
                 .to_string(),

@@ -15,8 +15,7 @@ pub const ALGORITHM_1_SOURCE: &str = include_str!("../workloads/algorithm1.s");
 /// Source text of the Algorithm II workload.
 pub const ALGORITHM_2_SOURCE: &str = include_str!("../workloads/algorithm2.s");
 /// Ablation variant: backups co-located with `x` in cache line 0.
-pub const ALGORITHM_2_COLOCATED_SOURCE: &str =
-    include_str!("../workloads/algorithm2_colocated.s");
+pub const ALGORITHM_2_COLOCATED_SOURCE: &str = include_str!("../workloads/algorithm2_colocated.s");
 /// Ablation variant: state backed up before it is asserted.
 pub const ALGORITHM_2_ASSERT_AFTER_SOURCE: &str =
     include_str!("../workloads/algorithm2_assert_after.s");

@@ -29,22 +29,28 @@ pub fn step_response(trace: &Trace, step_time: f64, band: f64) -> StepMetrics {
     assert!(!after.is_empty(), "no samples after the step");
     let r_new = after.last().unwrap().r;
     let r_old = samples
-        .iter().rfind(|s| s.t < step_time)
+        .iter()
+        .rfind(|s| s.t < step_time)
         .map_or(after[0].y, |s| s.r);
     let amplitude = r_new - r_old;
 
     let mut settling_time = None;
     for (i, s) in after.iter().enumerate() {
-        if (s.y - r_new).abs() <= band
-            && after[i..].iter().all(|x| (x.y - r_new).abs() <= band) {
-                settling_time = Some(s.t - step_time);
-                break;
-            }
+        if (s.y - r_new).abs() <= band && after[i..].iter().all(|x| (x.y - r_new).abs() <= band) {
+            settling_time = Some(s.t - step_time);
+            break;
+        }
     }
 
     let overshoot = after
         .iter()
-        .map(|s| if amplitude >= 0.0 { s.y - r_new } else { r_new - s.y })
+        .map(|s| {
+            if amplitude >= 0.0 {
+                s.y - r_new
+            } else {
+                r_new - s.y
+            }
+        })
         .fold(0.0, f64::max);
 
     let rise_time = after

@@ -313,8 +313,8 @@ impl BlockDiagramPi {
         let e = self.err.step(r, y);
         let u = self.kp.step(e) + self.integrator.state();
         let u_lim = self.limiter.step(u);
-        let anti_windup = self.limiter.saturates(u)
-            && ((u > u_lim && e > 0.0) || (u < u_lim && e < 0.0));
+        let anti_windup =
+            self.limiter.saturates(u) && ((u > u_lim && e > 0.0) || (u < u_lim && e < 0.0));
         if !anti_windup {
             self.integrator.step(self.ki.step(e));
         }

@@ -174,8 +174,8 @@ mod tests {
     fn paper_loop_tracks_first_reference() {
         let mut cl = ClosedLoop::new(Engine::paper(), PiController::paper());
         let trace = cl.run(&Profiles::paper(), 325); // first 5 s
-        // Check the settled window before the first load hill (2 s < t < 3 s);
-        // during the hill the paper's own Figure 3 shows the speed dipping.
+                                                     // Check the settled window before the first load hill (2 s < t < 3 s);
+                                                     // during the hill the paper's own Figure 3 shows the speed dipping.
         let settled: Vec<_> = trace
             .samples()
             .iter()
@@ -246,10 +246,7 @@ mod tests {
     fn outputs_stay_within_throttle_range() {
         let mut cl = ClosedLoop::new(Engine::paper(), PiController::paper());
         let trace = cl.run(&Profiles::paper(), 650);
-        assert!(trace
-            .outputs()
-            .iter()
-            .all(|&u| (0.0..=70.0).contains(&u)));
+        assert!(trace.outputs().iter().all(|&u| (0.0..=70.0).contains(&u)));
     }
 
     #[test]

@@ -334,16 +334,17 @@ mod tests {
 
     #[test]
     fn constant_gain_model() {
-        let model = ControlModel::new("gain")
-            .var("u")
-            .body(vec![
-                Stmt::assign("u", Expr::mul(Expr::num(0.5), Expr::input(0))),
-                Stmt::output(2, "u"),
-            ]);
-        let p = compile_with(&model, &CodegenOptions {
-            runtime_epilogue: false,
-            log_vars: vec![],
-        })
+        let model = ControlModel::new("gain").var("u").body(vec![
+            Stmt::assign("u", Expr::mul(Expr::num(0.5), Expr::input(0))),
+            Stmt::output(2, "u"),
+        ]);
+        let p = compile_with(
+            &model,
+            &CodegenOptions {
+                runtime_epilogue: false,
+                log_vars: vec![],
+            },
+        )
         .unwrap();
         let m = run_once(&p, &[(0, 8.0)]);
         assert_eq!(m.port_out_f32(2), 4.0);
@@ -351,16 +352,14 @@ mod tests {
 
     #[test]
     fn if_else_selects_branch() {
-        let model = ControlModel::new("sel")
-            .var("y")
-            .body(vec![
-                Stmt::if_else(
-                    Cond::new(Expr::input(0), CmpOp::Gt, Expr::num(1.0)),
-                    vec![Stmt::assign("y", Expr::num(10.0))],
-                    vec![Stmt::assign("y", Expr::num(20.0))],
-                ),
-                Stmt::output(2, "y"),
-            ]);
+        let model = ControlModel::new("sel").var("y").body(vec![
+            Stmt::if_else(
+                Cond::new(Expr::input(0), CmpOp::Gt, Expr::num(1.0)),
+                vec![Stmt::assign("y", Expr::num(10.0))],
+                vec![Stmt::assign("y", Expr::num(20.0))],
+            ),
+            Stmt::output(2, "y"),
+        ]);
         let p = compile(&model).unwrap();
         assert_eq!(run_once(&p, &[(0, 2.0)]).port_out_f32(2), 10.0);
         assert_eq!(run_once(&p, &[(0, 0.5)]).port_out_f32(2), 20.0);
@@ -369,12 +368,10 @@ mod tests {
     #[test]
     fn state_persists_across_iterations() {
         // x := x + in0 — an accumulator.
-        let model = ControlModel::new("acc")
-            .var("x")
-            .body(vec![
-                Stmt::assign("x", Expr::add(Expr::var("x"), Expr::input(0))),
-                Stmt::output(2, "x"),
-            ]);
+        let model = ControlModel::new("acc").var("x").body(vec![
+            Stmt::assign("x", Expr::add(Expr::var("x"), Expr::input(0))),
+            Stmt::output(2, "x"),
+        ]);
         let p = compile(&model).unwrap();
         let mut m = Machine::new();
         m.load_program(&p.program);
@@ -403,7 +400,9 @@ mod tests {
         for _ in 0..8 {
             e = Expr::add(Expr::num(1.0), e);
         }
-        let model = ControlModel::new("deep").var("a").body(vec![Stmt::assign("a", e)]);
+        let model = ControlModel::new("deep")
+            .var("a")
+            .body(vec![Stmt::assign("a", e)]);
         assert!(matches!(
             compile(&model).unwrap_err(),
             CodegenError::ExpressionTooDeep { .. }
@@ -412,16 +411,17 @@ mod tests {
 
     #[test]
     fn epilogue_is_emitted_and_runs() {
-        let model = ControlModel::new("hk")
-            .var("u")
-            .body(vec![
-                Stmt::assign("u", Expr::input(0)),
-                Stmt::output(2, "u"),
-            ]);
-        let p = compile_with(&model, &CodegenOptions {
-            runtime_epilogue: true,
-            log_vars: vec!["u".to_string()],
-        })
+        let model = ControlModel::new("hk").var("u").body(vec![
+            Stmt::assign("u", Expr::input(0)),
+            Stmt::output(2, "u"),
+        ]);
+        let p = compile_with(
+            &model,
+            &CodegenOptions {
+                runtime_epilogue: true,
+                log_vars: vec!["u".to_string()],
+            },
+        )
         .unwrap();
         assert!(p.asm.contains("scrub"));
         let mut m = Machine::new();
@@ -446,6 +446,9 @@ mod tests {
             runtime_epilogue: true,
             log_vars: vec!["a".into(), "b".into(), "c".into()],
         };
-        assert_eq!(compile_with(&model, &opts).unwrap_err(), CodegenError::TooManyLogVars);
+        assert_eq!(
+            compile_with(&model, &opts).unwrap_err(),
+            CodegenError::TooManyLogVars
+        );
     }
 }

@@ -22,6 +22,10 @@ pub enum Expr {
     Div(Box<Expr>, Box<Expr>),
 }
 
+// add/sub/mul/div are plain-function constructors on purpose: model code
+// builds trees as `Expr::add(a, b)`, mirroring the generated-code style,
+// and the operands are owned `Expr`s rather than `self`.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// A variable reference.
     #[must_use]

@@ -96,7 +96,7 @@ fn generated_algorithm_three_catches_in_range_jump() {
     let profiles = Profiles::paper();
     let mut max_dev_after = 0.0f64;
     let golden = run_closed_loop(&generated.program, 650);
-    for k in 0..650 {
+    for (k, &golden_u) in golden.iter().enumerate() {
         if k == 390 {
             assert!(m.scan_write_cached(x_addr, 69.0f32.to_bits()));
         }
@@ -106,8 +106,7 @@ fn generated_algorithm_three_catches_in_range_jump() {
         assert_eq!(m.run(1_000_000), RunExit::Yield);
         let u = f64::from(m.port_out_f32(PORT_U));
         if k > 392 {
-            max_dev_after =
-                max_dev_after.max((u - f64::from(f32::from_bits(golden[k]))).abs());
+            max_dev_after = max_dev_after.max((u - f64::from(f32::from_bits(golden_u))).abs());
         }
         engine.advance(u.clamp(0.0, 70.0), profiles.load(t), 0.0154);
     }

@@ -237,7 +237,7 @@ mod tests {
     #[test]
     fn interval_excludes() {
         let a = Proportion::new(50, 9290).normal_ci95(); // 0.54 % ± 0.15 %
-        // Algorithm II severe rate 0.17 % lies outside Algorithm I's interval.
+                                                         // Algorithm II severe rate 0.17 % lies outside Algorithm I's interval.
         assert!(a.excludes(0.0017));
         assert!(!a.excludes(0.0054));
     }

@@ -223,13 +223,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                         return err(line, ".float only valid in .data");
                     }
                     for v in args.split(',') {
-                        let f: f32 = v
-                            .trim()
-                            .parse()
-                            .map_err(|_| AsmError {
-                                line,
-                                message: format!("invalid float `{}`", v.trim()),
-                            })?;
+                        let f: f32 = v.trim().parse().map_err(|_| AsmError {
+                            line,
+                            message: format!("invalid float `{}`", v.trim()),
+                        })?;
                         push_data(&mut data, &mut data_addr, f.to_bits(), line)?;
                     }
                 }
@@ -352,7 +349,9 @@ fn find_label_colon(s: &str) -> Option<usize> {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -409,7 +408,11 @@ fn parse_operand(s: &str, line: usize) -> Result<Operand, AsmError> {
             Some(i) => {
                 let sign = if inner.as_bytes()[i] == b'-' { -1 } else { 1 };
                 let rest = inner[i + 1..].trim();
-                let disp = if rest.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_') {
+                let disp = if rest
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+                {
                     MemDisp::Sym(rest.to_string(), sign)
                 } else {
                     MemDisp::Imm(sign * parse_int(rest, line)?)
@@ -470,13 +473,10 @@ fn instr_words(mnemonic: &str) -> usize {
 }
 
 fn resolve(sym: &str, symbols: &HashMap<String, u32>, line: usize) -> Result<u32, AsmError> {
-    symbols
-        .get(sym)
-        .copied()
-        .ok_or_else(|| AsmError {
-            line,
-            message: format!("undefined symbol `{sym}`"),
-        })
+    symbols.get(sym).copied().ok_or_else(|| AsmError {
+        line,
+        message: format!("undefined symbol `{sym}`"),
+    })
 }
 
 #[allow(clippy::too_many_lines)]
@@ -535,7 +535,12 @@ fn encode_stmt(
         } else {
             err(
                 line,
-                format!("`{}` takes {} operand(s), got {}", stmt.mnemonic, n, ops.len()),
+                format!(
+                    "`{}` takes {} operand(s), got {}",
+                    stmt.mnemonic,
+                    n,
+                    ops.len()
+                ),
             )
         }
     };
@@ -605,8 +610,8 @@ fn encode_stmt(
             let op = if stmt.mnemonic == "ld" { Ld } else { St };
             push(isa::encode_i(op, r, base, imm16s(disp)?));
         }
-        "add" | "sub" | "mul" | "div" | "and" | "or" | "xor" | "shl" | "shr" | "fadd"
-        | "fsub" | "fmul" | "fdiv" | "chk" => {
+        "add" | "sub" | "mul" | "div" | "and" | "or" | "xor" | "shl" | "shr" | "fadd" | "fsub"
+        | "fmul" | "fdiv" | "chk" => {
             expect(3)?;
             let op = match stmt.mnemonic.as_str() {
                 "add" => Add,
@@ -744,11 +749,10 @@ mod tests {
         let p = assemble(".data 0x10010\nk: .float 70.0\nv: .word 5, 6\n").unwrap();
         assert_eq!(p.symbol("k"), Some(0x10010));
         assert_eq!(p.symbol("v"), Some(0x10014));
-        assert_eq!(p.data, vec![
-            (0x10010, 70.0f32.to_bits()),
-            (0x10014, 5),
-            (0x10018, 6)
-        ]);
+        assert_eq!(
+            p.data,
+            vec![(0x10010, 70.0f32.to_bits()), (0x10014, 5), (0x10018, 6)]
+        );
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Cheap state digests for convergence detection.
+//!
+//! Checkpointed fault-injection campaigns need to ask, at every iteration
+//! boundary, "has this faulty machine returned to the golden trajectory?".
+//! Comparing full machine state is exact but touches tens of kilobytes; a
+//! 64-bit FNV-1a digest over the architectural state answers "definitely
+//! not equal" in one word compare almost always, so the full comparison
+//! only runs on digest match. The digest is a *filter*, never a proof —
+//! callers must confirm with [`crate::Machine::state_equals`] before
+//! acting on a match.
+
+/// Incremental FNV-1a 64-bit hasher.
+///
+/// FNV-1a is not cryptographic; it is chosen for speed and determinism
+/// across platforms (no pointer hashing, no randomized state).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// A hasher in its initial state.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// Absorbs one byte.
+    pub fn write_u8(&mut self, b: u8) {
+        self.state ^= u64::from(b);
+        self.state = self.state.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Absorbs a boolean as one byte.
+    pub fn write_bool(&mut self, b: bool) {
+        self.write_u8(u8::from(b));
+    }
+
+    /// Absorbs a 32-bit word, little-endian.
+    pub fn write_u32(&mut self, w: u32) {
+        for b in w.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    /// Absorbs a 64-bit word, little-endian.
+    pub fn write_u64(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    /// Absorbs a byte slice.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    /// Absorbs a slice of 32-bit words.
+    pub fn write_u32_slice(&mut self, words: &[u32]) {
+        for &w in words {
+            self.write_u32(w);
+        }
+    }
+
+    /// The digest of everything absorbed so far.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Fnv64;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        let empty = Fnv64::new();
+        assert_eq!(empty.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut a = Fnv64::new();
+        a.write_bytes(b"a");
+        assert_eq!(a.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut foobar = Fnv64::new();
+        foobar.write_bytes(b"foobar");
+        assert_eq!(foobar.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn word_writes_equal_byte_writes() {
+        let mut by_word = Fnv64::new();
+        by_word.write_u32(0x0403_0201);
+        let mut by_byte = Fnv64::new();
+        by_byte.write_bytes(&[1, 2, 3, 4]);
+        assert_eq!(by_word.finish(), by_byte.finish());
+    }
+
+    #[test]
+    fn order_sensitive() {
+        let mut ab = Fnv64::new();
+        ab.write_u8(1);
+        ab.write_u8(2);
+        let mut ba = Fnv64::new();
+        ba.write_u8(2);
+        ba.write_u8(1);
+        assert_ne!(ab.finish(), ba.finish());
+    }
+}

@@ -122,9 +122,6 @@ mod tests {
 
     #[test]
     fn display_matches_table_name() {
-        assert_eq!(
-            ErrorMechanism::AddressError.to_string(),
-            "Address Error"
-        );
+        assert_eq!(ErrorMechanism::AddressError.to_string(), "Address Error");
     }
 }

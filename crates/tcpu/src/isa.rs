@@ -404,9 +404,9 @@ mod tests {
     fn every_opcode_value_roundtrips_through_bits() {
         use Opcode::*;
         for op in [
-            Nop, Halt, Yield, Sig, Lui, Ori, Addi, Ld, St, Add, Sub, Mul, Div, And, Or, Xor,
-            Shl, Shr, Fadd, Fsub, Fmul, Fdiv, Fcmp, Cmp, Beq, Bne, Blt, Bge, Bgt, Ble, Jmp,
-            Call, Ret, In, Out, Chk, Itof, Ftoi, Mov, Setsb,
+            Nop, Halt, Yield, Sig, Lui, Ori, Addi, Ld, St, Add, Sub, Mul, Div, And, Or, Xor, Shl,
+            Shr, Fadd, Fsub, Fmul, Fdiv, Fcmp, Cmp, Beq, Bne, Blt, Bge, Bgt, Ble, Jmp, Call, Ret,
+            In, Out, Chk, Itof, Ftoi, Mov, Setsb,
         ] {
             assert_eq!(Opcode::from_bits(op as u32), Some(op));
         }
@@ -414,8 +414,14 @@ mod tests {
 
     #[test]
     fn disassembly_smoke() {
-        assert_eq!(disassemble(encode_r(Opcode::Add, 1, 2, 3)), "add r1, r2, r3");
-        assert_eq!(disassemble(encode_i(Opcode::Ld, 5, 1, 16)), "ld r5, [r1+16]");
+        assert_eq!(
+            disassemble(encode_r(Opcode::Add, 1, 2, 3)),
+            "add r1, r2, r3"
+        );
+        assert_eq!(
+            disassemble(encode_i(Opcode::Ld, 5, 1, 16)),
+            "ld r5, [r1+16]"
+        );
         assert_eq!(disassemble(encode_i(Opcode::Beq, 0, 0, -3)), "beq -3");
         assert!(disassemble(0xFFFF_FFFF).starts_with(".illegal"));
     }

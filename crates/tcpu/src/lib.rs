@@ -51,6 +51,7 @@
 
 pub mod asm;
 pub mod cache;
+pub mod digest;
 pub mod edm;
 pub mod isa;
 pub mod machine;
@@ -59,6 +60,7 @@ pub mod scan;
 pub mod trace;
 
 pub use asm::{assemble, AsmError, Program};
+pub use digest::Fnv64;
 pub use edm::ErrorMechanism;
 pub use machine::{Machine, RunExit};
 pub use scan::{BitLocation, CpuPart, ScanSnapshot};

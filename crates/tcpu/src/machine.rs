@@ -196,7 +196,10 @@ impl Machine {
                 .load_rom_word(program.code_base + (i as u32) * 4, *word);
         }
         for &(addr, word) in &program.data {
-            assert!(self.mem.poke(addr, word), "data word outside RAM: {addr:#x}");
+            assert!(
+                self.mem.poke(addr, word),
+                "data word outside RAM: {addr:#x}"
+            );
         }
         self.pc = program.entry;
     }
@@ -265,6 +268,94 @@ impl Machine {
         &self.mem
     }
 
+    /// Host-side write of one data word (RAM or stack), bypassing the
+    /// cache — the SWIFI-style memory fault-injection hook. Parity is
+    /// recomputed, so this models a *value* fault, not an EDAC-detectable
+    /// one. Returns `false` when `addr` is not a writable data word.
+    pub fn poke_word(&mut self, addr: u32, word: u32) -> bool {
+        self.mem.poke(addr, word)
+    }
+
+    /// FNV-1a 64 digest of the architectural state: everything that
+    /// determines future behaviour, *excluding* the instruction counter and
+    /// the trap latch. Two machines with equal digests at an iteration
+    /// boundary are *candidates* for having converged onto the same
+    /// trajectory; confirm with [`Machine::state_equals`] before relying on
+    /// it — the digest is a filter, not a proof.
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        let mut h = crate::digest::Fnv64::new();
+        h.write_u32_slice(&self.regs);
+        h.write_u32(self.pc);
+        h.write_u8(self.psr);
+        h.write_u32(u32::from(self.sig));
+        h.write_u32(self.stack_lo);
+        h.write_u32(self.stack_hi);
+        h.write_u32(self.epc);
+        h.write_u8(self.cause);
+        h.write_u32_slice(&self.save);
+        h.write_u32(self.fetch.word);
+        h.write_u32(self.fetch.pc);
+        h.write_bool(self.fetch.valid);
+        h.write_u32(self.idex.a);
+        h.write_u32(self.idex.b);
+        h.write_u32(self.exwb.value);
+        h.write_u8(self.exwb.rd);
+        h.write_bool(self.exwb.we);
+        for index in 0..crate::cache::NUM_LINES {
+            for line in [self.cache.line(index), &self.shadow[index]] {
+                h.write_u32(line.tag);
+                h.write_bool(line.valid);
+                h.write_bool(line.dirty);
+                h.write_bytes(&line.data);
+            }
+        }
+        h.write_u32(self.sbuf.addr);
+        h.write_u32(self.sbuf.data);
+        h.write_bool(self.sbuf.valid);
+        h.write_u32(self.fbuf.addr);
+        h.write_u32(self.fbuf.data);
+        h.write_bool(self.fbuf.parity);
+        h.write_bool(self.fbuf.valid);
+        h.write_u8(self.edac_syndrome);
+        h.write_u32_slice(&self.ports_out);
+        h.write_u32_slice(&self.ports_in);
+        h.write_bool(self.parity_cache);
+        self.mem.digest_into(&mut h);
+        h.finish()
+    }
+
+    /// Exact architectural equality, excluding only the instruction counter
+    /// and the trap latch. When this holds at an iteration boundary between
+    /// a faulty machine and the golden machine, determinism guarantees the
+    /// two execute bit-identically from that point on (ROM is immutable, so
+    /// full memory equality — checked here — covers the entire reachable
+    /// state).
+    #[must_use]
+    pub fn state_equals(&self, other: &Machine) -> bool {
+        self.regs == other.regs
+            && self.pc == other.pc
+            && self.psr == other.psr
+            && self.sig == other.sig
+            && self.stack_lo == other.stack_lo
+            && self.stack_hi == other.stack_hi
+            && self.epc == other.epc
+            && self.cause == other.cause
+            && self.save == other.save
+            && self.fetch == other.fetch
+            && self.idex == other.idex
+            && self.exwb == other.exwb
+            && self.cache == other.cache
+            && self.sbuf == other.sbuf
+            && self.fbuf == other.fbuf
+            && self.edac_syndrome == other.edac_syndrome
+            && self.ports_out == other.ports_out
+            && self.ports_in == other.ports_in
+            && self.parity_cache == other.parity_cache
+            && self.shadow == other.shadow
+            && self.mem == other.mem
+    }
+
     /// Host-side write of a data word (campaign initialisation).
     pub fn poke_data(&mut self, addr: u32, word: u32) -> bool {
         self.mem.poke(addr, word)
@@ -303,7 +394,11 @@ impl Machine {
     pub fn set_stack_window(&mut self, lo: u32, hi: u32) {
         assert!(lo < hi, "empty stack window");
         assert_eq!(mem::region(lo), Region::Stack, "lo outside stack segment");
-        assert_eq!(mem::region(hi - 4), Region::Stack, "hi outside stack segment");
+        assert_eq!(
+            mem::region(hi - 4),
+            Region::Stack,
+            "hi outside stack segment"
+        );
         self.stack_lo = lo;
         self.stack_hi = hi;
     }
@@ -360,10 +455,7 @@ impl Machine {
                 self.instr_count += 1;
                 self.trapped = Some(trap);
                 self.epc = pc;
-                self.cause = Edm::ALL
-                    .iter()
-                    .position(|m| *m == mechanism)
-                    .unwrap_or(0) as u8;
+                self.cause = Edm::ALL.iter().position(|m| *m == mechanism).unwrap_or(0) as u8;
                 Err(trap)
             }
         }

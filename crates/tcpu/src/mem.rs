@@ -126,7 +126,11 @@ impl Memory {
 
     fn backing(&self, addr: u32) -> Option<(&Vec<u32>, &Vec<bool>, usize)> {
         match region(addr) {
-            Region::Ram => Some((&self.ram, &self.ram_parity, ((addr - RAM_BASE) / 4) as usize)),
+            Region::Ram => Some((
+                &self.ram,
+                &self.ram_parity,
+                ((addr - RAM_BASE) / 4) as usize,
+            )),
             Region::Stack => Some((
                 &self.stack,
                 &self.stack_parity,
@@ -184,6 +188,15 @@ impl Memory {
     #[must_use]
     pub fn data_equals(&self, other: &Memory) -> bool {
         self.ram == other.ram && self.stack == other.stack
+    }
+
+    /// Absorbs the mutable data state (RAM and stack) into `h`. ROM is
+    /// skipped — it is written only by program loading, never at run time —
+    /// and the parity vectors are skipped because they are a pure function
+    /// of the data words.
+    pub(crate) fn digest_into(&self, h: &mut crate::digest::Fnv64) {
+        h.write_u32_slice(&self.ram);
+        h.write_u32_slice(&self.stack);
     }
 }
 

@@ -76,9 +76,17 @@ impl BitLocation {
     pub fn part(&self) -> CpuPart {
         use BitLocation::*;
         match self {
-            CacheData { .. } | CacheTag { .. } | CacheValid { .. } | CacheDirty { .. }
-            | StoreBufAddr { .. } | StoreBufData { .. } | StoreBufValid
-            | FillBufAddr { .. } | FillBufData { .. } | FillBufParity | FillBufValid
+            CacheData { .. }
+            | CacheTag { .. }
+            | CacheValid { .. }
+            | CacheDirty { .. }
+            | StoreBufAddr { .. }
+            | StoreBufData { .. }
+            | StoreBufValid
+            | FillBufAddr { .. }
+            | FillBufData { .. }
+            | FillBufParity
+            | FillBufValid
             | EdacSyndrome { .. } => CpuPart::Cache,
             _ => CpuPart::Registers,
         }
@@ -362,7 +370,10 @@ mod tests {
 
     #[test]
     fn catalog_has_both_parts() {
-        let cache = catalog().iter().filter(|l| l.part() == CpuPart::Cache).count();
+        let cache = catalog()
+            .iter()
+            .filter(|l| l.part() == CpuPart::Cache)
+            .count();
         let regs = catalog()
             .iter()
             .filter(|l| l.part() == CpuPart::Registers)

@@ -129,7 +129,10 @@ mod tests {
     fn register_writes_recorded() {
         let mut m = machine();
         let (entries, _) = trace_run(&mut m, 100);
-        let mul = entries.iter().find(|e| e.disasm.starts_with("mul")).unwrap();
+        let mul = entries
+            .iter()
+            .find(|e| e.disasm.starts_with("mul"))
+            .unwrap();
         assert_eq!(mul.writes, vec![(3, 42)]);
     }
 

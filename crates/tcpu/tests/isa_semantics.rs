@@ -46,7 +46,11 @@ fn integer_div_matches_checked_semantics() {
     for &a in &INT_SAMPLES {
         for &b in &INT_SAMPLES {
             let got = run_binop("div", a as u32, b as u32);
-            let expected = if b == 0 { None } else { a.checked_div(b).map(|v| v as u32) };
+            let expected = if b == 0 {
+                None
+            } else {
+                a.checked_div(b).map(|v| v as u32)
+            };
             assert_eq!(got, expected, "div {a} {b}");
         }
     }
@@ -124,11 +128,7 @@ fn fcmp_flags_drive_all_branches() {
             let mut m = Machine::new();
             m.load_program(&program);
             assert_eq!(m.run(100), RunExit::Yield);
-            assert_eq!(
-                m.port_out(2) == 1,
-                taken,
-                "{branch} with {a} vs {b}"
-            );
+            assert_eq!(m.port_out(2) == 1, taken, "{branch} with {a} vs {b}");
         }
     }
 }

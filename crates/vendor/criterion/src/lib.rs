@@ -1,0 +1,216 @@
+//! Vendored minimal stand-in for `criterion`.
+//!
+//! Provides the benchmark-group API surface this workspace's `harness =
+//! false` benches use, with real wall-clock measurement: each
+//! `bench_function` is calibrated, then timed over `sample_size` samples,
+//! and the min/median/max are printed in criterion's familiar
+//! `name  time: [low median high]` shape. No plotting, no statistical
+//! regression — the numbers are honest medians, which is what
+//! EXPERIMENTS.md records.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group (accepted, echoed in the
+/// report header).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver, handed to each `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Records the per-iteration throughput (reported alongside timings).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self
+            .sample_size
+            .unwrap_or(self._criterion.default_sample_size);
+        let mut bencher = Bencher {
+            samples,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some(m) => {
+                let per_elem = match self.throughput {
+                    Some(Throughput::Elements(n)) if n > 0 => {
+                        let rate = n as f64 / m.median.as_secs_f64();
+                        format!("  thrpt: {rate:.3e} elem/s")
+                    }
+                    Some(Throughput::Bytes(n)) if n > 0 => {
+                        let rate = n as f64 / m.median.as_secs_f64();
+                        format!("  thrpt: {rate:.3e} B/s")
+                    }
+                    _ => String::new(),
+                };
+                println!(
+                    "{}/{id}  time: [{} {} {}]{per_elem}",
+                    self.name,
+                    format_duration(m.min),
+                    format_duration(m.median),
+                    format_duration(m.max),
+                );
+            }
+            None => println!("{}/{id}  (no measurement: iter was not called)", self.name),
+        }
+        self
+    }
+
+    /// Ends the group (parity with the real API; reporting is immediate).
+    pub fn finish(&mut self) {}
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    min: Duration,
+    median: Duration,
+    max: Duration,
+}
+
+/// Times a closure over the group's configured number of samples.
+pub struct Bencher {
+    samples: usize,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Measures `routine`: one warm-up call, a calibration pass choosing
+    /// how many iterations fit a ~5 ms sample, then `samples` timed runs.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+
+        let calibration = Instant::now();
+        std::hint::black_box(routine());
+        let once = calibration.elapsed().max(Duration::from_nanos(1));
+
+        const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+        let iters_per_sample = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 100_000);
+
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            times.push(start.elapsed() / iters_per_sample as u32);
+        }
+        times.sort_unstable();
+        self.result = Some(Measurement {
+            min: times[0],
+            median: times[times.len() / 2],
+            max: times[times.len() - 1],
+        });
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn measures_something() {
+        let mut c = super::Criterion::default();
+        let mut group = c.benchmark_group("selftest");
+        group.sample_size(3);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn format_scales() {
+        use std::time::Duration;
+        assert!(super::format_duration(Duration::from_nanos(10)).ends_with("ns"));
+        assert!(super::format_duration(Duration::from_micros(10)).ends_with("µs"));
+        assert!(super::format_duration(Duration::from_millis(10)).ends_with("ms"));
+        assert!(super::format_duration(Duration::from_secs(10)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Vendored minimal stand-in for `rand` (0.10-era API names).
+//!
+//! Provides exactly what this workspace uses: a seedable deterministic
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the [`RngExt`]
+//! methods `random_range` (integer ranges) and `random::<f64>()`.
+//!
+//! The generator is xoshiro256++ seeded via SplitMix64 — not the real
+//! StdRng's ChaCha12, so sampled sequences differ from upstream `rand` for
+//! the same seed, but they are deterministic and identical across platforms,
+//! which is all the campaign machinery relies on.
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed (expanded via SplitMix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The random-value methods this workspace calls (named after rand 0.10's
+/// `Rng`-successor extension trait).
+pub trait RngExt {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from `range`. Panics if the range is empty.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Samples a value of type `T` from its standard distribution
+    /// (`f64`/`f32` uniform in `[0, 1)`, integers over their full range).
+    fn random<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random(self)
+    }
+}
+
+/// Range types accepted by [`RngExt::random_range`].
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample_from<R: RngExt>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Unbiased uniform draw from `[0, span)` via Lemire's multiply-with-
+/// rejection method.
+fn uniform_below<R: RngExt>(rng: &mut R, span: u64) -> u64 {
+    assert!(span > 0, "cannot sample from an empty range");
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let wide = u128::from(rng.next_u64()) * u128::from(span);
+        let low = wide as u64;
+        if low >= threshold {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngExt>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range!(usize, u64, u32, u16, u8);
+
+/// Types producible by [`RngExt::random`].
+pub trait Random {
+    /// Draws one value from the type's standard distribution.
+    fn random<R: RngExt>(rng: &mut R) -> Self;
+}
+
+impl Random for f64 {
+    fn random<R: RngExt>(rng: &mut R) -> f64 {
+        // 53 high bits → uniform on [0, 1) with full double precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    fn random<R: RngExt>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Random for u64 {
+    fn random<R: RngExt>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    fn random<R: RngExt>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Random for bool {
+    fn random<R: RngExt>(rng: &mut R) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngExt, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for rand's StdRng).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                state: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.state;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let u = rng.random_range(0u64..3);
+            assert!(u < 3);
+            let f = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn small_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.random_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,471 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! minimal serde stand-in (see `crates/vendor/serde`).
+//!
+//! Implemented without `syn`/`quote` (no crates.io access): the item is
+//! parsed directly from the token stream and the impl is emitted as source
+//! text. Supports the shapes this workspace uses — non-generic structs with
+//! named fields, tuple structs, and enums with unit, tuple, and struct
+//! variants (externally tagged, matching serde's default representation).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The field list of a struct or enum variant.
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        generics: Vec<String>,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        generics: Vec<String>,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct {
+            name,
+            generics,
+            fields,
+        } => serialize_struct(&name, &generics, &fields),
+        Item::Enum {
+            name,
+            generics,
+            variants,
+        } => serialize_enum(&name, &generics, &variants),
+    };
+    code.parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct {
+            name,
+            generics,
+            fields,
+        } => deserialize_struct(&name, &generics, &fields),
+        Item::Enum {
+            name,
+            generics,
+            variants,
+        } => deserialize_enum(&name, &generics, &variants),
+    };
+    code.parse().expect("generated Deserialize impl must parse")
+}
+
+/// `impl<A: serde::Trait, ...> serde::Trait for Name<A, ...>` header parts
+/// for a type with the given plain type parameters: the bracketed bound
+/// list and the parameterised type name.
+fn impl_header(name: &str, generics: &[String], bound: &str) -> (String, String) {
+    if generics.is_empty() {
+        return (String::new(), name.to_string());
+    }
+    let bounds: Vec<String> = generics.iter().map(|g| format!("{g}: {bound}")).collect();
+    (
+        format!("<{}>", bounds.join(", ")),
+        format!("{name}<{}>", generics.join(", ")),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    let generics = parse_generics(&name, &tokens, &mut i);
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_named_fields(g.stream())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("unsupported struct body for `{name}`: {other:?}"),
+            };
+            Item::Struct {
+                name,
+                generics,
+                fields,
+            }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(i) else {
+                panic!("expected enum body for `{name}`");
+            };
+            Item::Enum {
+                name,
+                generics,
+                variants: parse_variants(g.stream()),
+            }
+        }
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    }
+}
+
+/// Parses an optional `<A, B, ...>` type-parameter list of plain,
+/// unbounded type parameters. Lifetimes, const parameters, bounds, and
+/// defaults are rejected — no type in this workspace needs them.
+fn parse_generics(name: &str, tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut generics = Vec::new();
+    if !matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return generics;
+    }
+    *i += 1;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                *i += 1;
+                return generics;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => *i += 1,
+            Some(TokenTree::Ident(id)) => {
+                generics.push(id.to_string());
+                *i += 1;
+            }
+            other => panic!(
+                "serde stand-in derives only support plain type parameters \
+                 (`{name}`): unexpected {other:?}"
+            ),
+        }
+    }
+}
+
+/// Skips any number of `#[...]` attribute pairs (doc comments included).
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1; // '#'
+        *i += 1; // the bracketed group
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(super)`, etc.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if *id.to_string() == *"pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, got {other:?}"),
+    }
+}
+
+/// Advances past tokens until a comma at angle-bracket depth zero, leaving
+/// `i` just past that comma (or at end of input). Tracks `<`/`>` so commas
+/// inside `HashMap<K, V>`-style type arguments are not split points.
+fn skip_to_next_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0u32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Parses `name1: Type1, name2: Type2, ...` — the body of a braced struct or
+/// struct variant. Only the field names are recorded; types are inferred at
+/// the construction site in the generated code.
+fn parse_named_fields(stream: TokenStream) -> Fields {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut names = Vec::new();
+    loop {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        names.push(expect_ident(&tokens, &mut i));
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, got {other:?}"),
+        }
+        skip_to_next_comma(&tokens, &mut i);
+    }
+    Fields::Named(names)
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        count += 1;
+        skip_to_next_comma(&tokens, &mut i);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                parse_named_fields(g.stream())
+            }
+            _ => Fields::Unit,
+        };
+        // Explicit discriminant (`= 0x0A`): skip to the separating comma.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            skip_to_next_comma(&tokens, &mut i);
+        } else if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (emitted as source text, then re-parsed)
+// ---------------------------------------------------------------------------
+
+const DERIVED_ATTRS: &str = "#[automatically_derived]\n#[allow(clippy::all, clippy::pedantic)]\n";
+
+fn serialize_struct(name: &str, generics: &[String], fields: &Fields) -> String {
+    let (bounds, ty) = impl_header(name, generics, "serde::Serialize");
+    let body = match fields {
+        Fields::Unit => "serde::Value::Null".to_string(),
+        Fields::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+    };
+    format!(
+        "{DERIVED_ATTRS}impl{bounds} serde::Serialize for {ty} {{\n\
+         fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn deserialize_struct(name: &str, generics: &[String], fields: &Fields) -> String {
+    let (bounds, ty) = impl_header(name, generics, "serde::Deserialize");
+    let body = match fields {
+        Fields::Unit => format!("{{ let _ = v; Ok({name}) }}"),
+        Fields::Tuple(1) => format!("Ok({name}(serde::Deserialize::from_value(v)?))"),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("serde::Deserialize::from_value(&items[{k}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                 serde::Value::Seq(items) if items.len() == {n} => Ok({name}({items})),\n\
+                 other => Err(format!(\"expected {n}-element sequence for {name}, got {{other:?}}\")),\n\
+                 }}",
+                items = items.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| format!("{f}: serde::Deserialize::from_value(v.field(\"{f}\")?)?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+    };
+    format!(
+        "{DERIVED_ATTRS}impl{bounds} serde::Deserialize for {ty} {{\n\
+         fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, generics: &[String], variants: &[Variant]) -> String {
+    let (bounds, ty) = impl_header(name, generics, "serde::Serialize");
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),\n"
+                ));
+            }
+            Fields::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                let inner = if *n == 1 {
+                    "serde::Serialize::to_value(f0)".to_string()
+                } else {
+                    let items: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("serde::Value::Seq(vec![{}])", items.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{vn}({binders}) => \
+                     serde::Value::Map(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                    binders = binders.join(", ")
+                ));
+            }
+            Fields::Named(fields) => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value({f}))"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {fields} }} => serde::Value::Map(vec![\
+                     (\"{vn}\".to_string(), serde::Value::Map(vec![{entries}]))]),\n",
+                    fields = fields.join(", "),
+                    entries = entries.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "{DERIVED_ATTRS}impl{bounds} serde::Serialize for {ty} {{\n\
+         fn to_value(&self) -> serde::Value {{ match self {{ {arms} }} }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, generics: &[String], variants: &[Variant]) -> String {
+    let (bounds, ty) = impl_header(name, generics, "serde::Deserialize");
+    let unit: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .collect();
+    let data: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| !matches!(v.fields, Fields::Unit))
+        .collect();
+
+    let str_arm = if unit.is_empty() {
+        format!("serde::Value::Str(s) => Err(format!(\"unknown variant `{{s}}` for {name}\")),\n")
+    } else {
+        let mut arms = String::new();
+        for v in &unit {
+            let vn = &v.name;
+            arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+        }
+        format!(
+            "serde::Value::Str(s) => match s.as_str() {{\n{arms}\
+             other => Err(format!(\"unknown variant `{{other}}` for {name}\")),\n}},\n"
+        )
+    };
+
+    let map_arm = if data.is_empty() {
+        String::new()
+    } else {
+        let mut arms = String::new();
+        for v in &data {
+            let vn = &v.name;
+            match &v.fields {
+                Fields::Unit => unreachable!(),
+                Fields::Tuple(1) => {
+                    arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_value(inner)?)),\n"
+                    ));
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("serde::Deserialize::from_value(&items[{k}])?"))
+                        .collect();
+                    arms.push_str(&format!(
+                        "\"{vn}\" => match inner {{\n\
+                         serde::Value::Seq(items) if items.len() == {n} => \
+                         Ok({name}::{vn}({items})),\n\
+                         other => Err(format!(\
+                         \"expected {n}-element sequence for `{vn}`, got {{other:?}}\")),\n\
+                         }},\n",
+                        items = items.join(", ")
+                    ));
+                }
+                Fields::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!("{f}: serde::Deserialize::from_value(inner.field(\"{f}\")?)?")
+                        })
+                        .collect();
+                    arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn} {{ {} }}),\n",
+                        inits.join(", ")
+                    ));
+                }
+            }
+        }
+        format!(
+            "serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+             let (tag, inner) = &entries[0];\n\
+             match tag.as_str() {{\n{arms}\
+             other => Err(format!(\"unknown variant `{{other}}` for {name}\")),\n\
+             }}\n}},\n"
+        )
+    };
+
+    format!(
+        "{DERIVED_ATTRS}impl{bounds} serde::Deserialize for {ty} {{\n\
+         fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+         match v {{\n{str_arm}{map_arm}\
+         other => Err(format!(\"unexpected value for {name}: {{other:?}}\")),\n\
+         }}\n}}\n}}"
+    )
+}

@@ -1,0 +1,404 @@
+//! Vendored minimal stand-in for `serde_json`.
+//!
+//! Emits and parses JSON through the serde shim's [`serde::Value`] tree.
+//! Matches the real crate where observable here: pretty output uses
+//! two-space indentation, non-finite floats serialize as `null` (handled by
+//! the `Serialize` impl for `f64`), and floats print in shortest
+//! round-trip form.
+
+use std::fmt;
+
+/// JSON serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Never fails for values producible by the serde shim; the `Result` return
+/// mirrors the real crate's signature.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails for values producible by the serde shim.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value_compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Parses a value from a JSON string.
+///
+/// # Errors
+///
+/// Returns an error describing the first syntax error or shape mismatch.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at offset {}", p.pos)));
+    }
+    T::from_value(&value).map_err(Error)
+}
+
+// ---------------------------------------------------------------------------
+// Emitter
+// ---------------------------------------------------------------------------
+
+fn write_value(v: &serde::Value, indent: usize, out: &mut String) {
+    match v {
+        serde::Value::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                push_indent(indent + 1, out);
+                write_value(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            push_indent(indent, out);
+            out.push(']');
+        }
+        serde::Value::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in entries.iter().enumerate() {
+                push_indent(indent + 1, out);
+                write_string(k, out);
+                out.push_str(": ");
+                write_value(item, indent + 1, out);
+                if i + 1 < entries.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            push_indent(indent, out);
+            out.push('}');
+        }
+        other => write_scalar(other, out),
+    }
+}
+
+fn write_value_compact(v: &serde::Value, out: &mut String) {
+    match v {
+        serde::Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value_compact(item, out);
+            }
+            out.push(']');
+        }
+        serde::Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value_compact(item, out);
+            }
+            out.push('}');
+        }
+        other => write_scalar(other, out),
+    }
+}
+
+fn write_scalar(v: &serde::Value, out: &mut String) {
+    match v {
+        serde::Value::Null => out.push_str("null"),
+        serde::Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        serde::Value::U64(n) => out.push_str(&n.to_string()),
+        serde::Value::I64(n) => out.push_str(&n.to_string()),
+        // Rust's float Display is shortest-round-trip, so values survive an
+        // emit/parse cycle exactly. Non-finite floats never reach here (the
+        // Serialize impl maps them to Null).
+        serde::Value::F64(x) => out.push_str(&x.to_string()),
+        serde::Value::Str(s) => write_string(s, out),
+        serde::Value::Seq(_) => out.push_str("[]"),
+        serde::Value::Map(_) => out.push_str("{}"),
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<serde::Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(serde::Value::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", serde::Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", serde::Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", serde::Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(Error(format!(
+                "unexpected character at offset {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: serde::Value) -> Result<serde::Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(Error(format!("invalid literal at offset {}", self.pos)))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<serde::Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(serde::Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(serde::Value::Map(entries));
+                }
+                _ => {
+                    return Err(Error(format!(
+                        "expected `,` or `}}` at offset {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<serde::Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(serde::Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(serde::Value::Seq(items));
+                }
+                _ => return Err(Error(format!("expected `,` or `]` at offset {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error("invalid UTF-8 in string".to_string()))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| {
+                                    Error(format!("bad \\u escape at offset {}", self.pos))
+                                })?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| {
+                                Error(format!("bad \\u escape at offset {}", self.pos))
+                            })?;
+                            // Surrogate pairs are not needed for this
+                            // workspace's output (escapes only cover control
+                            // characters); reject them rather than mis-decode.
+                            let c = char::from_u32(code).ok_or_else(|| {
+                                Error(format!("unsupported \\u escape at offset {}", self.pos))
+                            })?;
+                            s.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error(format!("bad escape at offset {}", self.pos))),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(Error("unterminated string".to_string())),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<serde::Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".to_string()))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(serde::Value::F64)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(serde::Value::I64)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(serde::Value::U64)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scalar_roundtrip() {
+        let json = super::to_string_pretty(&vec![1u32, 2, 3]).unwrap();
+        let back: Vec<u32> = super::from_str(&json).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn float_roundtrip_is_exact() {
+        let xs = vec![0.1f64, -1.5e-8, 12345.6789, 2.0];
+        let json = super::to_string(&xs).unwrap();
+        let back: Vec<f64> = super::from_str(&json).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "line\n\"quoted\"\tand \\ backslash \u{1}".to_string();
+        let json = super::to_string(&s).unwrap();
+        let back: String = super::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(super::from_str::<bool>("true x").is_err());
+    }
+}

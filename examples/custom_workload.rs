@@ -45,7 +45,10 @@ fn main() {
     println!("after 10 periods: balance = {:.2}", m.port_out_f32(2));
 
     // The scan chain exposes every state element of the CPU.
-    let cache_bits = catalog().iter().filter(|l| l.part() == CpuPart::Cache).count();
+    let cache_bits = catalog()
+        .iter()
+        .filter(|l| l.part() == CpuPart::Cache)
+        .count();
     let reg_bits = catalog().len() - cache_bits;
     println!("scan chain: {cache_bits} cache bits + {reg_bits} register bits");
 
@@ -54,7 +57,10 @@ fn main() {
     // negative balance delivered to the output port.
     m.scan_flip(BitLocation::CacheData { line: 0, bit: 31 });
     assert_eq!(m.run(1_000), RunExit::Yield);
-    println!("after a sign-bit flip in the cache: balance = {:.2}", m.port_out_f32(2));
+    println!(
+        "after a sign-bit flip in the cache: balance = {:.2}",
+        m.port_out_f32(2)
+    );
 
     // Now corrupt the prefetched instruction word in the pipeline latch:
     // the opcode becomes illegal and INSTRUCTION ERROR fires immediately.

@@ -34,8 +34,20 @@ fn main() {
     let mut cl = ClosedLoop::new(Engine::paper(), PiController::paper());
     let trace: Trace = cl.run(&profiles, 650);
 
-    ascii_plot("engine speed y (rpm) — Figure 3", &trace.speeds(), 1800.0, 3400.0, 12);
-    ascii_plot("throttle u_lim (deg) — Figure 5", &trace.outputs(), 0.0, 70.0, 10);
+    ascii_plot(
+        "engine speed y (rpm) — Figure 3",
+        &trace.speeds(),
+        1800.0,
+        3400.0,
+        12,
+    );
+    ascii_plot(
+        "throttle u_lim (deg) — Figure 5",
+        &trace.outputs(),
+        0.0,
+        70.0,
+        10,
+    );
     let loads: Vec<f64> = trace.samples().iter().map(|s| s.load).collect();
     ascii_plot("load torque (N·m) — Figure 4", &loads, 0.0, 30.0, 6);
 

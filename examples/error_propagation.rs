@@ -32,8 +32,14 @@ fn main() {
     };
 
     let report = analyze(&workload, &cfg, fault, 3_000);
-    println!("fault: {:?} @ instruction {}", report.location, fault.inject_at);
-    println!("bits differing right after injection: {}", report.initial_diff);
+    println!(
+        "fault: {:?} @ instruction {}",
+        report.location, fault.inject_at
+    );
+    println!(
+        "bits differing right after injection: {}",
+        report.initial_diff
+    );
     match report.spread_at {
         Some(at) => println!(
             "corruption spread into other state elements at instruction {at} \
@@ -51,10 +57,16 @@ fn main() {
         None => println!("output never diverged in the window"),
     }
     match report.detected {
-        Some(trap) => println!("detected by {} at instruction {}", trap.mechanism, trap.at_instruction),
+        Some(trap) => println!(
+            "detected by {} at instruction {}",
+            trap.mechanism, trap.at_instruction
+        ),
         None => println!("no detection: this is an undetected wrong result in the making"),
     }
-    println!("bits still differing at the end of the window: {}", report.final_diff);
+    println!(
+        "bits still differing at the end of the window: {}",
+        report.final_diff
+    );
 
     // The first instructions after injection, with register writes.
     let (entries, _) = detail_trace(&workload, &cfg, fault, 18);

@@ -10,9 +10,9 @@
 //! behaves exactly like the hand-written Algorithm II workload — first
 //! fault-free, then under a state corruption.
 
-use bera::rtw::codegen::{compile_with, CodegenOptions};
-use bera::rtw::algorithm_two_model;
 use bera::plant::{Engine, Profiles};
+use bera::rtw::algorithm_two_model;
+use bera::rtw::codegen::{compile_with, CodegenOptions};
 use bera::tcpu::machine::{Machine, RunExit, PORT_R, PORT_U, PORT_Y};
 
 fn main() {

@@ -34,14 +34,8 @@ fn main() {
     let trace_plain = plain.run(&profiles, 325);
     let trace_protected = protected.run(&profiles, 325);
 
-    let locked = trace_plain
-        .outputs()
-        .iter()
-        .filter(|&&u| u >= 70.0)
-        .count();
-    println!(
-        "Algorithm I : throttle locked at 70° for {locked}/325 iterations — the engine races"
-    );
+    let locked = trace_plain.outputs().iter().filter(|&&u| u >= 70.0).count();
+    println!("Algorithm I : throttle locked at 70° for {locked}/325 iterations — the engine races");
     let max_protected = trace_protected
         .outputs()
         .iter()

@@ -48,7 +48,12 @@ fn main() {
 
     let single = FaultModel::SingleBit;
     run("Algorithm I", &Workload::algorithm_one(), false, single);
-    run("Algorithm I + parity cache", &Workload::algorithm_one(), true, single);
+    run(
+        "Algorithm I + parity cache",
+        &Workload::algorithm_one(),
+        true,
+        single,
+    );
     run("Algorithm II", &Workload::algorithm_two(), false, single);
     run(
         "Algorithm II, co-located backups",
@@ -62,12 +67,22 @@ fn main() {
         false,
         single,
     );
-    run("Algorithm III (range + rate)", &Workload::algorithm_three(), false, single);
+    run(
+        "Algorithm III (range + rate)",
+        &Workload::algorithm_three(),
+        false,
+        single,
+    );
 
     // Multi-cell upsets: two adjacent scan cells flip together. This is the
     // model under which separating the backups from the state matters.
     let double = FaultModel::AdjacentDoubleBit;
-    run("Algorithm II [2-bit upsets]", &Workload::algorithm_two(), false, double);
+    run(
+        "Algorithm II [2-bit upsets]",
+        &Workload::algorithm_two(),
+        false,
+        double,
+    );
     run(
         "Algorithm II, co-located backups [2-bit]",
         &Workload::algorithm_two_colocated_backup(),

@@ -3,7 +3,7 @@
 //! ```text
 //! campaign [--workload alg1|alg2|alg2-colocated|alg2-assert-after|alg3]
 //!          [--faults N] [--seed S] [--iterations K] [--threads T]
-//!          [--parity-cache] [--json FILE]
+//!          [--parity-cache] [--checkpoint-stride K] [--json FILE]
 //! ```
 
 use bera::goofi::campaign::{run_scifi_campaign, CampaignConfig};
@@ -19,6 +19,7 @@ struct Args {
     iterations: usize,
     threads: usize,
     parity_cache: bool,
+    checkpoint_stride: usize,
     json: Option<String>,
 }
 
@@ -30,14 +31,12 @@ fn parse_args() -> Result<Args, String> {
         iterations: 650,
         threads: 0,
         parity_cache: false,
+        checkpoint_stride: LoopConfig::paper().checkpoint_stride,
         json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("{name} expects a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
         match flag.as_str() {
             "--workload" => {
                 args.workload = match value("--workload")?.as_str() {
@@ -70,6 +69,11 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--threads: {e}"))?;
             }
             "--parity-cache" => args.parity_cache = true,
+            "--checkpoint-stride" => {
+                args.checkpoint_stride = value("--checkpoint-stride")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-stride: {e}"))?;
+            }
             "--json" => args.json = Some(value("--json")?),
             "--help" | "-h" => {
                 return Err(String::new()); // triggers usage
@@ -84,7 +88,11 @@ fn usage() {
     eprintln!(
         "usage: campaign [--workload alg1|alg2|alg2-colocated|alg2-assert-after|alg3]\n\
          \t[--faults N] [--seed S] [--iterations K] [--threads T]\n\
-         \t[--parity-cache] [--json FILE]"
+         \t[--parity-cache] [--checkpoint-stride K] [--json FILE]\n\
+         \n\
+         --checkpoint-stride K  capture a golden checkpoint every K iterations\n\
+         \t(experiments fast-forward from the nearest checkpoint and prune\n\
+         \tconverged tails; 0 replays every experiment from reset)"
     );
 }
 
@@ -104,19 +112,35 @@ fn main() -> ExitCode {
     cfg.loop_cfg = LoopConfig {
         iterations: args.iterations,
         parity_cache: args.parity_cache,
+        checkpoint_stride: args.checkpoint_stride,
         ..LoopConfig::paper()
     };
     cfg.threads = args.threads;
 
     eprintln!(
-        "running {} faults into `{}` ({} iterations, seed {})...",
+        "running {} faults into `{}` ({} iterations, seed {}, checkpoint stride {})...",
         args.faults,
         args.workload.name(),
         args.iterations,
-        args.seed
+        args.seed,
+        args.checkpoint_stride,
     );
+    let started = std::time::Instant::now();
     let result = run_scifi_campaign(&args.workload, &cfg);
+    let elapsed = started.elapsed();
     println!("{}", tabulate(&result).render());
+
+    let pruned = result
+        .records
+        .iter()
+        .filter(|r| r.pruned_at.is_some())
+        .count();
+    eprintln!(
+        "{} faults in {:.2} s ({:.1} faults/s); {pruned} experiment(s) pruned by convergence",
+        result.records.len(),
+        elapsed.as_secs_f64(),
+        result.records.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
 
     if let Some(path) = args.json {
         match result.to_json() {

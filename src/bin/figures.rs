@@ -48,7 +48,11 @@ fn main() {
     // ---- Figures 7, 8, 9: exemplar failures found by a campaign sweep ----
     let sweep_faults = repro::fault_override(4000);
     let campaign_cfg = CampaignConfig::paper(sweep_faults, repro::CAMPAIGN_SEED + 7);
-    let list = FaultList::sample(sweep_faults, repro::CAMPAIGN_SEED + 7, golden1.total_instructions);
+    let list = FaultList::sample(
+        sweep_faults,
+        repro::CAMPAIGN_SEED + 7,
+        golden1.total_instructions,
+    );
     let records = run_fault_list(&alg1, &campaign_cfg, &golden1, &list.faults);
 
     let mut exemplars: Vec<(Severity, &str, Option<FaultSpec>)> = vec![

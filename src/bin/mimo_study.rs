@@ -66,12 +66,25 @@ fn main() {
 
     let mut report = format!(
         "{:<46}{:>8}{:>8}{:>8}{:>8}{:>10}{:>10}\n",
-        "MIMO controller (two-spool turbojet)", "faults", "perm", "semi", "trans", "insig", "masked"
+        "MIMO controller (two-spool turbojet)",
+        "faults",
+        "perm",
+        "semi",
+        "trans",
+        "insig",
+        "masked"
     );
-    report.push_str(&line("unprotected", &run_swifi_mimo(controller, &jet, &cfg)));
+    report.push_str(&line(
+        "unprotected",
+        &run_swifi_mimo(controller, &jet, &cfg),
+    ));
     report.push_str(&line(
         "range assertions, loose envelope [-10, 10]",
-        &run_swifi_mimo(|| with_assertions(Limits::new(-10.0, 10.0), None), &jet, &cfg),
+        &run_swifi_mimo(
+            || with_assertions(Limits::new(-10.0, 10.0), None),
+            &jet,
+            &cfg,
+        ),
     ));
     report.push_str(&line(
         "range assertions, tight envelope [-0.5, 1.5]",

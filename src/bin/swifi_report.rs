@@ -5,7 +5,9 @@
 
 use bera::core::assertion::All;
 use bera::core::controller::Limits;
-use bera::core::{Assertion, PiController, Protected, ProtectedPiController, RangeAssertion, RateAssertion, Siso};
+use bera::core::{
+    Assertion, PiController, Protected, ProtectedPiController, RangeAssertion, RateAssertion, Siso,
+};
 use bera::goofi::classify::Severity;
 use bera::goofi::swifi::{run_swifi, SwifiConfig, SwifiResult};
 use bera::repro;
@@ -42,10 +44,12 @@ fn main() {
     report.push_str(&line(
         "Protected<PiController> (Section 4.3)",
         &run_swifi(
-            || Siso::new(
-                Protected::uniform(PiController::paper(), Limits::throttle()),
-                Limits::throttle(),
-            ),
+            || {
+                Siso::new(
+                    Protected::uniform(PiController::paper(), Limits::throttle()),
+                    Limits::throttle(),
+                )
+            },
             &cfg,
         ),
     ));

@@ -26,8 +26,16 @@ fn every_fault_gets_exactly_one_outcome() {
 #[test]
 fn fault_lists_cover_both_cpu_parts() {
     let r = campaign(&Workload::algorithm_one(), 200, 2);
-    let cache = r.records.iter().filter(|x| x.part == CpuPart::Cache).count();
-    let regs = r.records.iter().filter(|x| x.part == CpuPart::Registers).count();
+    let cache = r
+        .records
+        .iter()
+        .filter(|x| x.part == CpuPart::Cache)
+        .count();
+    let regs = r
+        .records
+        .iter()
+        .filter(|x| x.part == CpuPart::Registers)
+        .count();
     assert!(cache > 0 && regs > 0);
     assert_eq!(cache + regs, 200);
 }
