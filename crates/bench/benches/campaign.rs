@@ -4,8 +4,9 @@
 
 use bera_bench::{bench_loop_config, bench_loop_config_checkpointed};
 use bera_core::PiController;
-use bera_goofi::campaign::{run_scifi_campaign, CampaignConfig};
+use bera_goofi::campaign::{run_scifi_campaign, run_scifi_campaign_observed, CampaignConfig};
 use bera_goofi::experiment::{golden_run, run_experiment, FaultSpec};
+use bera_goofi::observer::Telemetry;
 use bera_goofi::swifi::{run_swifi, SwifiConfig};
 use bera_goofi::workload::Workload;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -74,6 +75,20 @@ fn bench_campaign(c: &mut Criterion) {
             b.iter(|| run_scifi_campaign(black_box(&workload), &ccfg));
         });
     }
+
+    // The headline campaign with a live Telemetry observer attached — the
+    // before/after pair EXPERIMENTS.md reports the observer overhead from
+    // (expected within the noise floor, well under 2 %).
+    group.bench_function("campaign_algorithm1_telemetry", |b| {
+        let workload = Workload::algorithm_one();
+        let mut ccfg = CampaignConfig::quick(40, 11);
+        ccfg.loop_cfg = bench_loop_config(60);
+        ccfg.threads = 1;
+        b.iter(|| {
+            let telemetry = Telemetry::new(40);
+            run_scifi_campaign_observed(black_box(&workload), &ccfg, &telemetry)
+        });
+    });
 
     // Checkpointed counterparts of the two headline campaign series — the
     // before/after pair EXPERIMENTS.md reports the speedup ratio from.

@@ -2,9 +2,10 @@
 //! execution, and the result database.
 
 use crate::experiment::{
-    golden_run, run_experiment_with_model, ExperimentRecord, FaultModel, FaultSpec, GoldenRun,
+    golden_run, run_experiment_observed, ExperimentRecord, FaultModel, FaultSpec, GoldenRun,
     LoopConfig,
 };
+use crate::observer::{CampaignObserver, NullObserver};
 use crate::workload::Workload;
 use bera_stats::sampling::UniformSampler;
 use bera_tcpu::scan;
@@ -116,30 +117,125 @@ impl CampaignResult {
     }
 }
 
+/// A campaign whose golden run and fault list exist but whose experiments
+/// have not run yet — the point at which a result store header can be
+/// built and an interrupted store validated, before committing to the
+/// (expensive) injection phase.
+pub struct PreparedCampaign<'w> {
+    workload: &'w Workload,
+    cfg: CampaignConfig,
+    golden: GoldenRun,
+    list: FaultList,
+}
+
+/// Executes the campaign's set-up phase: golden reference run plus
+/// fault-list sampling.
+#[must_use]
+pub fn prepare_campaign<'w>(workload: &'w Workload, cfg: &CampaignConfig) -> PreparedCampaign<'w> {
+    let golden = golden_run(workload, &cfg.loop_cfg);
+    let list = FaultList::sample(cfg.faults, cfg.seed, golden.total_instructions);
+    PreparedCampaign {
+        workload,
+        cfg: cfg.clone(),
+        golden,
+        list,
+    }
+}
+
+impl PreparedCampaign<'_> {
+    /// The logged golden reference run.
+    #[must_use]
+    pub fn golden(&self) -> &GoldenRun {
+        &self.golden
+    }
+
+    /// The sampled fault list.
+    #[must_use]
+    pub fn faults(&self) -> &[FaultSpec] {
+        &self.list.faults
+    }
+
+    /// The campaign configuration.
+    #[must_use]
+    pub fn config(&self) -> &CampaignConfig {
+        &self.cfg
+    }
+
+    /// Runs every experiment and assembles the result database.
+    #[must_use]
+    pub fn run(self, observer: &dyn CampaignObserver) -> CampaignResult {
+        self.run_resumed(Vec::new(), observer)
+    }
+
+    /// Like [`PreparedCampaign::run`], but skipping fault indices whose
+    /// records were already completed by an interrupted run. `completed`
+    /// must be empty (fresh campaign) or hold exactly one slot per fault;
+    /// `Some` slots are adopted verbatim and do **not** replay their
+    /// observer events, `None` slots are executed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `completed` is non-empty but its length does not match
+    /// the fault list — that is two different campaigns.
+    #[must_use]
+    pub fn run_resumed(
+        self,
+        completed: Vec<Option<ExperimentRecord>>,
+        observer: &dyn CampaignObserver,
+    ) -> CampaignResult {
+        assert!(
+            completed.is_empty() || completed.len() == self.list.faults.len(),
+            "resume state covers {} faults but the campaign has {}",
+            completed.len(),
+            self.list.faults.len()
+        );
+        observer.fault_list_sampled(&self.list.faults);
+        let records = run_fault_list_resumed(
+            self.workload,
+            &self.cfg,
+            &self.golden,
+            &self.list.faults,
+            completed,
+            observer,
+        );
+        // The golden run is no longer needed once the experiments are done:
+        // move its logged vectors into the result instead of cloning them.
+        let GoldenRun {
+            outputs: golden_outputs,
+            speeds: golden_speeds,
+            total_instructions,
+            ..
+        } = self.golden;
+        let result = CampaignResult {
+            workload: self.workload.name().to_string(),
+            seed: self.cfg.seed,
+            total_locations: scan::catalog().len(),
+            total_instructions,
+            golden_outputs,
+            golden_speeds,
+            records,
+        };
+        observer.campaign_completed(&result);
+        result
+    }
+}
+
 /// Runs a full SCIFI campaign: golden run, fault-list sampling, then one
 /// experiment per fault (in parallel across threads).
 #[must_use]
 pub fn run_scifi_campaign(workload: &Workload, cfg: &CampaignConfig) -> CampaignResult {
-    let golden = golden_run(workload, &cfg.loop_cfg);
-    let list = FaultList::sample(cfg.faults, cfg.seed, golden.total_instructions);
-    let records = run_fault_list(workload, cfg, &golden, &list.faults);
-    // The golden run is no longer needed once the experiments are done:
-    // move its logged vectors into the result instead of cloning them.
-    let GoldenRun {
-        outputs: golden_outputs,
-        speeds: golden_speeds,
-        total_instructions,
-        ..
-    } = golden;
-    CampaignResult {
-        workload: workload.name().to_string(),
-        seed: cfg.seed,
-        total_locations: scan::catalog().len(),
-        total_instructions,
-        golden_outputs,
-        golden_speeds,
-        records,
-    }
+    run_scifi_campaign_observed(workload, cfg, &NullObserver)
+}
+
+/// Like [`run_scifi_campaign`], reporting every life-cycle event to
+/// `observer` (streaming store, telemetry, progress displays).
+#[must_use]
+pub fn run_scifi_campaign_observed(
+    workload: &Workload,
+    cfg: &CampaignConfig,
+    observer: &dyn CampaignObserver,
+) -> CampaignResult {
+    prepare_campaign(workload, cfg).run(observer)
 }
 
 /// Runs an explicit fault list (used by ablations and figure scripts).
@@ -150,24 +246,53 @@ pub fn run_fault_list(
     golden: &GoldenRun,
     faults: &[FaultSpec],
 ) -> Vec<ExperimentRecord> {
+    run_fault_list_resumed(workload, cfg, golden, faults, Vec::new(), &NullObserver)
+}
+
+/// Runs the fault indices of `faults` whose `completed` slot is `None`
+/// (all of them when `completed` is empty), reporting events to
+/// `observer`; pre-completed records are adopted without re-execution.
+fn run_fault_list_resumed(
+    workload: &Workload,
+    cfg: &CampaignConfig,
+    golden: &GoldenRun,
+    faults: &[FaultSpec],
+    completed: Vec<Option<ExperimentRecord>>,
+    observer: &dyn CampaignObserver,
+) -> Vec<ExperimentRecord> {
+    let mut slots: Vec<Option<ExperimentRecord>> = if completed.is_empty() {
+        let mut v = Vec::new();
+        v.resize_with(faults.len(), || None);
+        v
+    } else {
+        completed
+    };
+    let done: Vec<bool> = slots.iter().map(Option::is_some).collect();
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism().map_or(1, usize::from)
     } else {
         cfg.threads
     };
-    if threads <= 1 || faults.len() < 2 {
-        return faults
-            .iter()
-            .map(|&f| {
-                run_experiment_with_model(
-                    workload,
-                    &cfg.loop_cfg,
-                    golden,
-                    f,
-                    cfg.fault_model,
-                    cfg.detail,
-                )
-            })
+    let remaining = done.iter().filter(|&&d| !d).count();
+    if threads <= 1 || remaining < 2 {
+        for (i, &f) in faults.iter().enumerate() {
+            if done[i] {
+                continue;
+            }
+            slots[i] = Some(run_experiment_observed(
+                workload,
+                &cfg.loop_cfg,
+                golden,
+                f,
+                cfg.fault_model,
+                cfg.detail,
+                i,
+                observer,
+            ));
+        }
+        return slots
+            .into_iter()
+            .map(|slot| slot.expect("every fault index was run or preloaded"))
             .collect();
     }
 
@@ -177,30 +302,35 @@ pub fn run_fault_list(
     // behind the slowest chunk. Each worker instead claims the next
     // unclaimed fault index from a shared atomic counter and records the
     // index with its result, so the merged record order is exactly the
-    // fault-list order regardless of which worker ran what.
+    // fault-list order regardless of which worker ran what. Pre-completed
+    // indices (a resume) are skipped by the claim loop.
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<ExperimentRecord>> = Vec::new();
-    slots.resize_with(faults.len(), || None);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let next = &next;
+                let done = &done;
                 scope.spawn(move || {
-                    let mut done = Vec::new();
+                    let mut ran = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&f) = faults.get(i) else { break };
-                        let record = run_experiment_with_model(
+                        if done[i] {
+                            continue;
+                        }
+                        let record = run_experiment_observed(
                             workload,
                             &cfg.loop_cfg,
                             golden,
                             f,
                             cfg.fault_model,
                             cfg.detail,
+                            i,
+                            observer,
                         );
-                        done.push((i, record));
+                        ran.push((i, record));
                     }
-                    done
+                    ran
                 })
             })
             .collect();
@@ -212,7 +342,7 @@ pub fn run_fault_list(
     });
     slots
         .into_iter()
-        .map(|slot| slot.expect("every fault index was claimed by exactly one worker"))
+        .map(|slot| slot.expect("every fault index was run or preloaded"))
         .collect()
 }
 

@@ -2,6 +2,7 @@
 //! inject–run–classify cycle.
 
 use crate::classify::{Classifier, Outcome};
+use crate::observer::{CampaignObserver, NullObserver};
 use crate::workload::Workload;
 use bera_plant::{Engine, Profiles};
 use bera_tcpu::machine::{Machine, RunExit, PORT_R, PORT_U, PORT_Y};
@@ -126,6 +127,26 @@ impl GoldenRun {
             .iter()
             .rev()
             .find(|c| c.machine.instr_count() <= inject_at)
+    }
+
+    /// Digest identifying this golden run across processes: outputs,
+    /// speeds, instruction count and end-of-run machine state. Two golden
+    /// runs of the same workload and loop configuration always agree
+    /// (execution is deterministic); any difference in workload, iteration
+    /// count, profiles or plant shows up here. The checkpoint stride is
+    /// deliberately excluded — it does not perturb the run (proven by
+    /// `tests/checkpoint_equivalence.rs`), so result stores written under
+    /// one stride may be resumed under another.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h = bera_tcpu::Fnv64::new();
+        h.write_u32_slice(&self.outputs);
+        for &s in &self.speeds {
+            h.write_u64(s.to_bits());
+        }
+        h.write_u64(self.total_instructions);
+        h.write_u64(self.end_machine.state_digest());
+        h.finish()
     }
 }
 
@@ -298,7 +319,8 @@ fn converged(
 /// speed samples. `fault` flips scan-chain bits when the dynamic
 /// instruction count reaches `inject_at`; `instr_cap` bounds the total
 /// instruction count to detect hangs; `mode` selects the checkpoint
-/// behaviour at stride boundaries.
+/// behaviour at stride boundaries. `on_inject` fires once, at the moment
+/// the scan-chain flips land (the observer's "fault injected" event).
 #[allow(clippy::too_many_arguments)]
 fn drive_from(
     machine: &mut Machine,
@@ -310,6 +332,7 @@ fn drive_from(
     mut fault: Option<(u64, Vec<BitLocation>)>,
     instr_cap: u64,
     mut mode: DriveMode<'_>,
+    on_inject: &mut dyn FnMut(),
 ) -> DriveResult {
     let stride = cfg.checkpoint_stride;
     // Set when execution sits at the start of iteration `k` (function entry
@@ -374,6 +397,7 @@ fn drive_from(
                     for loc in locs {
                         machine.scan_flip(loc);
                     }
+                    on_inject();
                 }
                 _ => {
                     return DriveResult {
@@ -423,6 +447,7 @@ pub fn golden_run(workload: &Workload, cfg: &LoopConfig) -> GoldenRun {
         None,
         cap,
         mode,
+        &mut || {},
     );
     match result.end {
         DriveEnd::Completed => {}
@@ -471,6 +496,38 @@ pub fn run_experiment_with_model(
     model: FaultModel,
     detail: bool,
 ) -> ExperimentRecord {
+    run_experiment_observed(
+        workload,
+        cfg,
+        golden,
+        fault,
+        model,
+        detail,
+        0,
+        &NullObserver,
+    )
+}
+
+/// Like [`run_experiment_with_model`], reporting each life-cycle stage
+/// (started, injected, detected / spliced, classified) to `observer` as it
+/// happens. `index` is the fault-list index carried on every event so
+/// observers can correlate them; it does not affect execution.
+///
+/// # Panics
+///
+/// Panics if `fault.location_index` is outside the scan catalog.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn run_experiment_observed(
+    workload: &Workload,
+    cfg: &LoopConfig,
+    golden: &GoldenRun,
+    fault: FaultSpec,
+    model: FaultModel,
+    detail: bool,
+    index: usize,
+    observer: &dyn CampaignObserver,
+) -> ExperimentRecord {
     let classifier = Classifier::paper();
     let location = scan::catalog()[fault.location_index];
     let locations: Vec<BitLocation> = model
@@ -509,6 +566,13 @@ pub fn run_experiment_with_model(
                 )
             }
         };
+    observer.experiment_started(
+        index,
+        fault,
+        golden
+            .checkpoint_before(fault.inject_at)
+            .map(|c| c.iteration),
+    );
     let result = drive_from(
         &mut machine,
         cfg,
@@ -519,6 +583,7 @@ pub fn run_experiment_with_model(
         Some((fault.inject_at, locations)),
         cap,
         DriveMode::Prune(golden),
+        &mut || observer.fault_injected(index, fault),
     );
 
     let DriveResult {
@@ -528,7 +593,9 @@ pub fn run_experiment_with_model(
     let mut pruned_at = None;
     let (outcome, max_deviation, first_strong) = match end {
         DriveEnd::Trapped(trap) => {
-            detection_latency = Some(trap.at_instruction.saturating_sub(fault.inject_at));
+            let latency = trap.at_instruction.saturating_sub(fault.inject_at);
+            observer.error_detected(index, trap.mechanism, latency);
+            detection_latency = Some(latency);
             (Outcome::Detected(trap.mechanism), 0.0, None)
         }
         DriveEnd::Hang => (Outcome::Hang, 0.0, None),
@@ -554,6 +621,7 @@ pub fn run_experiment_with_model(
             // boundary: splice the golden tail in place of executing it.
             // The spliced sequence equals what a from-reset run would have
             // produced, so the value-failure classification is unchanged.
+            observer.convergence_spliced(index, iteration);
             pruned_at = Some(iteration);
             outputs.extend_from_slice(&golden.outputs[iteration..]);
             let (max_dev, first) = deviation_stats(&golden.outputs, &outputs, classifier.threshold);
@@ -567,7 +635,7 @@ pub fn run_experiment_with_model(
         }
     };
 
-    ExperimentRecord {
+    let record = ExperimentRecord {
         fault,
         part: location.part(),
         location,
@@ -577,7 +645,9 @@ pub fn run_experiment_with_model(
         detection_latency,
         outputs: detail.then_some(outputs),
         pruned_at,
-    }
+    };
+    observer.experiment_classified(index, &record);
+    record
 }
 
 fn deviation_stats(golden: &[u32], observed: &[u32], threshold: f64) -> (f64, Option<usize>) {

@@ -21,6 +21,13 @@
 //!    [`classify`]) and aggregate into the paper's tables with 95 %
 //!    confidence intervals ([`table`]).
 //!
+//! Campaigns are observable and durable: an [`observer::CampaignObserver`]
+//! receives every life-cycle event (sampled, started, injected, detected,
+//! spliced, classified, completed), the [`store`] module streams records
+//! to a checksummed JSONL database as they classify, and an interrupted
+//! campaign resumes from that database, re-running only the gap
+//! ([`campaign::PreparedCampaign::run_resumed`]).
+//!
 //! # Example
 //!
 //! ```
@@ -41,16 +48,23 @@
 pub mod campaign;
 pub mod classify;
 pub mod experiment;
+pub mod observer;
 pub mod propagation;
+pub mod store;
 pub mod swifi;
 pub mod table;
 pub mod workload;
 
-pub use campaign::{run_scifi_campaign, CampaignConfig, CampaignResult};
+pub use campaign::{
+    prepare_campaign, run_scifi_campaign, run_scifi_campaign_observed, CampaignConfig,
+    CampaignResult, PreparedCampaign,
+};
 pub use classify::{Classifier, Outcome, Severity};
 pub use experiment::{
     golden_run, instruction_cap, run_experiment, Checkpoint, ExperimentRecord, FaultModel,
     FaultSpec, GoldenRun, LoopConfig,
 };
+pub use observer::{CampaignObserver, NullObserver, ObserverSet, Telemetry, TelemetrySnapshot};
+pub use store::{load_store, JsonlStore, LoadedCampaign, StoreError, StoreHeader};
 pub use table::{tabulate, ComparisonTable, PaperTable};
 pub use workload::Workload;

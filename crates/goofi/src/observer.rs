@@ -1,0 +1,469 @@
+//! Campaign observability: the [`CampaignObserver`] hook trait threaded
+//! through campaign and experiment execution, plus the lock-light
+//! [`Telemetry`] aggregator built on top of it.
+//!
+//! The campaign engine emits one event per phase of every experiment's
+//! life cycle (sampled, started, injected, detected / spliced, classified,
+//! completed). Observers run *inside* the worker threads, so an
+//! implementation must be `Sync` and should be cheap: the streaming store
+//! ([`crate::store::JsonlStore`]) serialises one line under a mutex, and
+//! [`Telemetry`] touches a handful of atomics.
+
+use crate::campaign::CampaignResult;
+use crate::classify::Outcome;
+use crate::experiment::{ExperimentRecord, FaultSpec};
+use bera_stats::rate::Ewma;
+use bera_tcpu::edm::ErrorMechanism;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Hooks into the life cycle of a SCIFI campaign.
+///
+/// All methods have empty default bodies, so an observer only implements
+/// the events it cares about. Events fire from the worker thread running
+/// the experiment; `index` is the fault-list index, which is stable across
+/// reruns and resumes of the same campaign configuration.
+///
+/// Records restored from a result store during a resume do **not** replay
+/// their events: observers only see work actually executed in this process.
+pub trait CampaignObserver: Sync {
+    /// The fault list has been sampled (fires once, before any experiment).
+    fn fault_list_sampled(&self, faults: &[FaultSpec]) {
+        let _ = faults;
+    }
+
+    /// An experiment is starting. `fast_forward_from` is the golden
+    /// checkpoint iteration it resumes from (`None` when it replays from
+    /// reset because checkpointing is disabled).
+    fn experiment_started(&self, index: usize, fault: FaultSpec, fast_forward_from: Option<usize>) {
+        let _ = (index, fault, fast_forward_from);
+    }
+
+    /// The fault has been physically injected into the scan chain.
+    fn fault_injected(&self, index: usize, fault: FaultSpec) {
+        let _ = (index, fault);
+    }
+
+    /// A hardware error detection mechanism fired `latency` dynamic
+    /// instructions after injection.
+    fn error_detected(&self, index: usize, mechanism: ErrorMechanism, latency: u64) {
+        let _ = (index, mechanism, latency);
+    }
+
+    /// Convergence pruning proved the run rejoined the golden trajectory
+    /// and spliced the golden tail at `iteration`.
+    fn convergence_spliced(&self, index: usize, iteration: usize) {
+        let _ = (index, iteration);
+    }
+
+    /// The experiment has been classified; `record` is final.
+    fn experiment_classified(&self, index: usize, record: &ExperimentRecord) {
+        let _ = (index, record);
+    }
+
+    /// All experiments are done and the result database is assembled.
+    fn campaign_completed(&self, result: &CampaignResult) {
+        let _ = result;
+    }
+}
+
+/// An observer that ignores every event.
+pub struct NullObserver;
+
+impl CampaignObserver for NullObserver {}
+
+/// Broadcasts every event to a list of observers, in registration order.
+#[derive(Default)]
+pub struct ObserverSet<'a> {
+    observers: Vec<&'a dyn CampaignObserver>,
+}
+
+impl<'a> ObserverSet<'a> {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        ObserverSet::default()
+    }
+
+    /// Registers an observer; events reach observers in push order.
+    pub fn push(&mut self, observer: &'a dyn CampaignObserver) {
+        self.observers.push(observer);
+    }
+}
+
+impl CampaignObserver for ObserverSet<'_> {
+    fn fault_list_sampled(&self, faults: &[FaultSpec]) {
+        for o in &self.observers {
+            o.fault_list_sampled(faults);
+        }
+    }
+
+    fn experiment_started(&self, index: usize, fault: FaultSpec, fast_forward_from: Option<usize>) {
+        for o in &self.observers {
+            o.experiment_started(index, fault, fast_forward_from);
+        }
+    }
+
+    fn fault_injected(&self, index: usize, fault: FaultSpec) {
+        for o in &self.observers {
+            o.fault_injected(index, fault);
+        }
+    }
+
+    fn error_detected(&self, index: usize, mechanism: ErrorMechanism, latency: u64) {
+        for o in &self.observers {
+            o.error_detected(index, mechanism, latency);
+        }
+    }
+
+    fn convergence_spliced(&self, index: usize, iteration: usize) {
+        for o in &self.observers {
+            o.convergence_spliced(index, iteration);
+        }
+    }
+
+    fn experiment_classified(&self, index: usize, record: &ExperimentRecord) {
+        for o in &self.observers {
+            o.experiment_classified(index, record);
+        }
+    }
+
+    fn campaign_completed(&self, result: &CampaignResult) {
+        for o in &self.observers {
+            o.campaign_completed(result);
+        }
+    }
+}
+
+/// Exponentially-smoothed completion rate shared by the worker threads.
+struct RateState {
+    last_completion: Instant,
+    per_second: Ewma,
+}
+
+/// Live campaign counters: classification tallies, throughput, ETA,
+/// checkpoint fast-forward hit-rate and convergence-prune rate.
+///
+/// All counters are atomics, so observing a heavily parallel campaign
+/// costs a few uncontended fetch-adds per experiment; only the smoothed
+/// throughput estimate takes a (short) mutex.
+pub struct Telemetry {
+    total: usize,
+    started: Instant,
+    preloaded: AtomicUsize,
+    completed: AtomicUsize,
+    detected: AtomicUsize,
+    hangs: AtomicUsize,
+    severe: AtomicUsize,
+    minor: AtomicUsize,
+    latent: AtomicUsize,
+    overwritten: AtomicUsize,
+    pruned: AtomicUsize,
+    fast_forwarded: AtomicUsize,
+    rate: Mutex<RateState>,
+}
+
+impl Telemetry {
+    /// New telemetry for a campaign of `total` faults.
+    #[must_use]
+    pub fn new(total: usize) -> Self {
+        Telemetry {
+            total,
+            started: Instant::now(),
+            preloaded: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            detected: AtomicUsize::new(0),
+            hangs: AtomicUsize::new(0),
+            severe: AtomicUsize::new(0),
+            minor: AtomicUsize::new(0),
+            latent: AtomicUsize::new(0),
+            overwritten: AtomicUsize::new(0),
+            pruned: AtomicUsize::new(0),
+            fast_forwarded: AtomicUsize::new(0),
+            rate: Mutex::new(RateState {
+                last_completion: Instant::now(),
+                // Smooth over roughly the last ~40 completions.
+                per_second: Ewma::new(0.05),
+            }),
+        }
+    }
+
+    /// Marks `n` experiments as already complete (restored from a result
+    /// store during a resume). They count towards progress but not towards
+    /// the throughput estimate.
+    pub fn note_preloaded(&self, n: usize) {
+        self.preloaded.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of all counters with derived rates.
+    #[must_use]
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let load = |c: &AtomicUsize| c.load(Ordering::Relaxed);
+        let completed = load(&self.completed);
+        let preloaded = load(&self.preloaded);
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let throughput = completed as f64 / elapsed.max(1e-9);
+        let smoothed = self
+            .rate
+            .lock()
+            .map(|r| r.per_second.value())
+            .unwrap_or(None);
+        let done = completed + preloaded;
+        let remaining = self.total.saturating_sub(done);
+        let eta_seconds = match smoothed.filter(|&r| r > 0.0).or(if throughput > 0.0 {
+            Some(throughput)
+        } else {
+            None
+        }) {
+            Some(rate) if remaining > 0 => Some(remaining as f64 / rate),
+            Some(_) => Some(0.0),
+            None => None,
+        };
+        TelemetrySnapshot {
+            total: self.total,
+            preloaded,
+            completed,
+            elapsed_seconds: elapsed,
+            throughput,
+            smoothed_throughput: smoothed,
+            eta_seconds,
+            detected: load(&self.detected),
+            hangs: load(&self.hangs),
+            severe: load(&self.severe),
+            minor: load(&self.minor),
+            latent: load(&self.latent),
+            overwritten: load(&self.overwritten),
+            pruned: load(&self.pruned),
+            fast_forwarded: load(&self.fast_forwarded),
+        }
+    }
+}
+
+impl CampaignObserver for Telemetry {
+    fn experiment_started(
+        &self,
+        _index: usize,
+        _fault: FaultSpec,
+        fast_forward_from: Option<usize>,
+    ) {
+        // A fast-forward from the iteration-0 checkpoint saves nothing, so
+        // the hit-rate only counts resumes that skipped real work.
+        if fast_forward_from.is_some_and(|k| k > 0) {
+            self.fast_forwarded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn convergence_spliced(&self, _index: usize, _iteration: usize) {
+        self.pruned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn experiment_classified(&self, _index: usize, record: &ExperimentRecord) {
+        match record.outcome {
+            Outcome::Detected(_) => &self.detected,
+            Outcome::Hang => &self.hangs,
+            Outcome::ValueFailure(s) if s.is_severe() => &self.severe,
+            Outcome::ValueFailure(_) => &self.minor,
+            Outcome::Latent => &self.latent,
+            Outcome::Overwritten => &self.overwritten,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        if let Ok(mut rate) = self.rate.lock() {
+            let now = Instant::now();
+            let dt = now.duration_since(rate.last_completion).as_secs_f64();
+            rate.last_completion = now;
+            if dt > 0.0 {
+                rate.per_second.update(1.0 / dt);
+            }
+        }
+    }
+}
+
+/// A point-in-time view of a campaign's [`Telemetry`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Campaign size (faults).
+    pub total: usize,
+    /// Records restored from a store (resume), not executed here.
+    pub preloaded: usize,
+    /// Experiments executed and classified by this process.
+    pub completed: usize,
+    /// Wall-clock seconds since the telemetry was created.
+    pub elapsed_seconds: f64,
+    /// Overall executed-experiment throughput (experiments per second).
+    pub throughput: f64,
+    /// Exponentially smoothed recent throughput, if any completions yet.
+    pub smoothed_throughput: Option<f64>,
+    /// Estimated seconds to completion at the recent rate.
+    pub eta_seconds: Option<f64>,
+    /// Detected errors (an EDM fired).
+    pub detected: usize,
+    /// Hangs ("other errors").
+    pub hangs: usize,
+    /// Severe undetected wrong results.
+    pub severe: usize,
+    /// Minor undetected wrong results.
+    pub minor: usize,
+    /// Latent errors.
+    pub latent: usize,
+    /// Overwritten errors.
+    pub overwritten: usize,
+    /// Experiments ended early by convergence pruning.
+    pub pruned: usize,
+    /// Experiments that fast-forwarded past at least one checkpoint.
+    pub fast_forwarded: usize,
+}
+
+impl TelemetrySnapshot {
+    /// `completed + preloaded`: faults with a final record.
+    #[must_use]
+    pub fn done(&self) -> usize {
+        self.completed + self.preloaded
+    }
+
+    /// Fraction of executed experiments that fast-forwarded from a golden
+    /// checkpoint beyond iteration 0.
+    #[must_use]
+    pub fn checkpoint_hit_rate(&self) -> f64 {
+        self.fast_forwarded as f64 / (self.completed.max(1)) as f64
+    }
+
+    /// Fraction of executed experiments pruned by convergence.
+    #[must_use]
+    pub fn prune_rate(&self) -> f64 {
+        self.pruned as f64 / (self.completed.max(1)) as f64
+    }
+}
+
+impl fmt::Display for TelemetrySnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let pct = 100.0 * self.done() as f64 / self.total.max(1) as f64;
+        write!(f, "{}/{} ({pct:.1}%)", self.done(), self.total)?;
+        let rate = self.smoothed_throughput.unwrap_or(self.throughput);
+        write!(f, " | {rate:.1} exp/s")?;
+        match self.eta_seconds {
+            Some(eta) if self.done() < self.total => write!(f, ", ETA {eta:.0} s")?,
+            _ => {}
+        }
+        write!(
+            f,
+            " | det {} hang {} sev {} min {} lat {} ovw {}",
+            self.detected, self.hangs, self.severe, self.minor, self.latent, self.overwritten
+        )?;
+        write!(
+            f,
+            " | ff {:.0}% prune {:.0}%",
+            100.0 * self.checkpoint_hit_rate(),
+            100.0 * self.prune_rate()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_scifi_campaign_observed, CampaignConfig};
+    use crate::workload::Workload;
+
+    #[test]
+    fn telemetry_counts_partition_the_campaign() {
+        let w = Workload::algorithm_one();
+        let cfg = CampaignConfig::quick(40, 11);
+        let telemetry = Telemetry::new(40);
+        let result = run_scifi_campaign_observed(&w, &cfg, &telemetry);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.completed, 40);
+        assert_eq!(snap.done(), 40);
+        assert_eq!(
+            snap.detected + snap.hangs + snap.severe + snap.minor + snap.latent + snap.overwritten,
+            40,
+            "every record lands in exactly one telemetry bucket"
+        );
+        let pruned = result
+            .records
+            .iter()
+            .filter(|r| r.pruned_at.is_some())
+            .count();
+        assert_eq!(snap.pruned, pruned);
+        assert!(snap.throughput > 0.0);
+        assert!(snap.eta_seconds.is_some());
+    }
+
+    #[test]
+    fn observer_set_broadcasts_in_order() {
+        struct Counter(AtomicUsize);
+        impl CampaignObserver for Counter {
+            fn experiment_classified(&self, _i: usize, _r: &ExperimentRecord) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let a = Counter(AtomicUsize::new(0));
+        let b = Counter(AtomicUsize::new(0));
+        let mut set = ObserverSet::new();
+        set.push(&a);
+        set.push(&b);
+        let w = Workload::algorithm_one();
+        let cfg = CampaignConfig::quick(10, 3);
+        let _ = run_scifi_campaign_observed(&w, &cfg, &set);
+        assert_eq!(a.0.load(Ordering::Relaxed), 10);
+        assert_eq!(b.0.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn preloaded_counts_toward_done_but_not_throughput() {
+        let t = Telemetry::new(100);
+        t.note_preloaded(60);
+        let snap = t.snapshot();
+        assert_eq!(snap.done(), 60);
+        assert_eq!(snap.completed, 0);
+        assert_eq!(snap.preloaded, 60);
+        assert!(snap.eta_seconds.is_none(), "no executed completions yet");
+        // Display must not panic on a fresh snapshot.
+        let _ = snap.to_string();
+    }
+
+    #[test]
+    fn events_fire_for_every_life_cycle_stage() {
+        #[derive(Default)]
+        struct Probe {
+            sampled: AtomicUsize,
+            started: AtomicUsize,
+            injected: AtomicUsize,
+            classified: AtomicUsize,
+            completed: AtomicUsize,
+        }
+        impl CampaignObserver for Probe {
+            fn fault_list_sampled(&self, faults: &[FaultSpec]) {
+                self.sampled.fetch_add(faults.len(), Ordering::Relaxed);
+            }
+            fn experiment_started(&self, _: usize, _: FaultSpec, _: Option<usize>) {
+                self.started.fetch_add(1, Ordering::Relaxed);
+            }
+            fn fault_injected(&self, _: usize, _: FaultSpec) {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+            }
+            fn experiment_classified(&self, _: usize, _: &ExperimentRecord) {
+                self.classified.fetch_add(1, Ordering::Relaxed);
+            }
+            fn campaign_completed(&self, result: &CampaignResult) {
+                self.completed
+                    .fetch_add(result.records.len(), Ordering::Relaxed);
+            }
+        }
+        let probe = Probe::default();
+        let w = Workload::algorithm_one();
+        let cfg = CampaignConfig::quick(15, 7);
+        let _ = run_scifi_campaign_observed(&w, &cfg, &probe);
+        assert_eq!(probe.sampled.load(Ordering::Relaxed), 15);
+        assert_eq!(probe.started.load(Ordering::Relaxed), 15);
+        assert_eq!(
+            probe.injected.load(Ordering::Relaxed),
+            15,
+            "the fault-free prefix never traps, so every fault is injected"
+        );
+        assert_eq!(probe.classified.load(Ordering::Relaxed), 15);
+        assert_eq!(probe.completed.load(Ordering::Relaxed), 15);
+    }
+}

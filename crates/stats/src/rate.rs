@@ -1,0 +1,107 @@
+//! Smoothed rate estimation for live campaign telemetry.
+//!
+//! Campaign experiments complete at wildly varying speeds (a detected
+//! fault traps within microseconds, a hang burns the full instruction
+//! cap), so a raw completions-per-second ratio whipsaws. [`Ewma`] keeps an
+//! exponentially weighted moving average of instantaneous samples, giving
+//! throughput and ETA displays that settle quickly without going stale.
+
+/// An exponentially weighted moving average.
+///
+/// With smoothing factor `alpha`, each update moves the estimate a
+/// fraction `alpha` of the way towards the new sample; the effective
+/// memory is roughly the last `1/alpha` samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an empty average with smoothing factor `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha <= 1`.
+    #[must_use]
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA smoothing factor must lie in (0, 1], got {alpha}"
+        );
+        Ewma { alpha, value: None }
+    }
+
+    /// Folds one sample in and returns the updated estimate. The first
+    /// sample seeds the average directly.
+    pub fn update(&mut self, sample: f64) -> f64 {
+        let next = match self.value {
+            Some(v) => v + self.alpha * (sample - v),
+            None => sample,
+        };
+        self.value = Some(next);
+        next
+    }
+
+    /// The current estimate (`None` until the first sample).
+    #[must_use]
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// The smoothing factor.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_seeds_the_average() {
+        let mut e = Ewma::new(0.1);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.update(42.0), 42.0);
+        assert_eq!(e.value(), Some(42.0));
+    }
+
+    #[test]
+    fn converges_to_a_constant_signal() {
+        let mut e = Ewma::new(0.2);
+        e.update(0.0);
+        for _ in 0..200 {
+            e.update(10.0);
+        }
+        assert!((e.value().unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_one_tracks_the_last_sample() {
+        let mut e = Ewma::new(1.0);
+        e.update(1.0);
+        e.update(7.0);
+        assert_eq!(e.value(), Some(7.0));
+    }
+
+    #[test]
+    fn smooths_between_old_and_new() {
+        let mut e = Ewma::new(0.5);
+        e.update(0.0);
+        assert_eq!(e.update(8.0), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing factor")]
+    fn rejects_zero_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing factor")]
+    fn rejects_alpha_above_one() {
+        let _ = Ewma::new(1.5);
+    }
+}

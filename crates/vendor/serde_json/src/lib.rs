@@ -361,12 +361,17 @@ impl Parser<'_> {
                 .map(serde::Value::F64)
                 .map_err(|_| Error(format!("invalid number `{text}`")))
         } else if text.starts_with('-') {
+            // Floats of large magnitude Display without a `.` or exponent
+            // (e.g. `-3.9e232` prints as 233 digits); fall back to f64 when
+            // the integer overflows so such values still round-trip.
             text.parse::<i64>()
                 .map(serde::Value::I64)
+                .or_else(|_| text.parse::<f64>().map(serde::Value::F64))
                 .map_err(|_| Error(format!("invalid number `{text}`")))
         } else {
             text.parse::<u64>()
                 .map(serde::Value::U64)
+                .or_else(|_| text.parse::<f64>().map(serde::Value::F64))
                 .map_err(|_| Error(format!("invalid number `{text}`")))
         }
     }

@@ -3,14 +3,27 @@
 //! ```text
 //! campaign [--workload alg1|alg2|alg2-colocated|alg2-assert-after|alg3]
 //!          [--faults N] [--seed S] [--iterations K] [--threads T]
-//!          [--parity-cache] [--checkpoint-stride K] [--json FILE]
+//!          [--parity-cache] [--checkpoint-stride K]
+//!          [--fault-model single|double] [--json FILE]
+//!          [--out FILE] [--resume] [--progress]
 //! ```
+//!
+//! `--out` streams every record to a checksummed JSONL store as it
+//! classifies; `--resume` picks an interrupted store back up (validating
+//! that it belongs to this exact campaign) and runs only the missing
+//! faults; `--progress` prints live telemetry (throughput, ETA,
+//! classification counters, checkpoint hit-rate, prune rate) to stderr.
 
-use bera::goofi::campaign::{run_scifi_campaign, CampaignConfig};
-use bera::goofi::experiment::LoopConfig;
+use bera::goofi::campaign::{prepare_campaign, CampaignConfig};
+use bera::goofi::experiment::{ExperimentRecord, FaultModel, LoopConfig};
+use bera::goofi::observer::{CampaignObserver, ObserverSet, Telemetry};
+use bera::goofi::store::{JsonlStore, StoreHeader};
 use bera::goofi::table::tabulate;
 use bera::goofi::workload::Workload;
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 struct Args {
     workload: Workload,
@@ -20,7 +33,11 @@ struct Args {
     threads: usize,
     parity_cache: bool,
     checkpoint_stride: usize,
+    fault_model: FaultModel,
     json: Option<String>,
+    out: Option<String>,
+    resume: bool,
+    progress: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,7 +49,11 @@ fn parse_args() -> Result<Args, String> {
         threads: 0,
         parity_cache: false,
         checkpoint_stride: LoopConfig::paper().checkpoint_stride,
+        fault_model: FaultModel::SingleBit,
         json: None,
+        out: None,
+        resume: false,
+        progress: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -74,12 +95,25 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--checkpoint-stride: {e}"))?;
             }
+            "--fault-model" => {
+                args.fault_model = match value("--fault-model")?.as_str() {
+                    "single" => FaultModel::SingleBit,
+                    "double" => FaultModel::AdjacentDoubleBit,
+                    other => return Err(format!("unknown fault model `{other}`")),
+                };
+            }
             "--json" => args.json = Some(value("--json")?),
+            "--out" => args.out = Some(value("--out")?),
+            "--resume" => args.resume = true,
+            "--progress" => args.progress = true,
             "--help" | "-h" => {
                 return Err(String::new()); // triggers usage
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
+    }
+    if args.resume && args.out.is_none() {
+        return Err("--resume requires --out FILE (the store to resume from)".to_string());
     }
     Ok(args)
 }
@@ -88,12 +122,46 @@ fn usage() {
     eprintln!(
         "usage: campaign [--workload alg1|alg2|alg2-colocated|alg2-assert-after|alg3]\n\
          \t[--faults N] [--seed S] [--iterations K] [--threads T]\n\
-         \t[--parity-cache] [--checkpoint-stride K] [--json FILE]\n\
+         \t[--parity-cache] [--checkpoint-stride K]\n\
+         \t[--fault-model single|double] [--json FILE]\n\
+         \t[--out FILE] [--resume] [--progress]\n\
          \n\
          --checkpoint-stride K  capture a golden checkpoint every K iterations\n\
          \t(experiments fast-forward from the nearest checkpoint and prune\n\
-         \tconverged tails; 0 replays every experiment from reset)"
+         \tconverged tails; 0 replays every experiment from reset)\n\
+         --out FILE     stream records to a checksummed JSONL result store\n\
+         --resume       continue an interrupted store (validates that it\n\
+         \tbelongs to this campaign; re-runs only the missing faults)\n\
+         --progress     live telemetry on stderr (throughput, ETA, counters)"
     );
+}
+
+/// Prints a rate-limited telemetry line from inside the worker threads.
+struct ProgressPrinter<'a> {
+    telemetry: &'a Telemetry,
+    every: Duration,
+    last: Mutex<Instant>,
+}
+
+impl<'a> ProgressPrinter<'a> {
+    fn new(telemetry: &'a Telemetry, every: Duration) -> Self {
+        ProgressPrinter {
+            telemetry,
+            every,
+            last: Mutex::new(Instant::now() - every),
+        }
+    }
+}
+
+impl CampaignObserver for ProgressPrinter<'_> {
+    fn experiment_classified(&self, _index: usize, _record: &ExperimentRecord) {
+        let mut last = self.last.lock().expect("progress lock poisoned");
+        if last.elapsed() < self.every {
+            return;
+        }
+        *last = Instant::now();
+        eprintln!("progress: {}", self.telemetry.snapshot());
+    }
 }
 
 fn main() -> ExitCode {
@@ -116,6 +184,7 @@ fn main() -> ExitCode {
         ..LoopConfig::paper()
     };
     cfg.threads = args.threads;
+    cfg.fault_model = args.fault_model;
 
     eprintln!(
         "running {} faults into `{}` ({} iterations, seed {}, checkpoint stride {})...",
@@ -126,26 +195,104 @@ fn main() -> ExitCode {
         args.checkpoint_stride,
     );
     let started = std::time::Instant::now();
-    let result = run_scifi_campaign(&args.workload, &cfg);
+    let prepared = prepare_campaign(&args.workload, &cfg);
+
+    // Attach the streaming store (fresh or resumed) before any experiment
+    // runs, so every classified record is durable the moment it exists.
+    let mut preloaded: Vec<Option<ExperimentRecord>> = Vec::new();
+    let store = match &args.out {
+        Some(path) => {
+            let path = Path::new(path);
+            let header = StoreHeader::new(args.workload.name(), &cfg, prepared.golden());
+            if args.resume && path.exists() {
+                match JsonlStore::open_resume(path, &header) {
+                    Ok((store, loaded)) => {
+                        if loaded.torn_tail {
+                            eprintln!(
+                                "note: store had a torn final line (crash mid-write); \
+                                 that fault will be re-run"
+                            );
+                        }
+                        eprintln!(
+                            "resuming {}: {}/{} records already complete",
+                            path.display(),
+                            loaded.done(),
+                            args.faults
+                        );
+                        preloaded = loaded.records;
+                        store
+                    }
+                    Err(e) => {
+                        eprintln!("error: cannot resume {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                match JsonlStore::create(path, &header) {
+                    Ok(store) => store,
+                    Err(e) => {
+                        eprintln!("error: cannot create {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
+        None => {
+            // No store: run purely in memory as before.
+            let telemetry = Telemetry::new(args.faults);
+            let printer = ProgressPrinter::new(&telemetry, Duration::from_millis(500));
+            let mut observers = ObserverSet::new();
+            observers.push(&telemetry);
+            if args.progress {
+                observers.push(&printer);
+            }
+            let result = prepared.run(&observers);
+            return finish(&args, result, &telemetry, started);
+        }
+    };
+
+    let telemetry = Telemetry::new(args.faults);
+    telemetry.note_preloaded(preloaded.iter().filter(|r| r.is_some()).count());
+    let printer = ProgressPrinter::new(&telemetry, Duration::from_millis(500));
+    let mut observers = ObserverSet::new();
+    observers.push(&store);
+    observers.push(&telemetry);
+    if args.progress {
+        observers.push(&printer);
+    }
+    let result = prepared.run_resumed(preloaded, &observers);
+    drop(observers);
+    if let Err(e) = store.finish() {
+        eprintln!("error: result store failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = &args.out {
+        eprintln!("result store written to {path}");
+    }
+    finish(&args, result, &telemetry, started)
+}
+
+fn finish(
+    args: &Args,
+    result: bera::goofi::campaign::CampaignResult,
+    telemetry: &Telemetry,
+    started: std::time::Instant,
+) -> ExitCode {
     let elapsed = started.elapsed();
     println!("{}", tabulate(&result).render());
 
-    let pruned = result
-        .records
-        .iter()
-        .filter(|r| r.pruned_at.is_some())
-        .count();
+    let snap = telemetry.snapshot();
     eprintln!(
-        "{} faults in {:.2} s ({:.1} faults/s); {pruned} experiment(s) pruned by convergence",
+        "{} faults in {:.2} s ({:.1} faults/s); telemetry: {snap}",
         result.records.len(),
         elapsed.as_secs_f64(),
         result.records.len() as f64 / elapsed.as_secs_f64().max(1e-9),
     );
 
-    if let Some(path) = args.json {
+    if let Some(path) = &args.json {
         match result.to_json() {
             Ok(json) => {
-                if let Err(e) = std::fs::write(&path, json) {
+                if let Err(e) = std::fs::write(path, json) {
                     eprintln!("error writing {path}: {e}");
                     return ExitCode::FAILURE;
                 }

@@ -1,0 +1,142 @@
+//! Offline report generator — rebuilds the paper tables from a JSONL
+//! result store, without re-running any campaign.
+//!
+//! ```text
+//! report FILE                 render the paper table (Tables 2/3 layout)
+//! report FILE1 FILE2          render Table 4 (Algorithm I vs II comparison)
+//! report --csv FILE           export the single-campaign table as CSV
+//! report --partial FILE       tabulate an incomplete store (missing faults
+//!                             are simply absent from the counts)
+//! report --artifact NAME ...  additionally write the rendering under
+//!                             artifacts/NAME
+//! ```
+//!
+//! The store's per-line checksums and header are validated on load, so a
+//! truncated or corrupted database is reported rather than silently
+//! mis-tabulated.
+
+use bera::goofi::campaign::CampaignResult;
+use bera::goofi::store::load_store;
+use bera::goofi::table::{tabulate, ComparisonTable};
+use bera::repro;
+use std::path::Path;
+use std::process::ExitCode;
+
+struct Args {
+    files: Vec<String>,
+    csv: bool,
+    partial: bool,
+    artifact: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        files: Vec::new(),
+        csv: false,
+        partial: false,
+        artifact: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--csv" => args.csv = true,
+            "--partial" => args.partial = true,
+            "--artifact" => {
+                args.artifact = Some(
+                    it.next()
+                        .ok_or_else(|| "--artifact expects a name".to_string())?,
+                );
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
+            path => args.files.push(path.to_string()),
+        }
+    }
+    match args.files.len() {
+        1 | 2 => {}
+        0 => return Err("expected a result store file".to_string()),
+        n => return Err(format!("expected 1 or 2 store files, got {n}")),
+    }
+    if args.csv && args.files.len() == 2 {
+        return Err("--csv applies to a single-campaign report".to_string());
+    }
+    Ok(args)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: report [--csv] [--partial] [--artifact NAME] FILE [FILE2]\n\
+         \n\
+         With one store file, renders that campaign's paper table; with two,\n\
+         renders the Table 4 comparison (first store = Algorithm I column).\n\
+         --partial tabulates an incomplete store instead of refusing it."
+    );
+}
+
+fn load(path: &str, partial: bool) -> Result<CampaignResult, String> {
+    let loaded = load_store(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    if loaded.torn_tail {
+        eprintln!("note: {path} has a torn final line; that record is ignored");
+    }
+    if partial {
+        let done = loaded.done();
+        let total = loaded.records.len();
+        if done < total {
+            eprintln!("note: {path} is partial ({done}/{total} records)");
+        }
+        Ok(loaded.into_partial_result())
+    } else {
+        loaded.into_result().map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let rendered = if args.files.len() == 2 {
+        let first = match load(&args.files[0], args.partial) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let second = match load(&args.files[1], args.partial) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        ComparisonTable::new(&first, &second).render()
+    } else {
+        let result = match load(&args.files[0], args.partial) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let table = tabulate(&result);
+        if args.csv {
+            table.to_csv()
+        } else {
+            table.render()
+        }
+    };
+
+    println!("{rendered}");
+    if let Some(name) = &args.artifact {
+        repro::write_artifact(name, &rendered);
+    }
+    ExitCode::SUCCESS
+}

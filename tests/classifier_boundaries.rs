@@ -1,0 +1,173 @@
+//! Regression pins for the failure-severity classifier at its exact
+//! boundaries (paper § 5: permanent / semi-permanent / transient /
+//! insignificant, Figures 7–9).
+//!
+//! The paper's numbers depend on three knife-edges: the 0.1° strong-
+//! deviation threshold (strictly greater-than), the transient horizon
+//! (a strong span of `horizon` iterations is already *semi*-permanent),
+//! and the actuator-limit tolerance for the permanent class. These tests
+//! sit directly on each edge so any silent reinterpretation of a
+//! comparison operator shows up as a failure here, not as a mysteriously
+//! shifted Table 4.
+
+use bera_goofi::classify::{Classifier, Severity};
+
+fn c() -> Classifier {
+    Classifier::paper()
+}
+
+fn constant(v: f64, n: usize) -> Vec<f64> {
+    vec![v; n]
+}
+
+#[test]
+fn paper_parameters_are_pinned() {
+    let c = c();
+    assert_eq!(c.threshold, 0.1);
+    assert_eq!(c.lo, 0.0);
+    assert_eq!(c.hi, 70.0);
+    assert_eq!(c.limit_eps, 1e-3);
+    assert_eq!(c.transient_horizon, 32);
+}
+
+// ---------------------------------------------------------------------------
+// The 0.1° threshold is strict: deviation == threshold is NOT strong.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn deviation_exactly_at_threshold_is_insignificant() {
+    // golden 0.0 keeps the arithmetic exact: |0.1 - 0.0| is the same f64
+    // as the 0.1 threshold literal, and `d > threshold` must be false.
+    let g = constant(0.0, 100);
+    let mut o = g.clone();
+    for v in o.iter_mut().take(50) {
+        *v = 0.1;
+    }
+    assert_eq!(c().classify_values(&g, &o), Severity::Insignificant);
+}
+
+#[test]
+fn deviation_one_ulp_above_threshold_is_strong() {
+    let just_above = f64::from_bits(0.1f64.to_bits() + 1);
+    let g = constant(0.0, 100);
+    let mut o = g.clone();
+    o[40] = just_above;
+    assert_ne!(c().classify_values(&g, &o), Severity::Insignificant);
+}
+
+// ---------------------------------------------------------------------------
+// Transient horizon: span < 32 is transient, span == 32 is semi-permanent.
+// ---------------------------------------------------------------------------
+
+fn spanned(first: usize, last: usize) -> Severity {
+    let g = constant(20.0, 650);
+    let mut o = g.clone();
+    o[first] = 25.0; // strong but far from both actuator limits
+    o[last] = 25.0;
+    c().classify_values(&g, &o)
+}
+
+#[test]
+fn strong_span_just_inside_horizon_is_transient() {
+    // last - first == 31 < transient_horizon.
+    assert_eq!(spanned(100, 131), Severity::Transient);
+}
+
+#[test]
+fn strong_span_at_horizon_is_semi_permanent() {
+    // last - first == 32, no longer "rapidly converging".
+    assert_eq!(spanned(100, 132), Severity::SemiPermanent);
+}
+
+#[test]
+fn single_strong_iteration_is_transient() {
+    assert_eq!(spanned(300, 300), Severity::Transient);
+}
+
+// ---------------------------------------------------------------------------
+// Permanent requires the tail pinned at a limit to within limit_eps.
+// ---------------------------------------------------------------------------
+
+fn pinned_tail(tail_value: f64) -> Severity {
+    let g = constant(20.0, 650);
+    let mut o = g.clone();
+    for v in o.iter_mut().skip(400) {
+        *v = tail_value;
+    }
+    c().classify_values(&g, &o)
+}
+
+#[test]
+fn tail_exactly_at_upper_limit_is_permanent() {
+    assert_eq!(pinned_tail(70.0), Severity::Permanent);
+}
+
+#[test]
+fn tail_exactly_at_lower_limit_is_permanent() {
+    assert_eq!(pinned_tail(0.0), Severity::Permanent);
+}
+
+#[test]
+fn tail_within_limit_eps_of_limit_is_permanent() {
+    // |70 - 69.9995| = 5e-4 <= 1e-3: still "at the limit".
+    assert_eq!(pinned_tail(69.9995), Severity::Permanent);
+    assert_eq!(pinned_tail(5e-4), Severity::Permanent);
+}
+
+#[test]
+fn tail_just_outside_limit_eps_is_not_permanent() {
+    // |70 - 69.998| = 2e-3 > 1e-3: a long strong span, but not pinned.
+    assert_eq!(pinned_tail(69.998), Severity::SemiPermanent);
+    assert_eq!(pinned_tail(0.002), Severity::SemiPermanent);
+}
+
+#[test]
+fn pinned_only_after_first_strong_iteration_counts_from_there() {
+    // The pin test covers observed[first..]: one early strong excursion
+    // away from the limit defeats the permanent classification even if
+    // the rest of the tail is pinned.
+    let g = constant(20.0, 650);
+    let mut o = g.clone();
+    o[100] = 25.0; // strong, not at a limit
+    for v in o.iter_mut().skip(400) {
+        *v = 70.0;
+    }
+    assert_eq!(c().classify_values(&g, &o), Severity::SemiPermanent);
+}
+
+// ---------------------------------------------------------------------------
+// Non-finite outputs and bit-level classification.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn non_finite_observed_output_is_a_strong_deviation() {
+    let g = constant(20.0, 650);
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let mut o = g.clone();
+        o[200] = bad;
+        assert_eq!(
+            c().classify_values(&g, &o),
+            Severity::Transient,
+            "single non-finite output at {bad}"
+        );
+    }
+}
+
+#[test]
+fn identical_bit_sequences_are_not_a_value_failure() {
+    let g: Vec<u32> = (0..650)
+        .map(|k| (20.0f32 + k as f32 * 1e-4).to_bits())
+        .collect();
+    assert_eq!(c().classify_bits(&g, &g.clone()), None);
+}
+
+#[test]
+fn lsb_flip_is_detected_but_insignificant() {
+    let g: Vec<u32> = constant(20.0, 650)
+        .iter()
+        .map(|&v| (v as f32).to_bits())
+        .collect();
+    let mut o = g.clone();
+    o[10] ^= 1; // one ulp of f32 20.0 — far below the 0.1° threshold
+    assert_eq!(c().classify_bits(&g, &o), Some(Severity::Insignificant));
+}

@@ -1,0 +1,253 @@
+//! Property tests for the JSONL result-store wire format.
+//!
+//! Three claims are exercised over randomized [`ExperimentRecord`]s:
+//!
+//! 1. **Round-trip exactness** — `decode(encode(r)) == r` for every field,
+//!    including non-finite `max_deviation` values (`±inf`, `NaN`), which
+//!    have no JSON number representation and travel as IEEE-754 bits;
+//! 2. **No half-parses** — every proper prefix of a record line (a torn
+//!    final line after a crash mid-write) fails to decode; a reader can
+//!    never mistake a partial record for a complete one;
+//! 3. **Corruption detection** — changing any single character of a record
+//!    line makes it fail to decode (structure breaks or the checksum
+//!    catches it), and a store file truncated at an arbitrary byte inside
+//!    its final line loads with exactly that record dropped and flagged.
+
+use bera_goofi::campaign::{prepare_campaign, CampaignConfig};
+use bera_goofi::classify::{Outcome, Severity};
+use bera_goofi::experiment::{ExperimentRecord, FaultSpec};
+use bera_goofi::store::{decode_record, encode_record, load_store, JsonlStore, StoreHeader};
+use bera_goofi::table::TABLE_MECHANISMS;
+use bera_goofi::workload::Workload;
+use bera_tcpu::scan;
+use proptest::prelude::*;
+use proptest::strategy::Just;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+
+fn outcome_from(tag: usize, mech: usize, severity: usize) -> Outcome {
+    match tag % 5 {
+        0 => Outcome::Detected(TABLE_MECHANISMS[mech % TABLE_MECHANISMS.len()]),
+        1 => Outcome::Hang,
+        2 => Outcome::ValueFailure(match severity % 4 {
+            0 => Severity::Permanent,
+            1 => Severity::SemiPermanent,
+            2 => Severity::Transient,
+            _ => Severity::Insignificant,
+        }),
+        3 => Outcome::Latent,
+        _ => Outcome::Overwritten,
+    }
+}
+
+/// Assembles a record from independently sampled parts. The location is
+/// drawn from the real scan catalog so `part` stays consistent with it.
+#[allow(clippy::too_many_arguments)]
+fn build_record(
+    location_index: usize,
+    inject_at: u64,
+    tag: usize,
+    mech: usize,
+    severity: usize,
+    max_deviation: f64,
+    first_strong: Option<usize>,
+    latency: Option<u64>,
+    outputs: Option<Vec<u32>>,
+    pruned_at: Option<usize>,
+) -> ExperimentRecord {
+    let catalog = scan::catalog();
+    let location = catalog[location_index % catalog.len()];
+    ExperimentRecord {
+        fault: FaultSpec {
+            location_index: location_index % catalog.len(),
+            inject_at,
+        },
+        part: location.part(),
+        location,
+        outcome: outcome_from(tag, mech, severity),
+        max_deviation,
+        first_strong_iteration: first_strong,
+        detection_latency: latency,
+        outputs,
+        pruned_at,
+    }
+}
+
+fn deviation_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(f64::NAN),
+        Just(0.0f64),
+        any::<f64>(),
+        0.0f64..200.0,
+    ]
+}
+
+fn assert_records_equal(a: &ExperimentRecord, b: &ExperimentRecord) {
+    // Bit-exact on the float (covers NaN and the infinities, which compare
+    // unequal / equal-to-everything-else under `==`)...
+    assert_eq!(a.max_deviation.to_bits(), b.max_deviation.to_bits());
+    // ...and field-for-field on everything else via the canonical
+    // serialization, which covers every field of the record.
+    assert_eq!(
+        serde_json::to_string(a).unwrap(),
+        serde_json::to_string(b).unwrap()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn record_roundtrips_exactly(
+        index in 0usize..100_000,
+        location_index in 0usize..100_000,
+        inject_at in 0u64..1_000_000,
+        shape in (0usize..5, 0usize..64, 0usize..4),
+        max_deviation in deviation_strategy(),
+        optionals in (
+            prop_oneof![Just(None), (0usize..650).prop_map(Some)],
+            prop_oneof![Just(None), (0u64..1_000_000).prop_map(Some)],
+            prop_oneof![
+                Just(None),
+                proptest::collection::vec(any::<u32>(), 0..6).prop_map(Some),
+            ],
+            prop_oneof![Just(None), (0usize..650).prop_map(Some)],
+        ),
+    ) {
+        let (tag, mech, severity) = shape;
+        let (first_strong, latency, outputs, pruned_at) = optionals;
+        let record = build_record(
+            location_index, inject_at, tag, mech, severity,
+            max_deviation, first_strong, latency, outputs, pruned_at,
+        );
+        let line = encode_record(index, &record);
+        prop_assert!(!line.contains('\n'), "a record must be a single line");
+        let (decoded_index, decoded) = decode_record(&line)
+            .map_err(proptest::test_runner::TestCaseError::fail)?;
+        prop_assert_eq!(decoded_index, index);
+        assert_records_equal(&record, &decoded);
+    }
+
+    #[test]
+    fn no_prefix_of_a_record_half_parses(
+        index in 0usize..10_000,
+        location_index in 0usize..100_000,
+        inject_at in 0u64..1_000_000,
+        shape in (0usize..5, 0usize..64, 0usize..4),
+        max_deviation in deviation_strategy(),
+    ) {
+        let (tag, mech, severity) = shape;
+        let record = build_record(
+            location_index, inject_at, tag, mech, severity,
+            max_deviation, Some(3), Some(42), None, None,
+        );
+        let line = encode_record(index, &record);
+        for cut in 0..line.len() {
+            prop_assert!(
+                decode_record(&line[..cut]).is_err(),
+                "prefix of length {} of a {}-byte line must not decode",
+                cut,
+                line.len()
+            );
+        }
+    }
+
+    #[test]
+    fn single_character_corruption_is_detected(
+        index in 0usize..10_000,
+        location_index in 0usize..100_000,
+        inject_at in 0u64..1_000_000,
+        shape in (0usize..5, 0usize..64, 0usize..4),
+        max_deviation in deviation_strategy(),
+        position in 0usize..10_000,
+        replacement in 0usize..36,
+    ) {
+        let (tag, mech, severity) = shape;
+        let record = build_record(
+            location_index, inject_at, tag, mech, severity,
+            max_deviation, None, None, None, Some(17),
+        );
+        let line = encode_record(index, &record);
+        let chars: Vec<char> = line.chars().collect();
+        let position = position % chars.len();
+        let replacement = char::from_digit(replacement as u32, 36).unwrap();
+        prop_assume!(chars[position] != replacement);
+        let mut corrupted = chars;
+        corrupted[position] = replacement;
+        let corrupted: String = corrupted.into_iter().collect();
+        prop_assert!(
+            decode_record(&corrupted).is_err(),
+            "corrupting byte {} must be detected",
+            position
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// File-level torn-line behaviour, against a real store on disk.
+// ---------------------------------------------------------------------------
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    static COUNTER: AtomicU32 = AtomicU32::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "bera-roundtrip-{}-{tag}-{n}.jsonl",
+        std::process::id()
+    ))
+}
+
+/// A small real store (header + 6 records) rendered once and shared.
+fn reference_store_text() -> &'static str {
+    static TEXT: OnceLock<String> = OnceLock::new();
+    TEXT.get_or_init(|| {
+        let workload = Workload::algorithm_one();
+        let cfg = CampaignConfig::quick(6, 3);
+        let prepared = prepare_campaign(&workload, &cfg);
+        let header = StoreHeader::new(workload.name(), &cfg, prepared.golden());
+        let path = temp_path("reference");
+        let store = JsonlStore::create(&path, &header).expect("create");
+        let _ = prepared.run(&store);
+        store.finish().expect("finish");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let _ = std::fs::remove_file(&path);
+        text
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truncated_store_drops_exactly_the_torn_record(cut_back in 1usize..10_000) {
+        let text = reference_store_text();
+        let last_line_start = text[..text.len() - 1]
+            .rfind('\n')
+            .expect("store has multiple lines")
+            + 1;
+        // Cut somewhere strictly inside the final line (leaving at least
+        // its first byte, removing at least its trailing newline).
+        let span = text.len() - last_line_start;
+        let cut = text.len() - 1 - (cut_back % (span - 1));
+        let path = temp_path("cut");
+        std::fs::write(&path, &text[..cut]).expect("write truncated store");
+        let loaded = load_store(&path).expect("torn tail must still load");
+        let _ = std::fs::remove_file(&path);
+        prop_assert!(loaded.torn_tail, "cut at byte {} must be flagged torn", cut);
+        prop_assert_eq!(loaded.done(), 5, "exactly the torn record is dropped");
+        prop_assert!(!loaded.is_complete());
+    }
+}
+
+#[test]
+fn untorn_reference_store_is_complete() {
+    let text = reference_store_text();
+    let path = temp_path("whole");
+    std::fs::write(&path, text).expect("write store");
+    let loaded = load_store(&path).expect("load");
+    let _ = std::fs::remove_file(&path);
+    assert!(!loaded.torn_tail);
+    assert_eq!(loaded.done(), 6);
+    assert!(loaded.is_complete());
+}
