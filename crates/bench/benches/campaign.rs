@@ -115,6 +115,7 @@ fn bench_campaign(c: &mut Criterion) {
             faults: 50,
             seed: 3,
             iterations: 100,
+            model: bera_goofi::FaultModel::SingleBit,
         };
         b.iter(|| run_swifi(PiController::paper, black_box(&cfg)));
     });

@@ -6,6 +6,7 @@ use crate::experiment::{
     LoopConfig,
 };
 use crate::observer::{CampaignObserver, NullObserver};
+use crate::supervisor::{run_supervised, SupervisorConfig};
 use crate::workload::Workload;
 use bera_stats::sampling::UniformSampler;
 use bera_tcpu::scan;
@@ -28,6 +29,10 @@ pub struct CampaignConfig {
     pub detail: bool,
     /// The fault model (single bit-flip by default, as in the paper).
     pub fault_model: FaultModel,
+    /// Supervised execution (panic isolation, watchdog, retry-then-
+    /// quarantine). `None` runs experiments bare: a panic aborts the
+    /// campaign, as a debugging aid.
+    pub supervisor: Option<SupervisorConfig>,
 }
 
 impl CampaignConfig {
@@ -41,6 +46,7 @@ impl CampaignConfig {
             threads: 0,
             detail: false,
             fault_model: FaultModel::SingleBit,
+            supervisor: Some(SupervisorConfig::default()),
         }
     }
 
@@ -54,6 +60,7 @@ impl CampaignConfig {
             threads: 1,
             detail: false,
             fault_model: FaultModel::SingleBit,
+            supervisor: Some(SupervisorConfig::default()),
         }
     }
 }
@@ -249,6 +256,42 @@ pub fn run_fault_list(
     run_fault_list_resumed(workload, cfg, golden, faults, Vec::new(), &NullObserver)
 }
 
+/// Runs one experiment according to the campaign's execution policy:
+/// supervised (panic isolation, watchdog, retry, quarantine) when the
+/// config carries a [`SupervisorConfig`], bare otherwise.
+fn run_one(
+    workload: &Workload,
+    cfg: &CampaignConfig,
+    golden: &GoldenRun,
+    fault: FaultSpec,
+    index: usize,
+    observer: &dyn CampaignObserver,
+) -> ExperimentRecord {
+    match &cfg.supervisor {
+        Some(sup) => run_supervised(
+            workload,
+            &cfg.loop_cfg,
+            golden,
+            fault,
+            cfg.fault_model,
+            cfg.detail,
+            index,
+            observer,
+            sup,
+        ),
+        None => run_experiment_observed(
+            workload,
+            &cfg.loop_cfg,
+            golden,
+            fault,
+            cfg.fault_model,
+            cfg.detail,
+            index,
+            observer,
+        ),
+    }
+}
+
 /// Runs the fault indices of `faults` whose `completed` slot is `None`
 /// (all of them when `completed` is empty), reporting events to
 /// `observer`; pre-completed records are adopted without re-execution.
@@ -279,16 +322,7 @@ fn run_fault_list_resumed(
             if done[i] {
                 continue;
             }
-            slots[i] = Some(run_experiment_observed(
-                workload,
-                &cfg.loop_cfg,
-                golden,
-                f,
-                cfg.fault_model,
-                cfg.detail,
-                i,
-                observer,
-            ));
+            slots[i] = Some(run_one(workload, cfg, golden, f, i, observer));
         }
         return slots
             .into_iter()
@@ -318,28 +352,39 @@ fn run_fault_list_resumed(
                         if done[i] {
                             continue;
                         }
-                        let record = run_experiment_observed(
-                            workload,
-                            &cfg.loop_cfg,
-                            golden,
-                            f,
-                            cfg.fault_model,
-                            cfg.detail,
-                            i,
-                            observer,
-                        );
-                        ran.push((i, record));
+                        ran.push((i, run_one(workload, cfg, golden, f, i, observer)));
                     }
                     ran
                 })
             })
             .collect();
         for h in handles {
-            for (i, record) in h.join().expect("campaign worker panicked") {
-                slots[i] = Some(record);
+            match h.join() {
+                Ok(ran) => {
+                    for (i, record) in ran {
+                        slots[i] = Some(record);
+                    }
+                }
+                // The supervisor contains per-experiment failures, so a
+                // worker can only die of something outside an experiment
+                // (or of supervision being disabled). Unsupervised runs
+                // propagate the panic as before; supervised campaigns
+                // self-heal below by re-running the lost claims serially.
+                Err(payload) => {
+                    if cfg.supervisor.is_none() {
+                        std::panic::resume_unwind(payload);
+                    }
+                }
             }
         }
     });
+    if cfg.supervisor.is_some() {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(run_one(workload, cfg, golden, faults[i], i, observer));
+            }
+        }
+    }
     slots
         .into_iter()
         .map(|slot| slot.expect("every fault index was run or preloaded"))

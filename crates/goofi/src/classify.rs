@@ -59,6 +59,29 @@ impl fmt::Display for Severity {
     }
 }
 
+/// Why the *harness* — not the target — failed to produce a result for an
+/// experiment, after the supervised retry was also exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HarnessCause {
+    /// The experiment code panicked (caught at the supervisor's
+    /// `catch_unwind` boundary); the payload travels in
+    /// [`crate::experiment::ExperimentRecord::harness_error`].
+    Panic,
+    /// The wall-clock watchdog deadline expired before the experiment
+    /// terminated (on top of the instruction cap, which bounds *target*
+    /// progress but not host time).
+    Deadline,
+}
+
+impl fmt::Display for HarnessCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            HarnessCause::Panic => "panic",
+            HarnessCause::Deadline => "deadline",
+        })
+    }
+}
+
 /// The final classification of one fault-injection experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Outcome {
@@ -73,13 +96,29 @@ pub enum Outcome {
     Latent,
     /// No trace of the fault remains.
     Overwritten,
+    /// The *harness* could not run this experiment (panic or watchdog
+    /// deadline, twice in a row): the fault is quarantined with an explicit
+    /// record instead of aborting the campaign. Says nothing about what the
+    /// fault would have done to the target.
+    HarnessFailure(HarnessCause),
 }
 
 impl Outcome {
-    /// Effective errors: detected, hangs, or value failures.
+    /// Effective errors: detected, hangs, or value failures. A quarantined
+    /// [`Outcome::HarnessFailure`] is neither effective nor non-effective —
+    /// no target outcome was observed — and reports false here.
     #[must_use]
     pub fn is_effective(&self) -> bool {
-        !matches!(self, Outcome::Latent | Outcome::Overwritten)
+        match self {
+            Outcome::Detected(_) | Outcome::Hang | Outcome::ValueFailure(_) => true,
+            Outcome::Latent | Outcome::Overwritten | Outcome::HarnessFailure(_) => false,
+        }
+    }
+
+    /// `true` when the harness (not the target) failed on this experiment.
+    #[must_use]
+    pub fn is_harness_failure(&self) -> bool {
+        matches!(self, Outcome::HarnessFailure(_))
     }
 
     /// `true` when this is a severe value failure.
@@ -103,6 +142,7 @@ impl fmt::Display for Outcome {
             Outcome::ValueFailure(s) => write!(f, "Undetected Wrong Result ({s})"),
             Outcome::Latent => f.write_str("Latent"),
             Outcome::Overwritten => f.write_str("Overwritten"),
+            Outcome::HarnessFailure(c) => write!(f, "Harness Failure ({c})"),
         }
     }
 }
@@ -342,6 +382,15 @@ mod tests {
         assert!(Outcome::ValueFailure(Severity::Permanent).is_severe_failure());
         assert!(!Outcome::ValueFailure(Severity::Transient).is_severe_failure());
         assert!(Outcome::ValueFailure(Severity::Insignificant).is_value_failure());
+        let quarantined = Outcome::HarnessFailure(HarnessCause::Panic);
+        assert!(!quarantined.is_effective());
+        assert!(!quarantined.is_value_failure());
+        assert!(quarantined.is_harness_failure());
+        assert_eq!(quarantined.to_string(), "Harness Failure (panic)");
+        assert_eq!(
+            Outcome::HarnessFailure(HarnessCause::Deadline).to_string(),
+            "Harness Failure (deadline)"
+        );
     }
 
     #[test]

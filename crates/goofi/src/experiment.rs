@@ -8,6 +8,8 @@ use bera_plant::{Engine, Profiles};
 use bera_tcpu::machine::{Machine, RunExit, PORT_R, PORT_U, PORT_Y};
 use bera_tcpu::scan::{self, BitLocation, CpuPart, ScanSnapshot};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Instant;
 
 /// The closed-loop configuration an experiment runs under.
 #[derive(Debug, Clone)]
@@ -59,7 +61,12 @@ impl LoopConfig {
 }
 
 /// The fault model of a campaign (GOOFI's set-up phase selects it).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+///
+/// The paper's headline numbers use [`FaultModel::SingleBit`] transients;
+/// the remaining models probe how the assertion/recovery conclusions shift
+/// under richer fault behaviour (multi-cell upsets, marginal cells that
+/// re-assert, hard stuck-at defects).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum FaultModel {
     /// A single bit-flip — the paper's model for CPU transients.
     #[default]
@@ -69,6 +76,32 @@ pub enum FaultModel {
     /// model under which the placement of Algorithm II's backups in a
     /// separate cache line matters.
     AdjacentDoubleBit,
+    /// An intermittent fault: the bit flips at injection and the *same*
+    /// flip re-asserts at the next `reassert_iterations` control-iteration
+    /// boundaries (a marginal cell that keeps glitching before going
+    /// quiet). A run cannot be convergence-pruned until the last
+    /// re-assertion has been delivered.
+    Intermittent {
+        /// How many iteration boundaries after injection re-flip the bit.
+        reassert_iterations: usize,
+    },
+    /// A stuck-at hard fault: the bit is forced to `value` at injection and
+    /// re-forced at every subsequent iteration boundary through the scan
+    /// interface, so no target write can durably clear it. Stuck-at runs
+    /// are never convergence-pruned — the fault remains assertable to the
+    /// end of the run.
+    StuckAt {
+        /// The level the bit is stuck at (`false` = stuck-at-0).
+        value: bool,
+    },
+    /// A burst upset: a contiguous cluster of scan-chain bits flips
+    /// together. The cluster width varies per sampled location,
+    /// deterministically, between 1 and `width` bits (clamped to the
+    /// catalog size).
+    Burst {
+        /// Maximum cluster width in bits.
+        width: usize,
+    },
 }
 
 /// One sampled fault: a scan-chain bit and an injection time, expressed as
@@ -83,14 +116,112 @@ pub struct FaultSpec {
 }
 
 impl FaultModel {
-    /// The scan-catalog indices this model flips for a sampled location.
+    /// The scan-catalog indices this model perturbs for a sampled location.
     #[must_use]
     pub fn locations(&self, location_index: usize) -> Vec<usize> {
-        let n = scan::catalog().len();
-        match self {
-            FaultModel::SingleBit => vec![location_index % n],
+        self.cluster(location_index, scan::catalog().len())
+    }
+
+    /// The indices (mod `n`) this model perturbs for a sampled index, over
+    /// a state population of `n` bits — shared by SCIFI (`n` = scan-catalog
+    /// length) and SWIFI (`n` = 64 bits of an `f64` state variable). The
+    /// result is always non-empty, in-range and free of duplicates;
+    /// clusters wider than the population are clamped to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero — there is no state to perturb.
+    #[must_use]
+    pub fn cluster(&self, index: usize, n: usize) -> Vec<usize> {
+        assert!(n > 0, "cannot sample a fault from an empty population");
+        match *self {
+            FaultModel::SingleBit
+            | FaultModel::Intermittent { .. }
+            | FaultModel::StuckAt { .. } => vec![index % n],
             FaultModel::AdjacentDoubleBit => {
-                vec![location_index % n, (location_index + 1) % n]
+                if n == 1 {
+                    vec![0]
+                } else {
+                    vec![index % n, (index + 1) % n]
+                }
+            }
+            FaultModel::Burst { width } => {
+                let max = width.clamp(1, n);
+                // Derive this cluster's width from the location itself, so
+                // one campaign deterministically exercises the whole
+                // 1..=width range. A contiguous run of fewer than `n`
+                // indices mod `n` cannot repeat, so no dedup pass is
+                // needed.
+                let mut h = bera_tcpu::Fnv64::new();
+                h.write_u64(index as u64);
+                let w = 1 + (h.finish() as usize) % max;
+                (0..w).map(|i| (index + i) % n).collect()
+            }
+        }
+    }
+
+    /// How many iteration boundaries after injection the fault re-asserts
+    /// at; `usize::MAX` for a stuck-at fault (every boundary to the end of
+    /// the run), zero for the one-shot transient models.
+    #[must_use]
+    pub fn reassert_budget(&self) -> usize {
+        match self {
+            FaultModel::Intermittent {
+                reassert_iterations,
+            } => *reassert_iterations,
+            FaultModel::StuckAt { .. } => usize::MAX,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultModel::SingleBit => f.write_str("single"),
+            FaultModel::AdjacentDoubleBit => f.write_str("double"),
+            FaultModel::Intermittent {
+                reassert_iterations,
+            } => write!(f, "intermittent:{reassert_iterations}"),
+            FaultModel::StuckAt { value } => write!(f, "stuck{}", u8::from(*value)),
+            FaultModel::Burst { width } => write!(f, "burst:{width}"),
+        }
+    }
+}
+
+impl std::str::FromStr for FaultModel {
+    type Err = String;
+
+    /// Parses the CLI spellings: `single`, `double`, `intermittent:N`,
+    /// `stuck0`, `stuck1`, `burst:W`. The spellings round-trip through
+    /// [`FaultModel`]'s `Display`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let number = |name: &str, v: &str| -> Result<usize, String> {
+            v.parse::<usize>()
+                .map_err(|e| format!("{name} expects a number, got `{v}`: {e}"))
+        };
+        match s {
+            "single" => Ok(FaultModel::SingleBit),
+            "double" => Ok(FaultModel::AdjacentDoubleBit),
+            "stuck0" => Ok(FaultModel::StuckAt { value: false }),
+            "stuck1" => Ok(FaultModel::StuckAt { value: true }),
+            _ => {
+                if let Some(v) = s.strip_prefix("intermittent:") {
+                    Ok(FaultModel::Intermittent {
+                        reassert_iterations: number("intermittent:N", v)?,
+                    })
+                } else if let Some(v) = s.strip_prefix("burst:") {
+                    let width = number("burst:W", v)?;
+                    if width == 0 {
+                        return Err("burst:W requires a width of at least 1".to_string());
+                    }
+                    Ok(FaultModel::Burst { width })
+                } else {
+                    Err(format!(
+                        "unknown fault model `{s}` (expected single, double, \
+                         intermittent:N, stuck0, stuck1 or burst:W)"
+                    ))
+                }
             }
         }
     }
@@ -212,6 +343,10 @@ pub struct ExperimentRecord {
     /// to its natural termination). Metadata only: the classification is
     /// unaffected by pruning.
     pub pruned_at: Option<usize>,
+    /// Human-readable detail when `outcome` is
+    /// [`Outcome::HarnessFailure`]: the caught panic payload or the
+    /// watchdog deadline description. `None` for every target outcome.
+    pub harness_error: Option<String>,
 }
 
 /// How a closed-loop drive ended.
@@ -225,6 +360,124 @@ enum DriveEnd {
     Converged {
         iteration: usize,
     },
+    /// The wall-clock watchdog deadline expired at an iteration boundary —
+    /// a harness abort, not a target outcome.
+    DeadlineExceeded,
+}
+
+/// Applies a [`FaultModel`] to a running machine: the initial scan-chain
+/// perturbation once the dynamic instruction count reaches the injection
+/// point, plus any re-assertions at later iteration boundaries
+/// (intermittent and stuck-at models).
+struct FaultInjector {
+    inject_at: u64,
+    locations: Vec<BitLocation>,
+    kind: InjectKind,
+    injected: bool,
+}
+
+enum InjectKind {
+    /// One-shot flip at injection (single-bit, double-bit, burst).
+    Flip,
+    /// Re-flip at the next `remaining` iteration boundaries after
+    /// injection.
+    Reassert { remaining: usize },
+    /// Force the bit(s) to `value` at injection and at every iteration
+    /// boundary after it.
+    Stuck { value: bool },
+}
+
+impl FaultInjector {
+    fn new(model: FaultModel, fault: FaultSpec) -> Self {
+        let locations = model
+            .locations(fault.location_index)
+            .into_iter()
+            .map(|i| scan::catalog()[i])
+            .collect();
+        let kind = match model {
+            FaultModel::Intermittent {
+                reassert_iterations,
+            } => InjectKind::Reassert {
+                remaining: reassert_iterations,
+            },
+            FaultModel::StuckAt { value } => InjectKind::Stuck { value },
+            FaultModel::SingleBit | FaultModel::AdjacentDoubleBit | FaultModel::Burst { .. } => {
+                InjectKind::Flip
+            }
+        };
+        FaultInjector {
+            inject_at: fault.inject_at,
+            locations,
+            kind,
+            injected: false,
+        }
+    }
+
+    /// Where the current `run_until` must stop: the injection point while
+    /// the fault is pending, the hang cap afterwards.
+    fn stop_at(&self, instr_cap: u64) -> u64 {
+        if self.injected {
+            instr_cap
+        } else {
+            self.inject_at.min(instr_cap)
+        }
+    }
+
+    /// Delivers the initial perturbation.
+    fn inject(&mut self, machine: &mut Machine) {
+        match self.kind {
+            InjectKind::Stuck { value } => {
+                for &loc in &self.locations {
+                    machine.scan_set(loc, value);
+                }
+            }
+            InjectKind::Flip | InjectKind::Reassert { .. } => {
+                for &loc in &self.locations {
+                    machine.scan_flip(loc);
+                }
+            }
+        }
+        self.injected = true;
+    }
+
+    /// Called at every iteration boundary: re-asserts the fault if the
+    /// model still has re-assertions pending. Keyed on the iteration index
+    /// only, so the schedule is identical under from-reset replay and
+    /// checkpoint fast-forward.
+    fn at_boundary(&mut self, machine: &mut Machine) {
+        if !self.injected {
+            return;
+        }
+        match &mut self.kind {
+            InjectKind::Flip => {}
+            InjectKind::Reassert { remaining } => {
+                if *remaining > 0 {
+                    *remaining -= 1;
+                    for &loc in &self.locations {
+                        machine.scan_flip(loc);
+                    }
+                }
+            }
+            InjectKind::Stuck { value } => {
+                let value = *value;
+                for &loc in &self.locations {
+                    machine.scan_set(loc, value);
+                }
+            }
+        }
+    }
+
+    /// `true` once the fault has been delivered in full and can never
+    /// perturb the machine again — the precondition for convergence
+    /// pruning. Stuck-at faults are never quiescent.
+    fn quiescent(&self) -> bool {
+        self.injected
+            && match self.kind {
+                InjectKind::Flip => true,
+                InjectKind::Reassert { remaining } => remaining == 0,
+                InjectKind::Stuck { .. } => false,
+            }
+    }
 }
 
 struct DriveResult {
@@ -316,11 +569,14 @@ fn converged(
 /// Drives the machine in closed loop from the state the caller prepared:
 /// iteration index `k` with `set_ports(k)` already applied, `outputs`
 /// holding the first `k` logged outputs and `speeds` the first `k + 1`
-/// speed samples. `fault` flips scan-chain bits when the dynamic
-/// instruction count reaches `inject_at`; `instr_cap` bounds the total
-/// instruction count to detect hangs; `mode` selects the checkpoint
-/// behaviour at stride boundaries. `on_inject` fires once, at the moment
-/// the scan-chain flips land (the observer's "fault injected" event).
+/// speed samples. `injector` perturbs scan-chain bits when the dynamic
+/// instruction count reaches its injection point (and re-asserts at later
+/// iteration boundaries for intermittent/stuck-at models); `instr_cap`
+/// bounds the total instruction count to detect hangs; `deadline` is the
+/// wall-clock watchdog, checked at iteration boundaries only so target
+/// execution stays deterministic; `mode` selects the checkpoint behaviour
+/// at stride boundaries. `on_inject` fires once, at the moment the initial
+/// scan-chain perturbation lands (the observer's "fault injected" event).
 #[allow(clippy::too_many_arguments)]
 fn drive_from(
     machine: &mut Machine,
@@ -329,8 +585,9 @@ fn drive_from(
     mut k: usize,
     mut outputs: Vec<u32>,
     mut speeds: Vec<f64>,
-    mut fault: Option<(u64, Vec<BitLocation>)>,
+    mut injector: Option<FaultInjector>,
     instr_cap: u64,
+    deadline: Option<Instant>,
     mut mode: DriveMode<'_>,
     on_inject: &mut dyn FnMut(),
 ) -> DriveResult {
@@ -342,6 +599,20 @@ fn drive_from(
     while k < cfg.iterations {
         if at_boundary {
             at_boundary = false;
+            // Re-assert the fault first so checkpoint capture/pruning below
+            // observes the boundary state a from-reset run would have.
+            if let Some(inj) = injector.as_mut() {
+                inj.at_boundary(machine);
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return DriveResult {
+                        outputs,
+                        speeds,
+                        end: DriveEnd::DeadlineExceeded,
+                    };
+                }
+            }
             if stride > 0 && k.is_multiple_of(stride) {
                 match &mut mode {
                     DriveMode::Plain => {}
@@ -349,9 +620,11 @@ fn drive_from(
                         into.push(Checkpoint::capture(k, machine, &engine));
                     }
                     DriveMode::Prune(golden) => {
-                        // Convergence is only meaningful after injection
-                        // (before it, the run *is* the golden run).
-                        if fault.is_none() {
+                        // Convergence is only meaningful once the fault has
+                        // been delivered in full: before injection the run
+                        // *is* the golden run, and while re-assertions are
+                        // pending the state can still diverge again.
+                        if injector.as_ref().is_some_and(FaultInjector::quiescent) {
                             if let Some(ckpt) = golden.checkpoints.get(k / stride) {
                                 if ckpt.iteration == k
                                     && converged(machine, &engine, ckpt, golden, instr_cap)
@@ -368,10 +641,9 @@ fn drive_from(
                 }
             }
         }
-        let stop = match &fault {
-            Some((at, _)) => (*at).min(instr_cap),
-            None => instr_cap,
-        };
+        let stop = injector
+            .as_ref()
+            .map_or(instr_cap, |inj| inj.stop_at(instr_cap));
         match machine.run_until(stop) {
             RunExit::Yield => {
                 let u = machine.port_out_f32(PORT_U);
@@ -392,11 +664,9 @@ fn drive_from(
                     end: DriveEnd::Trapped(trap),
                 };
             }
-            RunExit::Budget => match fault.take() {
-                Some((_, locs)) if machine.instr_count() < instr_cap => {
-                    for loc in locs {
-                        machine.scan_flip(loc);
-                    }
+            RunExit::Budget => match injector.as_mut() {
+                Some(inj) if !inj.injected && machine.instr_count() < instr_cap => {
+                    inj.inject(machine);
                     on_inject();
                 }
                 _ => {
@@ -446,6 +716,7 @@ pub fn golden_run(workload: &Workload, cfg: &LoopConfig) -> GoldenRun {
         speeds,
         None,
         cap,
+        None,
         mode,
         &mut || {},
     );
@@ -454,6 +725,7 @@ pub fn golden_run(workload: &Workload, cfg: &LoopConfig) -> GoldenRun {
         DriveEnd::Trapped(t) => panic!("golden run trapped: {t:?}"),
         DriveEnd::Hang => panic!("golden run exceeded the instruction cap"),
         DriveEnd::Converged { .. } => unreachable!("golden run never prunes"),
+        DriveEnd::DeadlineExceeded => unreachable!("golden run has no deadline"),
     }
     GoldenRun {
         outputs: result.outputs,
@@ -528,13 +800,41 @@ pub fn run_experiment_observed(
     index: usize,
     observer: &dyn CampaignObserver,
 ) -> ExperimentRecord {
+    match run_experiment_watchdog(
+        workload, cfg, golden, fault, model, detail, index, observer, None,
+    ) {
+        Ok(record) => record,
+        Err(WatchdogExpired) => unreachable!("no deadline was set"),
+    }
+}
+
+/// The wall-clock watchdog deadline expired before the experiment reached a
+/// target outcome. The run is abandoned without classification (and without
+/// an `experiment_classified` event) — the supervisor decides whether to
+/// retry or quarantine.
+#[derive(Debug)]
+pub(crate) struct WatchdogExpired;
+
+/// Like [`run_experiment_observed`], aborting with [`WatchdogExpired`] if
+/// the wall-clock `deadline` passes before the run finishes. The deadline
+/// is checked at iteration boundaries only, so target execution (and hence
+/// every classified record) stays bit-deterministic regardless of host
+/// timing.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_experiment_watchdog(
+    workload: &Workload,
+    cfg: &LoopConfig,
+    golden: &GoldenRun,
+    fault: FaultSpec,
+    model: FaultModel,
+    detail: bool,
+    index: usize,
+    observer: &dyn CampaignObserver,
+    deadline: Option<Instant>,
+) -> Result<ExperimentRecord, WatchdogExpired> {
     let classifier = Classifier::paper();
     let location = scan::catalog()[fault.location_index];
-    let locations: Vec<BitLocation> = model
-        .locations(fault.location_index)
-        .into_iter()
-        .map(|i| scan::catalog()[i])
-        .collect();
+    let injector = FaultInjector::new(model, fault);
     let cap = instruction_cap(golden.total_instructions);
 
     // Fast-forward: resume from the nearest golden checkpoint at or before
@@ -580,8 +880,9 @@ pub fn run_experiment_observed(
         start_k,
         prefix_outputs,
         prefix_speeds,
-        Some((fault.inject_at, locations)),
+        Some(injector),
         cap,
+        deadline,
         DriveMode::Prune(golden),
         &mut || observer.fault_injected(index, fault),
     );
@@ -592,6 +893,7 @@ pub fn run_experiment_observed(
     let mut detection_latency = None;
     let mut pruned_at = None;
     let (outcome, max_deviation, first_strong) = match end {
+        DriveEnd::DeadlineExceeded => return Err(WatchdogExpired),
         DriveEnd::Trapped(trap) => {
             let latency = trap.at_instruction.saturating_sub(fault.inject_at);
             observer.error_detected(index, trap.mechanism, latency);
@@ -645,9 +947,10 @@ pub fn run_experiment_observed(
         detection_latency,
         outputs: detail.then_some(outputs),
         pruned_at,
+        harness_error: None,
     };
     observer.experiment_classified(index, &record);
-    record
+    Ok(record)
 }
 
 fn deviation_stats(golden: &[u32], observed: &[u32], threshold: f64) -> (f64, Option<usize>) {

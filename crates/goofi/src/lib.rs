@@ -51,6 +51,7 @@ pub mod experiment;
 pub mod observer;
 pub mod propagation;
 pub mod store;
+pub mod supervisor;
 pub mod swifi;
 pub mod table;
 pub mod workload;
@@ -59,12 +60,13 @@ pub use campaign::{
     prepare_campaign, run_scifi_campaign, run_scifi_campaign_observed, CampaignConfig,
     CampaignResult, PreparedCampaign,
 };
-pub use classify::{Classifier, Outcome, Severity};
+pub use classify::{Classifier, HarnessCause, Outcome, Severity};
 pub use experiment::{
     golden_run, instruction_cap, run_experiment, Checkpoint, ExperimentRecord, FaultModel,
     FaultSpec, GoldenRun, LoopConfig,
 };
 pub use observer::{CampaignObserver, NullObserver, ObserverSet, Telemetry, TelemetrySnapshot};
 pub use store::{load_store, JsonlStore, LoadedCampaign, StoreError, StoreHeader};
-pub use table::{tabulate, ComparisonTable, PaperTable};
-pub use workload::Workload;
+pub use supervisor::{ChaosHarness, SupervisorConfig};
+pub use table::{tabulate, ComparisonTable, ModelBreakdown, PaperTable};
+pub use workload::{Workload, WorkloadError};

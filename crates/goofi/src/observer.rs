@@ -10,7 +10,7 @@
 //! [`Telemetry`] touches a handful of atomics.
 
 use crate::campaign::CampaignResult;
-use crate::classify::Outcome;
+use crate::classify::{HarnessCause, Outcome};
 use crate::experiment::{ExperimentRecord, FaultSpec};
 use bera_stats::rate::Ewma;
 use bera_tcpu::edm::ErrorMechanism;
@@ -61,6 +61,14 @@ pub trait CampaignObserver: Sync {
     /// The experiment has been classified; `record` is final.
     fn experiment_classified(&self, index: usize, record: &ExperimentRecord) {
         let _ = (index, record);
+    }
+
+    /// The supervisor caught a harness failure (`cause`) on the first
+    /// attempt and is retrying the experiment once with checkpointing
+    /// disabled. Fires at most once per fault; a second failure produces a
+    /// quarantined `experiment_classified` record instead.
+    fn experiment_retried(&self, index: usize, cause: HarnessCause) {
+        let _ = (index, cause);
     }
 
     /// All experiments are done and the result database is assembled.
@@ -130,6 +138,12 @@ impl CampaignObserver for ObserverSet<'_> {
         }
     }
 
+    fn experiment_retried(&self, index: usize, cause: HarnessCause) {
+        for o in &self.observers {
+            o.experiment_retried(index, cause);
+        }
+    }
+
     fn campaign_completed(&self, result: &CampaignResult) {
         for o in &self.observers {
             o.campaign_completed(result);
@@ -160,6 +174,8 @@ pub struct Telemetry {
     minor: AtomicUsize,
     latent: AtomicUsize,
     overwritten: AtomicUsize,
+    harness_failures: AtomicUsize,
+    retried: AtomicUsize,
     pruned: AtomicUsize,
     fast_forwarded: AtomicUsize,
     rate: Mutex<RateState>,
@@ -180,6 +196,8 @@ impl Telemetry {
             minor: AtomicUsize::new(0),
             latent: AtomicUsize::new(0),
             overwritten: AtomicUsize::new(0),
+            harness_failures: AtomicUsize::new(0),
+            retried: AtomicUsize::new(0),
             pruned: AtomicUsize::new(0),
             fast_forwarded: AtomicUsize::new(0),
             rate: Mutex::new(RateState {
@@ -235,6 +253,8 @@ impl Telemetry {
             minor: load(&self.minor),
             latent: load(&self.latent),
             overwritten: load(&self.overwritten),
+            harness_failures: load(&self.harness_failures),
+            retried: load(&self.retried),
             pruned: load(&self.pruned),
             fast_forwarded: load(&self.fast_forwarded),
         }
@@ -267,6 +287,7 @@ impl CampaignObserver for Telemetry {
             Outcome::ValueFailure(_) => &self.minor,
             Outcome::Latent => &self.latent,
             Outcome::Overwritten => &self.overwritten,
+            Outcome::HarnessFailure(_) => &self.harness_failures,
         }
         .fetch_add(1, Ordering::Relaxed);
         self.completed.fetch_add(1, Ordering::Relaxed);
@@ -278,6 +299,10 @@ impl CampaignObserver for Telemetry {
                 rate.per_second.update(1.0 / dt);
             }
         }
+    }
+
+    fn experiment_retried(&self, _index: usize, _cause: HarnessCause) {
+        self.retried.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -310,6 +335,10 @@ pub struct TelemetrySnapshot {
     pub latent: usize,
     /// Overwritten errors.
     pub overwritten: usize,
+    /// Experiments quarantined after a second harness failure.
+    pub harness_failures: usize,
+    /// Experiments retried once after a first harness failure.
+    pub retried: usize,
     /// Experiments ended early by convergence pruning.
     pub pruned: usize,
     /// Experiments that fast-forwarded past at least one checkpoint.
@@ -352,6 +381,9 @@ impl fmt::Display for TelemetrySnapshot {
             " | det {} hang {} sev {} min {} lat {} ovw {}",
             self.detected, self.hangs, self.severe, self.minor, self.latent, self.overwritten
         )?;
+        if self.harness_failures > 0 || self.retried > 0 {
+            write!(f, " quar {} retry {}", self.harness_failures, self.retried)?;
+        }
         write!(
             f,
             " | ff {:.0}% prune {:.0}%",
@@ -377,10 +409,18 @@ mod tests {
         assert_eq!(snap.completed, 40);
         assert_eq!(snap.done(), 40);
         assert_eq!(
-            snap.detected + snap.hangs + snap.severe + snap.minor + snap.latent + snap.overwritten,
+            snap.detected
+                + snap.hangs
+                + snap.severe
+                + snap.minor
+                + snap.latent
+                + snap.overwritten
+                + snap.harness_failures,
             40,
             "every record lands in exactly one telemetry bucket"
         );
+        assert_eq!(snap.harness_failures, 0, "healthy campaign: no quarantine");
+        assert_eq!(snap.retried, 0, "healthy campaign: no retries");
         let pruned = result
             .records
             .iter()

@@ -41,7 +41,10 @@ use std::sync::Mutex;
 pub const STORE_MAGIC: &str = "bera-campaign-store";
 
 /// Wire-format version; bumped on incompatible layout changes.
-pub const STORE_VERSION: u32 = 1;
+/// Version 2 added the `harness_error` record field (supervised execution
+/// quarantine) — version-1 stores are refused on resume rather than
+/// misread, since the vendored deserializer has no field defaults.
+pub const STORE_VERSION: u32 = 2;
 
 /// Everything needed to validate and re-interpret a stored campaign:
 /// the identity of the run plus the golden vectors records are classified

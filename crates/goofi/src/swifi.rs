@@ -10,6 +10,7 @@
 //! of Algorithm II help?*
 
 use crate::classify::{Classifier, Severity};
+use crate::experiment::FaultModel;
 use bera_core::bitflip::flip_bit_f64;
 use bera_core::Controller;
 use bera_plant::{Engine, Profiles};
@@ -25,6 +26,9 @@ pub struct SwifiConfig {
     pub seed: u64,
     /// Control iterations per run (650 in the paper).
     pub iterations: usize,
+    /// The fault model, applied over the 64 bits of the targeted state
+    /// variable's `f64` representation (the paper uses single bit-flips).
+    pub model: FaultModel,
 }
 
 impl SwifiConfig {
@@ -35,20 +39,48 @@ impl SwifiConfig {
             faults,
             seed,
             iterations: 650,
+            model: FaultModel::SingleBit,
         }
     }
 }
 
 /// One SWIFI fault: which state variable, which bit, before which
-/// iteration.
+/// iteration, under which fault model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SwifiFault {
     /// Index of the controller state variable.
     pub state_index: usize,
-    /// Bit of the `f64` representation (0–63).
+    /// Anchor bit of the `f64` representation (0–63); multi-bit models
+    /// cluster around it.
     pub bit: u32,
     /// The fault is injected before this iteration.
     pub iteration: usize,
+    /// The fault model governing the perturbation and any re-assertions.
+    pub model: FaultModel,
+}
+
+/// Forces one bit of an `f64`'s representation to `value`.
+fn force_bit_f64(v: f64, bit: u32, value: bool) -> f64 {
+    if ((v.to_bits() >> bit) & 1 != 0) == value {
+        v
+    } else {
+        flip_bit_f64(v, bit)
+    }
+}
+
+/// Applies a fault's perturbation to one state value: every bit of the
+/// model's cluster is flipped (or forced, for stuck-at). Used both for the
+/// initial injection and for re-assertions, which by construction apply
+/// the identical perturbation.
+fn perturb(state: f64, fault: &SwifiFault) -> f64 {
+    let mut v = state;
+    for b in fault.model.cluster(fault.bit as usize, 64) {
+        v = match fault.model {
+            FaultModel::StuckAt { value } => force_bit_f64(v, b as u32, value),
+            _ => flip_bit_f64(v, b as u32),
+        };
+    }
+    v
 }
 
 /// The record of one SWIFI experiment.
@@ -105,22 +137,27 @@ impl SwifiResult {
     }
 }
 
-fn run_loop<C: Controller>(
-    ctrl: &mut C,
-    cfg: &SwifiConfig,
-    mut fault: Option<SwifiFault>,
-) -> Vec<f64> {
+fn run_loop<C: Controller>(ctrl: &mut C, cfg: &SwifiConfig, fault: Option<SwifiFault>) -> Vec<f64> {
     let mut engine = Engine::paper();
     let profiles = Profiles::paper();
     let dt = 0.0154;
     let mut outputs = Vec::with_capacity(cfg.iterations);
+    let mut injected = false;
+    let mut reasserts_left = 0usize;
     for k in 0..cfg.iterations {
         if let Some(f) = fault {
-            if f.iteration == k {
+            if !injected && f.iteration == k {
                 let states = ctrl.state();
-                let corrupted = flip_bit_f64(states[f.state_index], f.bit);
-                ctrl.set_state(f.state_index, corrupted);
-                fault = None;
+                ctrl.set_state(f.state_index, perturb(states[f.state_index], &f));
+                injected = true;
+                reasserts_left = f.model.reassert_budget();
+            } else if injected && reasserts_left > 0 {
+                // Intermittent faults re-flip at the next N iteration
+                // starts; stuck-at faults re-force forever (their budget
+                // is effectively unbounded and force is idempotent).
+                reasserts_left = reasserts_left.saturating_sub(1);
+                let states = ctrl.state();
+                ctrl.set_state(f.state_index, perturb(states[f.state_index], &f));
             }
         }
         let t = k as f64 * dt;
@@ -157,6 +194,7 @@ pub fn run_swifi<C: Controller, F: Fn() -> C>(make: F, cfg: &SwifiConfig) -> Swi
             state_index: sampler.draw_index(num_states),
             bit: sampler.draw_index(64) as u32,
             iteration: sampler.draw_index(cfg.iterations),
+            model: cfg.model,
         };
         let mut ctrl = make();
         let observed = run_loop(&mut ctrl, cfg, Some(fault));
@@ -200,6 +238,7 @@ mod tests {
             faults: 30,
             seed: 9,
             iterations: 100,
+            model: FaultModel::SingleBit,
         };
         let a = run_swifi(PiController::paper, &cfg);
         let b = run_swifi(PiController::paper, &cfg);
@@ -212,6 +251,7 @@ mod tests {
             faults: 200,
             seed: 1,
             iterations: 200,
+            model: FaultModel::SingleBit,
         };
         let r = run_swifi(PiController::paper, &cfg);
         assert_eq!(r.len(), 200);
@@ -227,6 +267,7 @@ mod tests {
             faults: 300,
             seed: 2,
             iterations: 200,
+            model: FaultModel::SingleBit,
         };
         let r = run_swifi(ProtectedPiController::paper, &cfg);
         assert_eq!(
@@ -242,6 +283,7 @@ mod tests {
             faults: 400,
             seed: 3,
             iterations: 250,
+            model: FaultModel::SingleBit,
         };
         let plain = run_swifi(PiController::paper, &cfg);
         let protected = run_swifi(ProtectedPiController::paper, &cfg);
@@ -259,6 +301,7 @@ mod tests {
             faults: 100,
             seed: 4,
             iterations: 120,
+            model: FaultModel::SingleBit,
         };
         let r = run_swifi(PiController::paper, &cfg);
         let total = r.masked()
@@ -267,6 +310,125 @@ mod tests {
             + r.count(Severity::Transient)
             + r.count(Severity::Insignificant);
         assert_eq!(total, r.len());
+    }
+
+    /// A controller that just exposes its single state variable as the
+    /// output, so the loop's injection schedule is directly observable.
+    struct ProbeController {
+        x: f64,
+    }
+
+    impl Controller for ProbeController {
+        fn step(&mut self, _r: f64, _y: f64) -> f64 {
+            self.x
+        }
+        fn reset(&mut self) {
+            self.x = 0.0;
+        }
+        fn state(&self) -> Vec<f64> {
+            vec![self.x]
+        }
+        fn set_state(&mut self, _index: usize, value: f64) {
+            self.x = value;
+        }
+        fn limits(&self) -> bera_core::controller::Limits {
+            bera_core::controller::Limits::new(0.0, 70.0)
+        }
+    }
+
+    fn probe_outputs(model: FaultModel, bit: u32, at: usize, iterations: usize) -> Vec<f64> {
+        let cfg = SwifiConfig {
+            faults: 0,
+            seed: 0,
+            iterations,
+            model,
+        };
+        let fault = SwifiFault {
+            state_index: 0,
+            bit,
+            iteration: at,
+            model,
+        };
+        run_loop(&mut ProbeController { x: 1.0 }, &cfg, Some(fault))
+    }
+
+    #[test]
+    fn single_bit_swifi_flips_once_and_stays() {
+        // Probe holds its state, so a transient flip of the sign bit shows
+        // from the injection iteration onward and is never re-applied.
+        let out = probe_outputs(FaultModel::SingleBit, 63, 3, 8);
+        assert_eq!(&out[..3], &[1.0, 1.0, 1.0]);
+        assert!(out[3..].iter().all(|&u| u == -1.0), "{out:?}");
+    }
+
+    #[test]
+    fn intermittent_swifi_reflips_for_its_budget() {
+        // Each re-assertion flips the sign bit again, so the output
+        // alternates for `reassert_iterations` iterations, then holds.
+        let out = probe_outputs(
+            FaultModel::Intermittent {
+                reassert_iterations: 3,
+            },
+            63,
+            2,
+            9,
+        );
+        assert_eq!(out, vec![1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn stuck_at_swifi_forces_the_bit_every_iteration() {
+        // Stuck-at-1 on the sign bit pins the state negative for the rest
+        // of the run, no matter that the force is re-applied idempotently.
+        let out = probe_outputs(FaultModel::StuckAt { value: true }, 63, 4, 10);
+        assert_eq!(&out[..4], &[1.0; 4]);
+        assert!(out[4..].iter().all(|&u| u == -1.0), "{out:?}");
+        // Stuck-at the bit's existing value is fully masked.
+        let masked = probe_outputs(FaultModel::StuckAt { value: false }, 63, 4, 10);
+        assert!(masked.iter().all(|&u| u == 1.0), "{masked:?}");
+    }
+
+    #[test]
+    fn burst_width_one_swifi_equals_single_bit() {
+        let cfg_single = SwifiConfig {
+            faults: 40,
+            seed: 12,
+            iterations: 120,
+            model: FaultModel::SingleBit,
+        };
+        let cfg_burst = SwifiConfig {
+            model: FaultModel::Burst { width: 1 },
+            ..cfg_single.clone()
+        };
+        let single = run_swifi(PiController::paper, &cfg_single);
+        let burst = run_swifi(PiController::paper, &cfg_burst);
+        for (a, b) in single.records.iter().zip(burst.records.iter()) {
+            assert_eq!(a.severity, b.severity);
+            assert_eq!(a.max_deviation.to_bits(), b.max_deviation.to_bits());
+            assert_eq!(a.fault.bit, b.fault.bit);
+        }
+    }
+
+    #[test]
+    fn richer_models_run_and_are_reproducible() {
+        for model in [
+            FaultModel::Intermittent {
+                reassert_iterations: 4,
+            },
+            FaultModel::StuckAt { value: true },
+            FaultModel::Burst { width: 3 },
+        ] {
+            let cfg = SwifiConfig {
+                faults: 25,
+                seed: 8,
+                iterations: 100,
+                model,
+            };
+            let a = run_swifi(PiController::paper, &cfg);
+            let b = run_swifi(PiController::paper, &cfg);
+            assert_eq!(a.records, b.records, "{model}");
+            assert!(a.records.iter().all(|r| r.fault.model == model));
+        }
     }
 }
 
@@ -390,6 +552,8 @@ where
             state_index: sampler.draw_index(num_states),
             bit: sampler.draw_index(64) as u32,
             iteration: sampler.draw_index(cfg.iterations),
+            // The MIMO study keeps the paper's transient single-bit model.
+            model: FaultModel::SingleBit,
         };
         let mut ctrl = make();
         let observed = run_mimo_loop(&mut ctrl, plant, cfg, Some(fault));

@@ -33,6 +33,9 @@ pub enum RowKind {
     SevereWrong,
     /// Minor undetected wrong results (transient + insignificant).
     MinorWrong,
+    /// Experiments the harness quarantined instead of classifying
+    /// (supervised execution's [`crate::classify::Outcome::HarnessFailure`]).
+    HarnessFailure,
 }
 
 /// Aggregated campaign counts in the layout of the paper's Tables 2/3.
@@ -96,6 +99,7 @@ pub fn tabulate(result: &CampaignResult) -> PaperTable {
                     RowKind::MinorWrong
                 }
             }
+            Outcome::HarnessFailure(_) => RowKind::HarnessFailure,
         };
         *counts.entry((row, rec.part)).or_default() += 1;
     }
@@ -207,6 +211,12 @@ impl PaperTable {
         self.detected(part) + self.wrong_results(part)
     }
 
+    /// Experiments quarantined by the supervisor (no target outcome).
+    #[must_use]
+    pub fn harness_failures(&self, part: Option<CpuPart>) -> u64 {
+        self.count(RowKind::HarnessFailure, part)
+    }
+
     /// Error-detection coverage: 1 − P(undetected wrong result).
     #[must_use]
     pub fn coverage(&self, part: Option<CpuPart>) -> Proportion {
@@ -260,6 +270,7 @@ impl PaperTable {
         push("other", &|p| self.count(RowKind::OtherErrors, p));
         push("uwr_severe", &|p| self.count(RowKind::SevereWrong, p));
         push("uwr_minor", &|p| self.count(RowKind::MinorWrong, p));
+        push("harness_failure", &|p| self.harness_failures(p));
         out
     }
 
@@ -321,6 +332,15 @@ impl PaperTable {
             "Total (Undetected Wrong Results)",
             per_part(&|p| self.wrong_results(p)),
         ));
+        // Quarantined experiments are outside the paper's taxonomy; the row
+        // only appears when the supervisor actually quarantined something,
+        // so healthy campaigns render byte-identically to the paper layout.
+        if self.harness_failures(None) > 0 {
+            out.push_str(&self.row(
+                "Harness Failures (Quarantined)",
+                per_part(&|p| self.harness_failures(p)),
+            ));
+        }
         out.push_str(&format!(
             "{:<38}{:>24}{:>24}{:>24}\n",
             "Coverage",
@@ -416,6 +436,141 @@ impl ComparisonTable {
 }
 
 impl fmt::Display for ComparisonTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// A per-fault-model severity breakdown: one column per campaign, labelled
+/// by its fault model, in the row structure of the paper's tables. Because
+/// each column is a plain [`PaperTable`] of that campaign's records, the
+/// single-bit column of a breakdown reproduces [`tabulate`]'s numbers for
+/// that campaign exactly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelBreakdown {
+    columns: Vec<(String, PaperTable)>,
+}
+
+impl ModelBreakdown {
+    /// Builds the breakdown from `(fault-model label, campaign)` pairs,
+    /// one column each, in the given order.
+    #[must_use]
+    pub fn new(groups: &[(String, &CampaignResult)]) -> Self {
+        ModelBreakdown {
+            columns: groups
+                .iter()
+                .map(|(label, result)| (label.clone(), tabulate(result)))
+                .collect(),
+        }
+    }
+
+    /// The aggregated column for `label`, if present.
+    #[must_use]
+    pub fn column(&self, label: &str) -> Option<&PaperTable> {
+        self.columns
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, t)| t)
+    }
+
+    /// Column labels in table order.
+    #[must_use]
+    pub fn labels(&self) -> Vec<&str> {
+        self.columns.iter().map(|(l, _)| l.as_str()).collect()
+    }
+
+    fn row(&self, label: &str, f: &dyn Fn(&PaperTable) -> u64) -> String {
+        let mut out = format!("{label:<46}");
+        for (_, t) in &self.columns {
+            let p = Proportion::new(f(t), t.total_faults());
+            out.push_str(&format!("{:>20} {:>6}", p.normal_ci95().to_string(), f(t)));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Renders the per-model breakdown.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<46}", "Fault model"));
+        for (label, _) in &self.columns {
+            out.push_str(&format!("{label:>27}"));
+        }
+        out.push('\n');
+        out.push_str(&format!("{:<46}", "Total (Faults Injected)"));
+        for (_, t) in &self.columns {
+            out.push_str(&format!("{:>27}", t.total_faults()));
+        }
+        out.push('\n');
+        out.push_str(&self.row("Latent Errors", &|t| t.count(RowKind::Latent, None)));
+        out.push_str(&self.row("Overwritten Errors", &|t| {
+            t.count(RowKind::Overwritten, None)
+        }));
+        out.push_str(&self.row("Total (Non Effective Errors)", &|t| t.non_effective(None)));
+        out.push_str(&self.row("Total (Detected Errors)", &|t| t.detected(None)));
+        for (label, sev) in [
+            ("Undetected Wrong Results (Permanent)", Severity::Permanent),
+            (
+                "Undetected Wrong Results (Semi-Permanent)",
+                Severity::SemiPermanent,
+            ),
+            ("Undetected Wrong Results (Transient)", Severity::Transient),
+            (
+                "Undetected Wrong Results (Insignificant)",
+                Severity::Insignificant,
+            ),
+        ] {
+            out.push_str(&self.row(label, &|t| t.severity_count(sev, None)));
+        }
+        out.push_str(&self.row("Total (Undetected Wrong Results)", &|t| {
+            t.wrong_results(None)
+        }));
+        out.push_str(&self.row("Total (Effective Errors)", &|t| t.effective(None)));
+        out.push_str(&self.row("Harness Failures (Quarantined)", &|t| {
+            t.harness_failures(None)
+        }));
+        out.push_str(&format!("{:<46}", "Coverage"));
+        for (_, t) in &self.columns {
+            out.push_str(&format!(
+                "{:>27}",
+                t.coverage(None).normal_ci95().to_string()
+            ));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Exports the breakdown as CSV: one data column per fault model.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("row");
+        for (label, _) in &self.columns {
+            out.push_str(&format!(",{label}"));
+        }
+        out.push('\n');
+        let mut push = |label: &str, f: &dyn Fn(&PaperTable) -> u64| {
+            out.push_str(label);
+            for (_, t) in &self.columns {
+                out.push_str(&format!(",{}", f(t)));
+            }
+            out.push('\n');
+        };
+        push("faults", &|t| t.total_faults());
+        push("latent", &|t| t.count(RowKind::Latent, None));
+        push("overwritten", &|t| t.count(RowKind::Overwritten, None));
+        for m in TABLE_MECHANISMS {
+            push(m.table_name(), &|t| t.count(RowKind::Edm(m), None));
+        }
+        push("other", &|t| t.count(RowKind::OtherErrors, None));
+        push("uwr_severe", &|t| t.count(RowKind::SevereWrong, None));
+        push("uwr_minor", &|t| t.count(RowKind::MinorWrong, None));
+        push("harness_failure", &|t| t.harness_failures(None));
+        out
+    }
+}
+
+impl fmt::Display for ModelBreakdown {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.render())
     }
@@ -523,6 +678,43 @@ mod tests {
         if s.count() > 0 {
             assert!(s.min().unwrap() >= 0.0);
         }
+    }
+
+    #[test]
+    fn model_breakdown_single_bit_column_matches_plain_tabulation() {
+        // The per-model report must be a pure regrouping: its single-bit
+        // column renders byte-identically to today's plain table.
+        let r = small_result();
+        let breakdown = ModelBreakdown::new(&[("single".to_string(), &r)]);
+        let column = breakdown.column("single").expect("column exists");
+        assert_eq!(column.render(), tabulate(&r).render());
+        assert_eq!(column.to_csv(), tabulate(&r).to_csv());
+        assert_eq!(breakdown.labels(), vec!["single"]);
+    }
+
+    #[test]
+    fn model_breakdown_renders_one_column_per_model() {
+        let single = small_result();
+        let mut cfg = CampaignConfig::quick(40, 9);
+        cfg.fault_model = crate::experiment::FaultModel::Burst { width: 3 };
+        let burst = run_scifi_campaign(&Workload::algorithm_one(), &cfg);
+        let breakdown = ModelBreakdown::new(&[
+            ("single".to_string(), &single),
+            ("burst:3".to_string(), &burst),
+        ]);
+        let s = breakdown.render();
+        for needle in [
+            "Fault model",
+            "single",
+            "burst:3",
+            "Latent Errors",
+            "Undetected Wrong Results (Permanent)",
+            "Coverage",
+        ] {
+            assert!(s.contains(needle), "missing {needle}\n{s}");
+        }
+        let csv = breakdown.to_csv();
+        assert!(csv.starts_with("row,single,burst:3"), "{csv}");
     }
 
     #[test]

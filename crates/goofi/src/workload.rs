@@ -8,7 +8,57 @@
 //! cross-validate the assembly against the native Rust controllers of
 //! [`bera_core`] in a fault-free closed loop.
 
+use bera_plant::{Engine, Profiles};
 use bera_tcpu::asm::{assemble, Program};
+use bera_tcpu::machine::{Machine, RunExit, PORT_R, PORT_U, PORT_Y};
+use std::fmt;
+
+/// A workload failed outside any fault-injection experiment: either its
+/// source does not assemble, or a fault-free closed-loop run did not yield
+/// where it should. Typed so harness code can report the failure instead
+/// of unwinding a campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// The workload source failed to assemble.
+    Assemble {
+        /// Workload name.
+        name: String,
+        /// Assembler diagnostic.
+        message: String,
+    },
+    /// A fault-free closed-loop run trapped or exhausted its instruction
+    /// budget at `iteration` — a workload bug, not an experiment outcome.
+    Run {
+        /// Workload name.
+        name: String,
+        /// Zero-based loop iteration that failed.
+        iteration: usize,
+        /// How the run exited (trap or budget).
+        detail: String,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Assemble { name, message } => {
+                write!(f, "workload {name} failed to assemble: {message}")
+            }
+            WorkloadError::Run {
+                name,
+                iteration,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "workload {name} failed at iteration {iteration}: {detail}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
 
 /// Source text of the Algorithm I workload.
 pub const ALGORITHM_1_SOURCE: &str = include_str!("../workloads/algorithm1.s");
@@ -33,6 +83,27 @@ pub struct Workload {
 }
 
 impl Workload {
+    /// Assembles an arbitrary named workload source, reporting assembler
+    /// diagnostics as a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::Assemble`] when the source does not
+    /// assemble.
+    pub fn from_source(name: &'static str, source: &'static str) -> Result<Self, WorkloadError> {
+        match assemble(source) {
+            Ok(program) => Ok(Workload {
+                name,
+                source,
+                program,
+            }),
+            Err(e) => Err(WorkloadError::Assemble {
+                name: name.to_string(),
+                message: e.to_string(),
+            }),
+        }
+    }
+
     /// Algorithm I: the plain PI controller.
     ///
     /// # Panics
@@ -161,18 +232,19 @@ impl Workload {
             .symbol("x_state")
             .expect("workload must define x_state")
     }
-}
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use bera_core::{Controller, PiController, ProtectedPiController};
-    use bera_plant::{Engine, Profiles};
-    use bera_tcpu::machine::{Machine, RunExit, PORT_R, PORT_U, PORT_Y};
-
-    fn run_closed_loop_tcpu(workload: &Workload, iterations: usize) -> Vec<f64> {
+    /// Drives the workload fault-free in the paper's closed loop for
+    /// `iterations` samples and returns the controller outputs. A trap or
+    /// budget exhaustion is a reportable [`WorkloadError`], not a panic —
+    /// a workload bug must not take a harness down with it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::Run`] if any iteration ends in anything
+    /// but a clean yield.
+    pub fn run_closed_loop(&self, iterations: usize) -> Result<Vec<f64>, WorkloadError> {
         let mut m = Machine::new();
-        m.load_program(workload.program());
+        m.load_program(self.program());
         let mut engine = Engine::paper();
         let profiles = Profiles::paper();
         let dt = 0.0154;
@@ -183,13 +255,31 @@ mod tests {
             m.set_port_f32(PORT_Y, engine.speed_rpm() as f32);
             match m.run(1_000_000) {
                 RunExit::Yield => {}
-                other => panic!("workload failed at iteration {k}: {other:?}"),
+                other => {
+                    return Err(WorkloadError::Run {
+                        name: self.name.to_string(),
+                        iteration: k,
+                        detail: format!("{other:?}"),
+                    })
+                }
             }
             let u = f64::from(m.port_out_f32(PORT_U));
             outputs.push(u);
             engine.advance(u, profiles.load(t), dt);
         }
-        outputs
+        Ok(outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bera_core::{Controller, PiController, ProtectedPiController};
+
+    fn run_closed_loop_tcpu(workload: &Workload, iterations: usize) -> Vec<f64> {
+        workload
+            .run_closed_loop(iterations)
+            .expect("fault-free reference run must succeed")
     }
 
     fn run_closed_loop_native<C: Controller>(mut ctrl: C, iterations: usize) -> Vec<f64> {
@@ -206,6 +296,41 @@ mod tests {
             engine.advance(u, profiles.load(t), dt);
         }
         outputs
+    }
+
+    #[test]
+    fn bad_source_is_a_typed_assemble_error() {
+        let err = Workload::from_source("Broken", "this is not assembly\n")
+            .expect_err("nonsense must not assemble");
+        match &err {
+            WorkloadError::Assemble { name, message } => {
+                assert_eq!(name, "Broken");
+                assert!(!message.is_empty());
+            }
+            other => panic!("expected Assemble error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("failed to assemble"));
+    }
+
+    #[test]
+    fn non_yielding_workload_is_a_typed_run_error() {
+        // A workload that spins forever burns the per-iteration budget and
+        // must surface as a reportable error, not a panic.
+        let w = Workload::from_source("Spinner", "spin:\n    jmp spin\n")
+            .expect("the spinner assembles");
+        let err = w.run_closed_loop(3).expect_err("spinner never yields");
+        match &err {
+            WorkloadError::Run {
+                name,
+                iteration,
+                detail,
+            } => {
+                assert_eq!(name, "Spinner");
+                assert_eq!(*iteration, 0);
+                assert!(detail.contains("Budget"), "{detail}");
+            }
+            other => panic!("expected Run error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -323,6 +323,15 @@ impl Machine {
         }
     }
 
+    /// Forces one scannable bit to `value` — the stuck-at fault model:
+    /// read the scan chain and write the bit back only if it differs, so
+    /// re-applying the same stuck-at is idempotent.
+    pub fn scan_set(&mut self, loc: BitLocation, value: bool) {
+        if self.scan_read(loc) != value {
+            self.scan_flip(loc);
+        }
+    }
+
     /// Captures every scannable bit.
     #[must_use]
     pub fn scan_snapshot(&self) -> ScanSnapshot {
@@ -402,6 +411,24 @@ mod tests {
         m.scan_flip(BitLocation::Reg { index: 3, bit: 17 });
         assert_eq!(m.scan_snapshot().diff_count(&before), 1);
         assert_eq!(m.reg(3), 1 << 17);
+    }
+
+    #[test]
+    fn scan_set_forces_and_is_idempotent() {
+        let mut m = Machine::new();
+        let loc = BitLocation::Reg { index: 4, bit: 9 };
+        let before = m.scan_snapshot();
+        // Forcing the current value is a no-op.
+        m.scan_set(loc, false);
+        assert_eq!(m.scan_snapshot().diff_count(&before), 0);
+        // Forcing the opposite value flips exactly that bit; re-applying
+        // the same stuck-at changes nothing further.
+        m.scan_set(loc, true);
+        assert_eq!(m.scan_snapshot().diff_count(&before), 1);
+        assert!(m.scan_read(loc));
+        m.scan_set(loc, true);
+        assert_eq!(m.scan_snapshot().diff_count(&before), 1);
+        assert_eq!(m.reg(4), 1 << 9);
     }
 
     #[test]

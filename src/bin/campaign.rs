@@ -4,8 +4,9 @@
 //! campaign [--workload alg1|alg2|alg2-colocated|alg2-assert-after|alg3]
 //!          [--faults N] [--seed S] [--iterations K] [--threads T]
 //!          [--parity-cache] [--checkpoint-stride K]
-//!          [--fault-model single|double] [--json FILE]
-//!          [--out FILE] [--resume] [--progress]
+//!          [--fault-model single|double|intermittent:N|stuck0|stuck1|burst:W]
+//!          [--deadline SECS] [--unsupervised]
+//!          [--json FILE] [--out FILE] [--resume] [--progress]
 //! ```
 //!
 //! `--out` streams every record to a checksummed JSONL store as it
@@ -13,6 +14,11 @@
 //! that it belongs to this exact campaign) and runs only the missing
 //! faults; `--progress` prints live telemetry (throughput, ETA,
 //! classification counters, checkpoint hit-rate, prune rate) to stderr.
+//!
+//! Experiments run supervised by default: panics and (with `--deadline`)
+//! wall-clock overruns are contained, retried once at stride 0, and
+//! quarantined as harness failures rather than aborting the campaign.
+//! `--unsupervised` disables the containment as a debugging aid.
 
 use bera::goofi::campaign::{prepare_campaign, CampaignConfig};
 use bera::goofi::experiment::{ExperimentRecord, FaultModel, LoopConfig};
@@ -34,6 +40,8 @@ struct Args {
     parity_cache: bool,
     checkpoint_stride: usize,
     fault_model: FaultModel,
+    deadline: Option<f64>,
+    unsupervised: bool,
     json: Option<String>,
     out: Option<String>,
     resume: bool,
@@ -50,6 +58,8 @@ fn parse_args() -> Result<Args, String> {
         parity_cache: false,
         checkpoint_stride: LoopConfig::paper().checkpoint_stride,
         fault_model: FaultModel::SingleBit,
+        deadline: None,
+        unsupervised: false,
         json: None,
         out: None,
         resume: false,
@@ -96,12 +106,20 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--checkpoint-stride: {e}"))?;
             }
             "--fault-model" => {
-                args.fault_model = match value("--fault-model")?.as_str() {
-                    "single" => FaultModel::SingleBit,
-                    "double" => FaultModel::AdjacentDoubleBit,
-                    other => return Err(format!("unknown fault model `{other}`")),
-                };
+                args.fault_model = value("--fault-model")?
+                    .parse()
+                    .map_err(|e| format!("--fault-model: {e}"))?;
             }
+            "--deadline" => {
+                let secs: f64 = value("--deadline")?
+                    .parse()
+                    .map_err(|e| format!("--deadline: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--deadline expects a positive number of seconds".to_string());
+                }
+                args.deadline = Some(secs);
+            }
+            "--unsupervised" => args.unsupervised = true,
             "--json" => args.json = Some(value("--json")?),
             "--out" => args.out = Some(value("--out")?),
             "--resume" => args.resume = true,
@@ -115,6 +133,9 @@ fn parse_args() -> Result<Args, String> {
     if args.resume && args.out.is_none() {
         return Err("--resume requires --out FILE (the store to resume from)".to_string());
     }
+    if args.unsupervised && args.deadline.is_some() {
+        return Err("--deadline requires supervision; drop --unsupervised".to_string());
+    }
     Ok(args)
 }
 
@@ -123,12 +144,21 @@ fn usage() {
         "usage: campaign [--workload alg1|alg2|alg2-colocated|alg2-assert-after|alg3]\n\
          \t[--faults N] [--seed S] [--iterations K] [--threads T]\n\
          \t[--parity-cache] [--checkpoint-stride K]\n\
-         \t[--fault-model single|double] [--json FILE]\n\
+         \t[--fault-model single|double|intermittent:N|stuck0|stuck1|burst:W]\n\
+         \t[--deadline SECS] [--unsupervised] [--json FILE]\n\
          \t[--out FILE] [--resume] [--progress]\n\
          \n\
          --checkpoint-stride K  capture a golden checkpoint every K iterations\n\
          \t(experiments fast-forward from the nearest checkpoint and prune\n\
          \tconverged tails; 0 replays every experiment from reset)\n\
+         --fault-model M  single bit-flip (default), adjacent double flip,\n\
+         \tintermittent:N (re-asserts at the next N iteration boundaries),\n\
+         \tstuck0/stuck1 (bit forced for the rest of the run), or\n\
+         \tburst:W (random-width cluster of up to W adjacent bits)\n\
+         --deadline SECS  wall-clock watchdog per experiment attempt; an\n\
+         \toverrun is retried once at stride 0, then quarantined\n\
+         --unsupervised   run experiments bare: a panicking experiment\n\
+         \taborts the whole campaign (debugging aid)\n\
          --out FILE     stream records to a checksummed JSONL result store\n\
          --resume       continue an interrupted store (validates that it\n\
          \tbelongs to this campaign; re-runs only the missing faults)\n\
@@ -185,6 +215,14 @@ fn main() -> ExitCode {
     };
     cfg.threads = args.threads;
     cfg.fault_model = args.fault_model;
+    cfg.supervisor = if args.unsupervised {
+        None
+    } else {
+        Some(bera::goofi::supervisor::SupervisorConfig {
+            deadline: args.deadline.map(Duration::from_secs_f64),
+            ..Default::default()
+        })
+    };
 
     eprintln!(
         "running {} faults into `{}` ({} iterations, seed {}, checkpoint stride {})...",

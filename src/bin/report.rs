@@ -4,7 +4,10 @@
 //! ```text
 //! report FILE                 render the paper table (Tables 2/3 layout)
 //! report FILE1 FILE2          render Table 4 (Algorithm I vs II comparison)
+//! report --by-model FILE...   render a per-fault-model breakdown, one
+//!                             column per model found in the store headers
 //! report --csv FILE           export the single-campaign table as CSV
+//!                             (also applies to --by-model)
 //! report --partial FILE       tabulate an incomplete store (missing faults
 //!                             are simply absent from the counts)
 //! report --artifact NAME ...  additionally write the rendering under
@@ -17,7 +20,7 @@
 
 use bera::goofi::campaign::CampaignResult;
 use bera::goofi::store::load_store;
-use bera::goofi::table::{tabulate, ComparisonTable};
+use bera::goofi::table::{tabulate, ComparisonTable, ModelBreakdown};
 use bera::repro;
 use std::path::Path;
 use std::process::ExitCode;
@@ -26,6 +29,7 @@ struct Args {
     files: Vec<String>,
     csv: bool,
     partial: bool,
+    by_model: bool,
     artifact: Option<String>,
 }
 
@@ -34,6 +38,7 @@ fn parse_args() -> Result<Args, String> {
         files: Vec::new(),
         csv: false,
         partial: false,
+        by_model: false,
         artifact: None,
     };
     let mut it = std::env::args().skip(1);
@@ -41,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--csv" => args.csv = true,
             "--partial" => args.partial = true,
+            "--by-model" => args.by_model = true,
             "--artifact" => {
                 args.artifact = Some(
                     it.next()
@@ -51,6 +57,12 @@ fn parse_args() -> Result<Args, String> {
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
             path => args.files.push(path.to_string()),
         }
+    }
+    if args.by_model {
+        if args.files.is_empty() {
+            return Err("--by-model expects at least one store file".to_string());
+        }
+        return Ok(args);
     }
     match args.files.len() {
         1 | 2 => {}
@@ -65,12 +77,44 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() {
     eprintln!(
-        "usage: report [--csv] [--partial] [--artifact NAME] FILE [FILE2]\n\
+        "usage: report [--csv] [--partial] [--by-model] [--artifact NAME] FILE...\n\
          \n\
          With one store file, renders that campaign's paper table; with two,\n\
          renders the Table 4 comparison (first store = Algorithm I column).\n\
+         --by-model groups any number of stores by the fault model in their\n\
+         headers and renders one breakdown column per model.\n\
          --partial tabulates an incomplete store instead of refusing it."
     );
+}
+
+/// Loads every store, groups results by the fault model recorded in their
+/// headers (stores sharing a model are merged column-wise in file order),
+/// and renders the per-model breakdown.
+fn render_by_model(args: &Args) -> Result<String, String> {
+    let mut groups: Vec<(String, CampaignResult)> = Vec::new();
+    for path in &args.files {
+        let loaded = load_store(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+        let label = loaded.header.fault_model.to_string();
+        let result = if args.partial {
+            loaded.into_partial_result()
+        } else {
+            loaded.into_result().map_err(|e| format!("{path}: {e}"))?
+        };
+        match groups.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, merged)) => merged.records.extend(result.records),
+            None => groups.push((label, result)),
+        }
+    }
+    let columns: Vec<(String, &CampaignResult)> = groups
+        .iter()
+        .map(|(label, result)| (label.clone(), result))
+        .collect();
+    let breakdown = ModelBreakdown::new(&columns);
+    Ok(if args.csv {
+        breakdown.to_csv()
+    } else {
+        breakdown.render()
+    })
 }
 
 fn load(path: &str, partial: bool) -> Result<CampaignResult, String> {
@@ -102,7 +146,15 @@ fn main() -> ExitCode {
         }
     };
 
-    let rendered = if args.files.len() == 2 {
+    let rendered = if args.by_model {
+        match render_by_model(&args) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if args.files.len() == 2 {
         let first = match load(&args.files[0], args.partial) {
             Ok(r) => r,
             Err(e) => {

@@ -1,7 +1,12 @@
 //! Software-implemented fault injection (SWIFI) on the native controllers —
 //! GOOFI's second injection technique, applied to the same question: what
-//! does a single bit-flip in the controller state do to the engine, and how
-//! much does each protection scheme help?
+//! does a bit fault in the controller state do to the engine, and how much
+//! does each protection scheme help?
+//!
+//! ```text
+//! swifi_report [--faults N]
+//!              [--fault-model single|double|intermittent:N|stuck0|stuck1|burst:W]
+//! ```
 
 use bera::core::assertion::All;
 use bera::core::controller::Limits;
@@ -9,8 +14,10 @@ use bera::core::{
     Assertion, PiController, Protected, ProtectedPiController, RangeAssertion, RateAssertion, Siso,
 };
 use bera::goofi::classify::Severity;
+use bera::goofi::experiment::FaultModel;
 use bera::goofi::swifi::{run_swifi, SwifiConfig, SwifiResult};
 use bera::repro;
+use std::process::ExitCode;
 
 fn line(label: &str, r: &SwifiResult) -> String {
     format!(
@@ -24,9 +31,49 @@ fn line(label: &str, r: &SwifiResult) -> String {
     )
 }
 
-fn main() {
-    let faults = repro::fault_override(2000);
-    let cfg = SwifiConfig::paper(faults, repro::CAMPAIGN_SEED);
+fn parse_args() -> Result<(Option<usize>, FaultModel), String> {
+    let mut faults = None;
+    let mut model = FaultModel::SingleBit;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--faults" => {
+                faults = Some(
+                    value("--faults")?
+                        .parse()
+                        .map_err(|e| format!("--faults: {e}"))?,
+                );
+            }
+            "--fault-model" => {
+                model = value("--fault-model")?
+                    .parse()
+                    .map_err(|e| format!("--fault-model: {e}"))?;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok((faults, model))
+}
+
+fn main() -> ExitCode {
+    let (faults, model) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!(
+                "usage: swifi_report [--faults N]\n\
+                 \t[--fault-model single|double|intermittent:N|stuck0|stuck1|burst:W]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let faults = faults.unwrap_or_else(|| repro::fault_override(2000));
+    let mut cfg = SwifiConfig::paper(faults, repro::CAMPAIGN_SEED);
+    cfg.model = model;
 
     let mut report = format!(
         "{:<40}{:>8}{:>10}{:>10}{:>10}{:>12}{:>10}\n",
@@ -71,6 +118,8 @@ fn main() {
         ),
     ));
 
+    println!("fault model: {model}");
     println!("{report}");
     repro::write_artifact("swifi_report.txt", &report);
+    ExitCode::SUCCESS
 }

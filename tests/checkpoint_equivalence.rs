@@ -18,8 +18,18 @@ use proptest::prelude::*;
 use std::sync::OnceLock;
 
 /// Runs `faults` sampled faults under both engines and asserts every
-/// observable field of every record is identical.
-fn assert_equivalent(workload: &Workload, faults: usize, seed: u64, model: FaultModel) {
+/// observable field of every record is identical. When `require_prunes`
+/// is set, the fault set must exercise convergence pruning (so the fast
+/// path is actually tested); models that legitimately never converge —
+/// stuck-at, or intermittents whose re-assertions outlive the run — pass
+/// `false`. Returns how many checkpointed records pruned.
+fn assert_equivalent(
+    workload: &Workload,
+    faults: usize,
+    seed: u64,
+    model: FaultModel,
+    require_prunes: bool,
+) -> usize {
     let mut from_reset = LoopConfig::short(60);
     from_reset.checkpoint_stride = 0;
     let mut checkpointed = LoopConfig::short(60);
@@ -59,19 +69,32 @@ fn assert_equivalent(workload: &Workload, faults: usize, seed: u64, model: Fault
         pruned += usize::from(fast.pruned_at.is_some());
     }
     assert!(
-        pruned > 0,
+        !require_prunes || pruned > 0,
         "the fault set must exercise convergence pruning, or this test is vacuous"
     );
+    pruned
 }
 
 #[test]
 fn checkpointed_engine_matches_from_reset_algorithm_one() {
-    assert_equivalent(&Workload::algorithm_one(), 220, 17, FaultModel::SingleBit);
+    assert_equivalent(
+        &Workload::algorithm_one(),
+        220,
+        17,
+        FaultModel::SingleBit,
+        true,
+    );
 }
 
 #[test]
 fn checkpointed_engine_matches_from_reset_algorithm_two() {
-    assert_equivalent(&Workload::algorithm_two(), 220, 23, FaultModel::SingleBit);
+    assert_equivalent(
+        &Workload::algorithm_two(),
+        220,
+        23,
+        FaultModel::SingleBit,
+        true,
+    );
 }
 
 #[test]
@@ -81,6 +104,75 @@ fn checkpointed_engine_matches_from_reset_double_bit_model() {
         200,
         5,
         FaultModel::AdjacentDoubleBit,
+        true,
+    );
+}
+
+#[test]
+fn checkpointed_engine_matches_from_reset_intermittent_model() {
+    // Re-assertions land at iteration boundaries counted from injection,
+    // so they are stride-independent; once the budget is exhausted the
+    // injector goes quiescent and pruning may resume. Equivalence must
+    // hold either way, so pruning is not required here.
+    assert_equivalent(
+        &Workload::algorithm_one(),
+        150,
+        29,
+        FaultModel::Intermittent {
+            reassert_iterations: 2,
+        },
+        false,
+    );
+}
+
+#[test]
+fn checkpointed_engine_matches_from_reset_burst_model() {
+    assert_equivalent(
+        &Workload::algorithm_one(),
+        150,
+        31,
+        FaultModel::Burst { width: 4 },
+        true,
+    );
+}
+
+#[test]
+fn stuck_at_faults_are_never_pruned() {
+    // A stuck-at fault re-applies at every iteration boundary, so the
+    // machine can never be proven convergent with the golden run: the
+    // injector never reports quiescent and pruning must never fire —
+    // while stride equivalence still holds on the full unpruned replay.
+    for value in [false, true] {
+        let pruned = assert_equivalent(
+            &Workload::algorithm_one(),
+            60,
+            37,
+            FaultModel::StuckAt { value },
+            false,
+        );
+        assert_eq!(
+            pruned, 0,
+            "stuck-at({value}) faults can still re-assert; pruning would be unsound"
+        );
+    }
+}
+
+#[test]
+fn intermittent_never_prunes_while_reassertable() {
+    // A re-assertion budget larger than the run's iteration count means
+    // the fault never goes quiescent inside the run: no record may prune.
+    let pruned = assert_equivalent(
+        &Workload::algorithm_one(),
+        60,
+        41,
+        FaultModel::Intermittent {
+            reassert_iterations: 10_000,
+        },
+        false,
+    );
+    assert_eq!(
+        pruned, 0,
+        "pruning while a re-assertion is pending would diverge from from-reset replay"
     );
 }
 

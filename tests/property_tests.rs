@@ -4,6 +4,7 @@ use bera::core::bitflip::{flip_bit_f32, flip_bit_f64, flip_bit_u32};
 use bera::core::controller::{Controller, Limits, PiGains};
 use bera::core::{PiController, ProtectedPiController};
 use bera::goofi::classify::{Classifier, Severity};
+use bera::goofi::experiment::FaultModel;
 use bera::stats::proportion::{Confidence, Proportion};
 use bera::stats::summary::Summary;
 use bera::tcpu::asm::assemble;
@@ -12,7 +13,101 @@ use bera::tcpu::machine::Machine;
 use bera::tcpu::scan;
 use proptest::prelude::*;
 
+/// Every fault-model variant, with representative parameter ranges.
+fn any_fault_model() -> impl Strategy<Value = FaultModel> {
+    prop_oneof![
+        Just(FaultModel::SingleBit),
+        Just(FaultModel::AdjacentDoubleBit),
+        (1usize..1000).prop_map(|reassert_iterations| FaultModel::Intermittent {
+            reassert_iterations,
+        }),
+        any::<bool>().prop_map(|value| FaultModel::StuckAt { value }),
+        (1usize..100).prop_map(|width| FaultModel::Burst { width }),
+    ]
+}
+
 proptest! {
+    #[test]
+    fn fault_model_cluster_is_in_range_and_deduplicated(
+        model in any_fault_model(),
+        index in 0usize..1_000_000,
+        n in 1usize..5000,
+    ) {
+        let cluster = model.cluster(index, n);
+        prop_assert!(!cluster.is_empty(), "{model}: cluster must be non-empty");
+        prop_assert!(
+            cluster.iter().all(|&b| b < n),
+            "{model}: cluster {cluster:?} escapes population of {n}"
+        );
+        let mut sorted = cluster.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(
+            sorted.len(),
+            cluster.len(),
+            "{}: cluster {:?} holds duplicates", model, cluster
+        );
+        // The sampled index itself is always perturbed.
+        prop_assert!(cluster.contains(&(index % n)));
+    }
+
+    #[test]
+    fn fault_model_single_location_models_perturb_exactly_the_index(
+        index in 0usize..1_000_000,
+        n in 1usize..5000,
+        reassert in 1usize..1000,
+        value in any::<bool>(),
+    ) {
+        for model in [
+            FaultModel::SingleBit,
+            FaultModel::Intermittent { reassert_iterations: reassert },
+            FaultModel::StuckAt { value },
+        ] {
+            prop_assert_eq!(model.cluster(index, n), vec![index % n]);
+        }
+    }
+
+    #[test]
+    fn fault_model_double_bit_wraps_at_the_last_bit(n in 2usize..5000) {
+        // The adjacent pair sampled at the last index wraps to bit 0
+        // rather than escaping the population.
+        let cluster = FaultModel::AdjacentDoubleBit.cluster(n - 1, n);
+        prop_assert_eq!(cluster, vec![n - 1, 0]);
+    }
+
+    #[test]
+    fn fault_model_burst_width_is_clamped(
+        width in 1usize..200,
+        index in 0usize..1_000_000,
+        n in 1usize..100,
+    ) {
+        let cluster = FaultModel::Burst { width }.cluster(index, n);
+        prop_assert!(
+            (1..=width.min(n)).contains(&cluster.len()),
+            "burst of width {width} produced {} bits over population {n}",
+            cluster.len()
+        );
+        prop_assert!(cluster.iter().all(|&b| b < n));
+    }
+
+    #[test]
+    fn fault_model_locations_stay_inside_the_scan_catalog(
+        model in any_fault_model(),
+        index in 0usize..1_000_000,
+    ) {
+        let catalog_len = scan::catalog().len();
+        let locations = model.locations(index % catalog_len);
+        prop_assert!(!locations.is_empty());
+        prop_assert!(locations.iter().all(|&i| i < catalog_len));
+    }
+
+    #[test]
+    fn fault_model_spelling_roundtrips(model in any_fault_model()) {
+        let spelled = model.to_string();
+        let parsed: FaultModel = spelled.parse().expect("display form parses");
+        prop_assert_eq!(parsed, model);
+    }
+
     #[test]
     fn bitflip_involutive_f64(v in any::<f64>(), bit in 0u32..64) {
         let flipped = flip_bit_f64(v, bit);

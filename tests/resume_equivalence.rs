@@ -174,6 +174,34 @@ fn resume_matches_one_shot_alg2_double_bit() {
 }
 
 #[test]
+fn resume_matches_one_shot_alg1_intermittent() {
+    // Re-asserting faults carry extra injector state across iteration
+    // boundaries; resume must still reproduce every record exactly.
+    assert_resume_identical(
+        &Workload::algorithm_one(),
+        FaultModel::Intermittent {
+            reassert_iterations: 3,
+        },
+        9,
+        0,
+        "a1i",
+    );
+}
+
+#[test]
+fn resume_matches_one_shot_alg2_stuck_at() {
+    // Stuck-at faults re-apply at every boundary and are never pruned;
+    // resume must agree with one-shot on the full unpruned records.
+    assert_resume_identical(
+        &Workload::algorithm_two(),
+        FaultModel::StuckAt { value: true },
+        13,
+        0,
+        "a2st",
+    );
+}
+
+#[test]
 fn resume_after_torn_final_line_matches_one_shot() {
     // Keep 8 whole records, then tear 13 bytes off the 8th — the crash
     // happened mid-write, so the resumed run must redo that fault too.

@@ -14,7 +14,7 @@
 //!    its final line loads with exactly that record dropped and flagged.
 
 use bera_goofi::campaign::{prepare_campaign, CampaignConfig};
-use bera_goofi::classify::{Outcome, Severity};
+use bera_goofi::classify::{HarnessCause, Outcome, Severity};
 use bera_goofi::experiment::{ExperimentRecord, FaultSpec};
 use bera_goofi::store::{decode_record, encode_record, load_store, JsonlStore, StoreHeader};
 use bera_goofi::table::TABLE_MECHANISMS;
@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::OnceLock;
 
 fn outcome_from(tag: usize, mech: usize, severity: usize) -> Outcome {
-    match tag % 5 {
+    match tag % 7 {
         0 => Outcome::Detected(TABLE_MECHANISMS[mech % TABLE_MECHANISMS.len()]),
         1 => Outcome::Hang,
         2 => Outcome::ValueFailure(match severity % 4 {
@@ -36,7 +36,9 @@ fn outcome_from(tag: usize, mech: usize, severity: usize) -> Outcome {
             _ => Severity::Insignificant,
         }),
         3 => Outcome::Latent,
-        _ => Outcome::Overwritten,
+        4 => Outcome::Overwritten,
+        5 => Outcome::HarnessFailure(HarnessCause::Panic),
+        _ => Outcome::HarnessFailure(HarnessCause::Deadline),
     }
 }
 
@@ -57,6 +59,10 @@ fn build_record(
 ) -> ExperimentRecord {
     let catalog = scan::catalog();
     let location = catalog[location_index % catalog.len()];
+    let outcome = outcome_from(tag, mech, severity);
+    let harness_error = outcome
+        .is_harness_failure()
+        .then(|| format!("chaos detail #{tag}"));
     ExperimentRecord {
         fault: FaultSpec {
             location_index: location_index % catalog.len(),
@@ -64,12 +70,13 @@ fn build_record(
         },
         part: location.part(),
         location,
-        outcome: outcome_from(tag, mech, severity),
+        outcome,
         max_deviation,
         first_strong_iteration: first_strong,
         detection_latency: latency,
         outputs,
         pruned_at,
+        harness_error,
     }
 }
 
@@ -104,7 +111,7 @@ proptest! {
         index in 0usize..100_000,
         location_index in 0usize..100_000,
         inject_at in 0u64..1_000_000,
-        shape in (0usize..5, 0usize..64, 0usize..4),
+        shape in (0usize..7, 0usize..64, 0usize..4),
         max_deviation in deviation_strategy(),
         optionals in (
             prop_oneof![Just(None), (0usize..650).prop_map(Some)],
@@ -135,7 +142,7 @@ proptest! {
         index in 0usize..10_000,
         location_index in 0usize..100_000,
         inject_at in 0u64..1_000_000,
-        shape in (0usize..5, 0usize..64, 0usize..4),
+        shape in (0usize..7, 0usize..64, 0usize..4),
         max_deviation in deviation_strategy(),
     ) {
         let (tag, mech, severity) = shape;
@@ -159,7 +166,7 @@ proptest! {
         index in 0usize..10_000,
         location_index in 0usize..100_000,
         inject_at in 0u64..1_000_000,
-        shape in (0usize..5, 0usize..64, 0usize..4),
+        shape in (0usize..7, 0usize..64, 0usize..4),
         max_deviation in deviation_strategy(),
         position in 0usize..10_000,
         replacement in 0usize..36,
