@@ -72,6 +72,25 @@ fn bench_campaign(c: &mut Criterion) {
             ccfg.loop_cfg = bench_loop_config(60);
             ccfg.loop_cfg.parity_cache = parity;
             ccfg.threads = 1;
+            // Historical series: every fault simulated, as before def/use
+            // pruning existed. The pruned_campaign_* series below measure
+            // the planner's effect against these.
+            ccfg.prune = false;
+            b.iter(|| run_scifi_campaign(black_box(&workload), &ccfg));
+        });
+    }
+
+    // Def/use-pruned counterparts of the two headline campaigns, on the
+    // checkpointed engine: the fully-optimised configuration the speedup
+    // table reports (see also `bench_campaign --json`).
+    for (label, workload) in [
+        ("pruned_campaign_algorithm1", Workload::algorithm_one()),
+        ("pruned_campaign_algorithm2", Workload::algorithm_two()),
+    ] {
+        group.bench_function(label, |b| {
+            let mut ccfg = CampaignConfig::quick(40, 11);
+            ccfg.loop_cfg = bench_loop_config_checkpointed(60, 4);
+            ccfg.threads = 1;
             b.iter(|| run_scifi_campaign(black_box(&workload), &ccfg));
         });
     }
@@ -84,6 +103,7 @@ fn bench_campaign(c: &mut Criterion) {
         let mut ccfg = CampaignConfig::quick(40, 11);
         ccfg.loop_cfg = bench_loop_config(60);
         ccfg.threads = 1;
+        ccfg.prune = false;
         b.iter(|| {
             let telemetry = Telemetry::new(40);
             run_scifi_campaign_observed(black_box(&workload), &ccfg, &telemetry)
@@ -106,6 +126,7 @@ fn bench_campaign(c: &mut Criterion) {
             let mut ccfg = CampaignConfig::quick(40, 11);
             ccfg.loop_cfg = bench_loop_config_checkpointed(60, 4);
             ccfg.threads = 1;
+            ccfg.prune = false;
             b.iter(|| run_scifi_campaign(black_box(&workload), &ccfg));
         });
     }

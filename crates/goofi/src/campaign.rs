@@ -1,11 +1,16 @@
 //! Campaign orchestration: fault-list sampling, parallel experiment
 //! execution, and the result database.
 
+use crate::classify::Outcome;
 use crate::experiment::{
-    golden_run, run_experiment_observed, ExperimentRecord, FaultModel, FaultSpec, GoldenRun,
-    LoopConfig,
+    golden_run, run_experiment_observed, run_experiment_with_model, ExperimentRecord, FaultModel,
+    FaultSpec, GoldenRun, LoopConfig, Provenance,
 };
 use crate::observer::{CampaignObserver, NullObserver};
+use crate::planner::{
+    analytic_record, paranoid_members, plan_campaign, prune_eligible, records_equivalent,
+    replicated_record, PlanAction,
+};
 use crate::supervisor::{run_supervised, SupervisorConfig};
 use crate::workload::Workload;
 use bera_stats::sampling::UniformSampler;
@@ -33,6 +38,20 @@ pub struct CampaignConfig {
     /// quarantine). `None` runs experiments bare: a panic aborts the
     /// campaign, as a debugging aid.
     pub supervisor: Option<SupervisorConfig>,
+    /// Def/use fault-space pruning (see [`crate::planner`]): classify
+    /// faults whose outcome follows from the golden access trace without
+    /// simulating them, and simulate one representative per equivalence
+    /// class of provably identical runs. On by default; outcomes are
+    /// bit-identical either way (`tests/prune_equivalence.rs`), so this
+    /// only trades a planning pass for campaign wall-clock. Automatically
+    /// bypassed for non-single-bit fault models and parity-cache runs.
+    pub prune: bool,
+    /// Paranoid cross-check: re-simulate up to this many members of every
+    /// def/use equivalence class and panic if any simulated outcome
+    /// disagrees with its replicated record. `0` (the default) disables
+    /// the check; it exists to audit the pruning soundness argument on
+    /// live campaigns.
+    pub paranoid: usize,
 }
 
 impl CampaignConfig {
@@ -47,6 +66,8 @@ impl CampaignConfig {
             detail: false,
             fault_model: FaultModel::SingleBit,
             supervisor: Some(SupervisorConfig::default()),
+            prune: true,
+            paranoid: 0,
         }
     }
 
@@ -61,6 +82,8 @@ impl CampaignConfig {
             detail: false,
             fault_model: FaultModel::SingleBit,
             supervisor: Some(SupervisorConfig::default()),
+            prune: true,
+            paranoid: 0,
         }
     }
 }
@@ -295,6 +318,13 @@ fn run_one(
 /// Runs the fault indices of `faults` whose `completed` slot is `None`
 /// (all of them when `completed` is empty), reporting events to
 /// `observer`; pre-completed records are adopted without re-execution.
+///
+/// Execution is plan-driven ([`plan_campaign`]): analytically classified
+/// faults are emitted up front without touching the simulator, only
+/// plan-`Simulate` indices go through the (possibly parallel) experiment
+/// scheduler, and equivalence-class members are replicated from their
+/// simulated representatives afterwards. The plan is deterministic, so
+/// resumes recompute identical representatives.
 fn run_fault_list_resumed(
     workload: &Workload,
     cfg: &CampaignConfig,
@@ -310,7 +340,29 @@ fn run_fault_list_resumed(
     } else {
         completed
     };
-    let done: Vec<bool> = slots.iter().map(Option::is_some).collect();
+    let plan = plan_campaign(faults, cfg, golden);
+
+    // Analytic records first: they cost nothing and keep the simulation
+    // scheduler's claim loop dense in real work.
+    for (i, action) in plan.actions().iter().enumerate() {
+        if slots[i].is_some() {
+            continue;
+        }
+        if let PlanAction::Analytic(outcome) = *action {
+            let record = analytic_record(faults[i], outcome, golden, cfg.detail);
+            observer.experiment_classified(i, &record);
+            slots[i] = Some(record);
+        }
+    }
+
+    // The simulation pass skips preloaded indices and everything the plan
+    // resolves without the simulator (analytic records above, replicated
+    // members filled in below).
+    let done: Vec<bool> = slots
+        .iter()
+        .zip(plan.actions())
+        .map(|(slot, action)| slot.is_some() || !matches!(action, PlanAction::Simulate))
+        .collect();
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism().map_or(1, usize::from)
     } else {
@@ -324,67 +376,115 @@ fn run_fault_list_resumed(
             }
             slots[i] = Some(run_one(workload, cfg, golden, f, i, observer));
         }
-        return slots
-            .into_iter()
-            .map(|slot| slot.expect("every fault index was run or preloaded"))
-            .collect();
+    } else {
+        // Dynamic work distribution: experiment run times vary by orders of
+        // magnitude (a detected fault traps within microseconds, a hang burns
+        // the whole instruction cap), so static chunking leaves threads idle
+        // behind the slowest chunk. Each worker instead claims the next
+        // unclaimed fault index from a shared atomic counter and records the
+        // index with its result, so the merged record order is exactly the
+        // fault-list order regardless of which worker ran what. Pre-completed
+        // indices (a resume) are skipped by the claim loop.
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let next = &next;
+                    let done = &done;
+                    scope.spawn(move || {
+                        let mut ran = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&f) = faults.get(i) else { break };
+                            if done[i] {
+                                continue;
+                            }
+                            ran.push((i, run_one(workload, cfg, golden, f, i, observer)));
+                        }
+                        ran
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(ran) => {
+                        for (i, record) in ran {
+                            slots[i] = Some(record);
+                        }
+                    }
+                    // The supervisor contains per-experiment failures, so a
+                    // worker can only die of something outside an experiment
+                    // (or of supervision being disabled). Unsupervised runs
+                    // propagate the panic as before; supervised campaigns
+                    // self-heal below by re-running the lost claims serially.
+                    Err(payload) => {
+                        if cfg.supervisor.is_none() {
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+            }
+        });
+        if cfg.supervisor.is_some() {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                if slot.is_none() && !done[i] {
+                    *slot = Some(run_one(workload, cfg, golden, faults[i], i, observer));
+                }
+            }
+        }
     }
 
-    // Dynamic work distribution: experiment run times vary by orders of
-    // magnitude (a detected fault traps within microseconds, a hang burns
-    // the whole instruction cap), so static chunking leaves threads idle
-    // behind the slowest chunk. Each worker instead claims the next
-    // unclaimed fault index from a shared atomic counter and records the
-    // index with its result, so the merged record order is exactly the
-    // fault-list order regardless of which worker ran what. Pre-completed
-    // indices (a resume) are skipped by the claim loop.
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let next = &next;
-                let done = &done;
-                scope.spawn(move || {
-                    let mut ran = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&f) = faults.get(i) else { break };
-                        if done[i] {
-                            continue;
-                        }
-                        ran.push((i, run_one(workload, cfg, golden, f, i, observer)));
-                    }
-                    ran
-                })
-            })
-            .collect();
-        for h in handles {
-            match h.join() {
-                Ok(ran) => {
-                    for (i, record) in ran {
-                        slots[i] = Some(record);
-                    }
-                }
-                // The supervisor contains per-experiment failures, so a
-                // worker can only die of something outside an experiment
-                // (or of supervision being disabled). Unsupervised runs
-                // propagate the panic as before; supervised campaigns
-                // self-heal below by re-running the lost claims serially.
-                Err(payload) => {
-                    if cfg.supervisor.is_none() {
-                        std::panic::resume_unwind(payload);
-                    }
-                }
-            }
+    // Replication pass: every representative has a record by now (reps are
+    // plan-`Simulate` and always precede their members in the fault list).
+    for (i, action) in plan.actions().iter().enumerate() {
+        if slots[i].is_some() {
+            continue;
         }
-    });
-    if cfg.supervisor.is_some() {
-        for (i, slot) in slots.iter_mut().enumerate() {
-            if slot.is_none() {
-                *slot = Some(run_one(workload, cfg, golden, faults[i], i, observer));
+        if let PlanAction::Replicate { representative } = *action {
+            let rep = slots[representative]
+                .as_ref()
+                .expect("representatives precede members and were simulated");
+            let record = if matches!(rep.outcome, Outcome::HarnessFailure(_)) {
+                // A quarantined representative proves nothing about its
+                // class: fall back to simulating the member itself.
+                run_one(workload, cfg, golden, faults[i], i, observer)
+            } else {
+                let r = replicated_record(faults[i], rep);
+                observer.experiment_classified(i, &r);
+                r
+            };
+            slots[i] = Some(record);
+        }
+    }
+
+    // Paranoid cross-check: re-simulate sampled class members and demand
+    // semantic equality with their replicated records. Observer-silent —
+    // the checks are audits, not campaign work.
+    if cfg.paranoid > 0 && prune_eligible(cfg) {
+        for (rep, members) in plan.classes() {
+            for m in paranoid_members(&members, cfg.paranoid, cfg.seed, rep) {
+                let replicated = slots[m].as_ref().expect("all slots filled");
+                if replicated.provenance != Provenance::Replicated {
+                    continue; // preloaded or fallback-simulated: nothing to audit
+                }
+                let fresh = run_experiment_with_model(
+                    workload,
+                    &cfg.loop_cfg,
+                    golden,
+                    faults[m],
+                    cfg.fault_model,
+                    cfg.detail,
+                );
+                assert!(
+                    records_equivalent(&fresh, replicated),
+                    "paranoid cross-check failed at fault index {m} \
+                     (class representative {rep}): simulated {fresh:?} \
+                     disagrees with replicated {replicated:?}"
+                );
             }
         }
     }
+
     slots
         .into_iter()
         .map(|slot| slot.expect("every fault index was run or preloaded"))

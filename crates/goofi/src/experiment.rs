@@ -5,6 +5,7 @@ use crate::classify::{Classifier, Outcome};
 use crate::observer::{CampaignObserver, NullObserver};
 use crate::workload::Workload;
 use bera_plant::{Engine, Profiles};
+use bera_tcpu::access::AccessTrace;
 use bera_tcpu::machine::{Machine, RunExit, PORT_R, PORT_U, PORT_Y};
 use bera_tcpu::scan::{self, BitLocation, CpuPart, ScanSnapshot};
 use serde::{Deserialize, Serialize};
@@ -245,6 +246,13 @@ pub struct GoldenRun {
     /// [`LoopConfig::checkpoint_stride`] iterations, starting at iteration
     /// 0. Empty when checkpointing is disabled.
     pub checkpoints: Vec<Checkpoint>,
+    /// Per-unit access trace recorded while the run executed (see
+    /// [`bera_tcpu::access`]): for every traceable state unit, the ordered
+    /// dynamic-instruction indices of its reads and full-width writes.
+    /// Drives the campaign planner's def/use fault-space pruning
+    /// ([`crate::planner`]). Deterministic for a given workload and loop
+    /// configuration, like everything else in the golden run.
+    pub trace: AccessTrace,
 }
 
 impl GoldenRun {
@@ -316,6 +324,38 @@ fn loop_digest(machine: &Machine, engine: &Engine) -> u64 {
     h.finish()
 }
 
+/// How an [`ExperimentRecord`]'s classification was obtained. Provenance
+/// metadata only: a record's semantic fields (outcome, deviations,
+/// latency, outputs) are identical whichever path produced them — that is
+/// the contract `tests/prune_equivalence.rs` enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Provenance {
+    /// The fault was injected into the simulator and the run executed.
+    #[default]
+    Simulated,
+    /// Classified from the golden access trace alone (the first
+    /// post-injection access to the faulted unit was a full-width write,
+    /// or the unit was never accessed again); no faulty run was executed.
+    Analytic,
+    /// Copied from the simulated representative of this fault's def/use
+    /// equivalence class (same unit, same first post-injection read), with
+    /// the detection latency re-based to this fault's injection time.
+    Replicated,
+}
+
+impl Provenance {
+    /// Stable lower-case label (`simulated` / `analytic` / `replicated`)
+    /// for telemetry and machine-readable artifacts.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Provenance::Simulated => "simulated",
+            Provenance::Analytic => "analytic",
+            Provenance::Replicated => "replicated",
+        }
+    }
+}
+
 /// The record of one completed experiment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExperimentRecord {
@@ -343,6 +383,11 @@ pub struct ExperimentRecord {
     /// to its natural termination). Metadata only: the classification is
     /// unaffected by pruning.
     pub pruned_at: Option<usize>,
+    /// How this classification was obtained: simulated directly, derived
+    /// analytically from the golden access trace, or replicated from an
+    /// equivalence-class representative. Metadata only (see
+    /// [`Provenance`]).
+    pub provenance: Provenance,
     /// Human-readable detail when `outcome` is
     /// [`Outcome::HarnessFailure`]: the caught panic payload or the
     /// watchdog deadline description. `None` for every target outcome.
@@ -646,6 +691,10 @@ fn drive_from(
             .map_or(instr_cap, |inj| inj.stop_at(instr_cap));
         match machine.run_until(stop) {
             RunExit::Yield => {
+                // The harness observing the actuator port is a semantic
+                // read of that port: record it in the access trace (a
+                // no-op unless this machine is the tracing golden run).
+                machine.trace_harness_port_read(PORT_U);
                 let u = machine.port_out_f32(PORT_U);
                 outputs.push(u.to_bits());
                 let t = k as f64 * cfg.sample_interval;
@@ -697,6 +746,7 @@ pub fn golden_run(workload: &Workload, cfg: &LoopConfig) -> GoldenRun {
     let mut machine = Machine::new();
     machine.load_program(workload.program());
     machine.set_cache_parity(cfg.parity_cache);
+    machine.start_access_trace();
     let engine = cfg.engine.clone();
     let speeds = vec![engine.speed_rpm()];
     set_ports(&mut machine, cfg, 0, &engine);
@@ -727,6 +777,9 @@ pub fn golden_run(workload: &Workload, cfg: &LoopConfig) -> GoldenRun {
         DriveEnd::Converged { .. } => unreachable!("golden run never prunes"),
         DriveEnd::DeadlineExceeded => unreachable!("golden run has no deadline"),
     }
+    let trace = machine
+        .take_access_trace()
+        .expect("the golden machine was tracing");
     GoldenRun {
         outputs: result.outputs,
         speeds: result.speeds,
@@ -734,6 +787,7 @@ pub fn golden_run(workload: &Workload, cfg: &LoopConfig) -> GoldenRun {
         end_scan: machine.scan_snapshot(),
         end_machine: machine,
         checkpoints,
+        trace,
     }
 }
 
@@ -947,6 +1001,7 @@ pub(crate) fn run_experiment_watchdog(
         detection_latency,
         outputs: detail.then_some(outputs),
         pruned_at,
+        provenance: Provenance::Simulated,
         harness_error: None,
     };
     observer.experiment_classified(index, &record);

@@ -49,6 +49,7 @@ pub mod campaign;
 pub mod classify;
 pub mod experiment;
 pub mod observer;
+pub mod planner;
 pub mod propagation;
 pub mod store;
 pub mod supervisor;
@@ -63,9 +64,10 @@ pub use campaign::{
 pub use classify::{Classifier, HarnessCause, Outcome, Severity};
 pub use experiment::{
     golden_run, instruction_cap, run_experiment, Checkpoint, ExperimentRecord, FaultModel,
-    FaultSpec, GoldenRun, LoopConfig,
+    FaultSpec, GoldenRun, LoopConfig, Provenance,
 };
 pub use observer::{CampaignObserver, NullObserver, ObserverSet, Telemetry, TelemetrySnapshot};
+pub use planner::{plan_campaign, records_equivalent, CampaignPlan, PlanAction};
 pub use store::{load_store, JsonlStore, LoadedCampaign, StoreError, StoreHeader};
 pub use supervisor::{ChaosHarness, SupervisorConfig};
 pub use table::{tabulate, ComparisonTable, ModelBreakdown, PaperTable};

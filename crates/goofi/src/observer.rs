@@ -178,6 +178,8 @@ pub struct Telemetry {
     retried: AtomicUsize,
     pruned: AtomicUsize,
     fast_forwarded: AtomicUsize,
+    analytic: AtomicUsize,
+    replicated: AtomicUsize,
     rate: Mutex<RateState>,
 }
 
@@ -200,6 +202,8 @@ impl Telemetry {
             retried: AtomicUsize::new(0),
             pruned: AtomicUsize::new(0),
             fast_forwarded: AtomicUsize::new(0),
+            analytic: AtomicUsize::new(0),
+            replicated: AtomicUsize::new(0),
             rate: Mutex::new(RateState {
                 last_completion: Instant::now(),
                 // Smooth over roughly the last ~40 completions.
@@ -257,6 +261,8 @@ impl Telemetry {
             retried: load(&self.retried),
             pruned: load(&self.pruned),
             fast_forwarded: load(&self.fast_forwarded),
+            analytic: load(&self.analytic),
+            replicated: load(&self.replicated),
         }
     }
 }
@@ -280,6 +286,15 @@ impl CampaignObserver for Telemetry {
     }
 
     fn experiment_classified(&self, _index: usize, record: &ExperimentRecord) {
+        match record.provenance {
+            crate::experiment::Provenance::Simulated => {}
+            crate::experiment::Provenance::Analytic => {
+                self.analytic.fetch_add(1, Ordering::Relaxed);
+            }
+            crate::experiment::Provenance::Replicated => {
+                self.replicated.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         match record.outcome {
             Outcome::Detected(_) => &self.detected,
             Outcome::Hang => &self.hangs,
@@ -343,6 +358,11 @@ pub struct TelemetrySnapshot {
     pub pruned: usize,
     /// Experiments that fast-forwarded past at least one checkpoint.
     pub fast_forwarded: usize,
+    /// Records classified analytically from the golden access trace (no
+    /// simulation executed).
+    pub analytic: usize,
+    /// Records replicated from a def/use equivalence-class representative.
+    pub replicated: usize,
 }
 
 impl TelemetrySnapshot {
@@ -352,17 +372,34 @@ impl TelemetrySnapshot {
         self.completed + self.preloaded
     }
 
-    /// Fraction of executed experiments that fast-forwarded from a golden
-    /// checkpoint beyond iteration 0.
+    /// Fraction of simulated experiments that fast-forwarded from a
+    /// golden checkpoint beyond iteration 0 (analytic and replicated
+    /// records never touch the simulator, so they are excluded).
     #[must_use]
     pub fn checkpoint_hit_rate(&self) -> f64 {
-        self.fast_forwarded as f64 / (self.completed.max(1)) as f64
+        self.fast_forwarded as f64 / (self.simulated().max(1)) as f64
     }
 
-    /// Fraction of executed experiments pruned by convergence.
+    /// Fraction of simulated experiments pruned by convergence.
     #[must_use]
     pub fn prune_rate(&self) -> f64 {
-        self.pruned as f64 / (self.completed.max(1)) as f64
+        self.pruned as f64 / (self.simulated().max(1)) as f64
+    }
+
+    /// Records classified by actually running the simulator in this
+    /// process (`completed` minus the analytic and replicated records).
+    #[must_use]
+    pub fn simulated(&self) -> usize {
+        self.completed
+            .saturating_sub(self.analytic)
+            .saturating_sub(self.replicated)
+    }
+
+    /// Fraction of this process's records that skipped simulation
+    /// entirely (analytic plus replicated) — the def/use pruning rate.
+    #[must_use]
+    pub fn defuse_prune_rate(&self) -> f64 {
+        (self.analytic + self.replicated) as f64 / (self.completed.max(1)) as f64
     }
 }
 
@@ -389,7 +426,17 @@ impl fmt::Display for TelemetrySnapshot {
             " | ff {:.0}% prune {:.0}%",
             100.0 * self.checkpoint_hit_rate(),
             100.0 * self.prune_rate()
-        )
+        )?;
+        if self.analytic > 0 || self.replicated > 0 {
+            write!(
+                f,
+                " | sim {} an {} rep {}",
+                self.simulated(),
+                self.analytic,
+                self.replicated
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -494,7 +541,11 @@ mod tests {
         }
         let probe = Probe::default();
         let w = Workload::algorithm_one();
-        let cfg = CampaignConfig::quick(15, 7);
+        // Def/use pruning skips started/injected for analytically
+        // classified faults; disable it so this test keeps documenting
+        // the full per-experiment life cycle.
+        let mut cfg = CampaignConfig::quick(15, 7);
+        cfg.prune = false;
         let _ = run_scifi_campaign_observed(&w, &cfg, &probe);
         assert_eq!(probe.sampled.load(Ordering::Relaxed), 15);
         assert_eq!(probe.started.load(Ordering::Relaxed), 15);
@@ -505,5 +556,42 @@ mod tests {
         );
         assert_eq!(probe.classified.load(Ordering::Relaxed), 15);
         assert_eq!(probe.completed.load(Ordering::Relaxed), 15);
+    }
+
+    #[test]
+    fn pruned_campaign_classifies_everything_but_simulates_a_subset() {
+        let w = Workload::algorithm_one();
+        let cfg = CampaignConfig::quick(40, 11);
+        let telemetry = Telemetry::new(40);
+        let result = run_scifi_campaign_observed(&w, &cfg, &telemetry);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.completed, 40, "every fault gets a classified record");
+        assert_eq!(snap.simulated() + snap.analytic + snap.replicated, 40);
+        assert!(
+            snap.analytic > 0,
+            "a uniform scan-chain sample always hits overwritten/unused state"
+        );
+        for r in &result.records {
+            use crate::experiment::Provenance;
+            match r.provenance {
+                Provenance::Analytic => assert!(
+                    matches!(r.outcome, Outcome::Overwritten | Outcome::Latent),
+                    "analytic classification only ever emits overwritten/latent"
+                ),
+                Provenance::Simulated | Provenance::Replicated => {}
+            }
+        }
+        let analytic = result
+            .records
+            .iter()
+            .filter(|r| r.provenance == crate::experiment::Provenance::Analytic)
+            .count();
+        let replicated = result
+            .records
+            .iter()
+            .filter(|r| r.provenance == crate::experiment::Provenance::Replicated)
+            .count();
+        assert_eq!(snap.analytic, analytic);
+        assert_eq!(snap.replicated, replicated);
     }
 }

@@ -42,9 +42,11 @@ pub const STORE_MAGIC: &str = "bera-campaign-store";
 
 /// Wire-format version; bumped on incompatible layout changes.
 /// Version 2 added the `harness_error` record field (supervised execution
-/// quarantine) — version-1 stores are refused on resume rather than
-/// misread, since the vendored deserializer has no field defaults.
-pub const STORE_VERSION: u32 = 2;
+/// quarantine); version 3 added the `provenance` record field and the
+/// `prune` header field (def/use fault-space pruning). Older stores are
+/// refused on resume rather than misread, since the vendored deserializer
+/// has no field defaults.
+pub const STORE_VERSION: u32 = 3;
 
 /// Everything needed to validate and re-interpret a stored campaign:
 /// the identity of the run plus the golden vectors records are classified
@@ -63,6 +65,11 @@ pub struct StoreHeader {
     pub seed: u64,
     /// The campaign's fault model.
     pub fault_model: FaultModel,
+    /// Whether def/use fault-space pruning was enabled. Validated on
+    /// resume: pruned and unpruned records are outcome-equivalent, but
+    /// their provenance tags differ, so mixing the two in one store would
+    /// make the provenance split meaningless.
+    pub prune: bool,
     /// Closed-loop iterations per experiment.
     pub iterations: usize,
     /// Whether the data cache ran parity-protected.
@@ -91,6 +98,7 @@ impl StoreHeader {
             faults: cfg.faults,
             seed: cfg.seed,
             fault_model: cfg.fault_model,
+            prune: cfg.prune,
             iterations: cfg.loop_cfg.iterations,
             parity_cache: cfg.loop_cfg.parity_cache,
             total_locations: bera_tcpu::scan::catalog().len(),
@@ -131,6 +139,7 @@ impl StoreHeader {
         check("faults", &self.faults, &current.faults)?;
         check("seed", &self.seed, &current.seed)?;
         check("fault_model", &self.fault_model, &current.fault_model)?;
+        check("prune", &self.prune, &current.prune)?;
         check("iterations", &self.iterations, &current.iterations)?;
         check("parity_cache", &self.parity_cache, &current.parity_cache)?;
         check(

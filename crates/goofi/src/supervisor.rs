@@ -266,6 +266,7 @@ pub fn run_supervised(
         detection_latency: None,
         outputs: None,
         pruned_at: None,
+        provenance: crate::experiment::Provenance::Simulated,
         harness_error: Some(format!(
             "first attempt: {message}; stride-0 retry: {retry_message}"
         )),

@@ -433,6 +433,31 @@ impl ComparisonTable {
         ));
         out
     }
+
+    /// Exports the Table 4 comparison as CSV: one data column per
+    /// campaign, in the same row structure as [`ComparisonTable::render`].
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("row,{},{}\n", self.first.workload(), self.second.workload());
+        let mut push = |label: &str, f: &dyn Fn(&PaperTable) -> u64| {
+            out.push_str(&format!("{label},{},{}\n", f(&self.first), f(&self.second)));
+        };
+        push("faults", &|t| t.total_faults());
+        push("non_effective", &|t| t.non_effective(None));
+        push("detected", &|t| t.detected(None));
+        for (label, sev) in [
+            ("uwr_permanent", Severity::Permanent),
+            ("uwr_semi_permanent", Severity::SemiPermanent),
+            ("uwr_transient", Severity::Transient),
+            ("uwr_insignificant", Severity::Insignificant),
+        ] {
+            push(label, &|t| t.severity_count(sev, None));
+        }
+        push("uwr_total", &|t| t.wrong_results(None));
+        push("effective", &|t| t.effective(None));
+        push("harness_failure", &|t| t.harness_failures(None));
+        out
+    }
 }
 
 impl fmt::Display for ComparisonTable {
@@ -727,5 +752,27 @@ mod tests {
         assert!(s.contains("Algorithm II"));
         assert!(s.contains("Permanent"));
         assert!(s.contains("Severe share"));
+
+        // The CSV export mirrors the rendered rows: same totals, one data
+        // column per campaign, and the classification sums close.
+        let csv = cmp.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("row,Algorithm I,Algorithm II"));
+        let row = |name: &str| -> (u64, u64) {
+            let line = csv
+                .lines()
+                .find(|l| l.starts_with(&format!("{name},")))
+                .unwrap_or_else(|| panic!("missing row {name}\n{csv}"));
+            let mut cells = line.split(',').skip(1);
+            (
+                cells.next().unwrap().parse().unwrap(),
+                cells.next().unwrap().parse().unwrap(),
+            )
+        };
+        assert_eq!(row("faults"), (60, 50));
+        let (ne_a, ne_b) = row("non_effective");
+        let (ef_a, ef_b) = row("effective");
+        assert_eq!(ne_a + ef_a, 60, "every fault classified exactly once");
+        assert_eq!(ne_b + ef_b, 50);
     }
 }

@@ -1,0 +1,292 @@
+//! Golden-run access tracing — the def/use substrate for fault-space
+//! pruning.
+//!
+//! While the golden reference run executes, the machine records, for every
+//! *traceable unit* of architectural state (a general-purpose register, a
+//! cache data word, an output port, a save register, a memory word), the
+//! ordered dynamic-instruction indices at which that unit is read or fully
+//! written. A campaign planner can then classify most transient single-bit
+//! faults without simulating them:
+//!
+//! * first post-injection access is a **full-width write** → the flip is
+//!   deposited over with the fault-free value before anything observed it:
+//!   the outcome is *overwritten*;
+//! * the unit is **never accessed** again → the flip sits untouched until
+//!   the end-of-run state diff: the outcome is *latent*;
+//! * first post-injection access is a **read** at boundary `b` → every
+//!   fault in the same unit whose first post-injection access is that same
+//!   read produces the identical faulty trajectory, so one simulated
+//!   representative stands for the whole equivalence class.
+//!
+//! Only units whose every semantic access flows through an explicit trace
+//! hook may be classified this way; state the EDMs or the pipeline consult
+//! implicitly (the signature register, the fetch latch, cache tags, …) is
+//! excluded by [`crate::scan::BitLocation::trace_unit`] returning `None`.
+
+use crate::cache;
+use crate::mem;
+use serde::{Deserialize, Serialize};
+
+/// How a traceable unit was touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// The unit's value was observed (any width): a flip in it is live.
+    Read,
+    /// The whole unit was overwritten without being observed first.
+    Write,
+    /// Part of the unit was overwritten. The real machine only performs
+    /// unit-width writes, so it never records this kind; it exists so the
+    /// planner (and its adversarial tests) must treat anything narrower
+    /// than a full write conservatively — as neither a kill nor a use.
+    PartialWrite,
+}
+
+impl AccessKind {
+    /// `true` only for a full-width write (the only kind that analytically
+    /// overwrites a pending flip).
+    #[must_use]
+    pub fn is_full_write(&self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// One recorded access: the dynamic instruction during which it happened.
+///
+/// A fault injected at instruction boundary `t` (i.e. after `t`
+/// instructions have retired, before instruction `t` executes) is visible
+/// to exactly the accesses with `at >= t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Access {
+    /// Dynamic instruction index during which the access occurred.
+    pub at: u64,
+    /// Read, full write, or partial write.
+    pub kind: AccessKind,
+}
+
+/// A unit of architectural state with a dense trace index. Each scan-chain
+/// bit that is traceable maps to exactly one unit (the register, cache
+/// word, port, or save slot containing it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceUnit {
+    /// General-purpose register `r0..r15`.
+    Reg(u8),
+    /// One 32-bit word of a data-cache line (`word` in `0..4`).
+    CacheWord {
+        /// Cache line index.
+        line: usize,
+        /// Word within the line.
+        word: usize,
+    },
+    /// One 32-bit output port.
+    PortOut(u8),
+    /// One of the two save registers.
+    Save(u8),
+    /// One word of data RAM or stack, by [`mem::word_key`] index.
+    MemWord(usize),
+}
+
+/// Number of non-memory units: 16 registers + 8×4 cache words + 4 output
+/// ports + 2 save registers.
+const CPU_UNITS: usize = 16 + cache::NUM_LINES * cache::WORDS_PER_LINE + 4 + 2;
+
+impl TraceUnit {
+    /// Total number of traceable units (CPU units plus every RAM and stack
+    /// word).
+    pub const COUNT: usize = CPU_UNITS + mem::NUM_DATA_WORDS;
+
+    /// Dense index of this unit in `0..TraceUnit::COUNT`.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        match *self {
+            TraceUnit::Reg(r) => r as usize,
+            TraceUnit::CacheWord { line, word } => 16 + line * cache::WORDS_PER_LINE + word,
+            TraceUnit::PortOut(p) => 16 + cache::NUM_LINES * cache::WORDS_PER_LINE + p as usize,
+            TraceUnit::Save(s) => 16 + cache::NUM_LINES * cache::WORDS_PER_LINE + 4 + s as usize,
+            TraceUnit::MemWord(w) => CPU_UNITS + w,
+        }
+    }
+}
+
+/// The full per-unit access trace of one golden run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessTrace {
+    units: Vec<Vec<Access>>,
+}
+
+impl Default for AccessTrace {
+    fn default() -> Self {
+        AccessTrace::new()
+    }
+}
+
+impl AccessTrace {
+    /// An empty trace covering every unit.
+    #[must_use]
+    pub fn new() -> Self {
+        AccessTrace {
+            units: vec![Vec::new(); TraceUnit::COUNT],
+        }
+    }
+
+    /// Appends an access. Entries for one unit must arrive in
+    /// non-decreasing `at` order (they do, when recorded during execution);
+    /// [`AccessTrace::first_at_or_after`] relies on it.
+    pub fn record(&mut self, unit: TraceUnit, at: u64, kind: AccessKind) {
+        let slot = &mut self.units[unit.index()];
+        debug_assert!(slot.last().is_none_or(|a| a.at <= at), "trace not sorted");
+        slot.push(Access { at, kind });
+    }
+
+    /// All accesses to `unit`, in execution order.
+    #[must_use]
+    pub fn accesses(&self, unit: TraceUnit) -> &[Access] {
+        &self.units[unit.index()]
+    }
+
+    /// The first access to `unit` visible to a fault injected at
+    /// instruction boundary `inject_at`, i.e. the first entry with
+    /// `at >= inject_at`; `None` when the unit is never touched again.
+    #[must_use]
+    pub fn first_at_or_after(&self, unit: TraceUnit, inject_at: u64) -> Option<Access> {
+        let slot = &self.units[unit.index()];
+        let i = slot.partition_point(|a| a.at < inject_at);
+        slot.get(i).copied()
+    }
+
+    /// Total number of recorded accesses, across all units.
+    #[must_use]
+    pub fn total_accesses(&self) -> usize {
+        self.units.iter().map(Vec::len).sum()
+    }
+
+    /// Mutates the trace (for adversarial tests): inserts `access` into
+    /// `unit`'s slot at its sorted position.
+    pub fn insert_for_test(&mut self, unit: TraceUnit, access: Access) {
+        let slot = &mut self.units[unit.index()];
+        let i = slot.partition_point(|a| a.at <= access.at);
+        slot.insert(i, access);
+    }
+
+    /// Mutates the kind of the access at position `i` of `unit`'s slot
+    /// (for adversarial tests).
+    pub fn set_kind_for_test(&mut self, unit: TraceUnit, i: usize, kind: AccessKind) {
+        self.units[unit.index()][i].kind = kind;
+    }
+}
+
+/// The machine's optional trace recorder. Behaviourally inert: clones of a
+/// tracing machine do not trace (checkpoints taken mid-golden-run must not
+/// alias the recorder), equality ignores it, and it serializes as `null`
+/// and deserializes empty.
+#[derive(Debug, Default)]
+pub(crate) struct TraceSlot(pub(crate) Option<Box<AccessTrace>>);
+
+impl Clone for TraceSlot {
+    fn clone(&self) -> Self {
+        TraceSlot(None)
+    }
+}
+
+impl PartialEq for TraceSlot {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl serde::Serialize for TraceSlot {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl serde::Deserialize for TraceSlot {
+    fn from_value(_v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(TraceSlot::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_indices_are_dense_and_unique() {
+        let mut seen = vec![false; TraceUnit::COUNT];
+        let mut units: Vec<TraceUnit> = Vec::new();
+        for r in 0..16 {
+            units.push(TraceUnit::Reg(r));
+        }
+        for line in 0..cache::NUM_LINES {
+            for word in 0..cache::WORDS_PER_LINE {
+                units.push(TraceUnit::CacheWord { line, word });
+            }
+        }
+        for p in 0..4 {
+            units.push(TraceUnit::PortOut(p));
+        }
+        for s in 0..2 {
+            units.push(TraceUnit::Save(s));
+        }
+        for w in 0..mem::NUM_DATA_WORDS {
+            units.push(TraceUnit::MemWord(w));
+        }
+        assert_eq!(units.len(), TraceUnit::COUNT);
+        for u in units {
+            let i = u.index();
+            assert!(!seen[i], "duplicate index {i} for {u:?}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn first_at_or_after_is_a_lower_bound() {
+        let mut t = AccessTrace::new();
+        let u = TraceUnit::Reg(3);
+        t.record(u, 10, AccessKind::Read);
+        t.record(u, 10, AccessKind::Write);
+        t.record(u, 25, AccessKind::Read);
+        assert_eq!(
+            t.first_at_or_after(u, 0),
+            Some(Access {
+                at: 10,
+                kind: AccessKind::Read
+            })
+        );
+        assert_eq!(
+            t.first_at_or_after(u, 10),
+            Some(Access {
+                at: 10,
+                kind: AccessKind::Read
+            })
+        );
+        assert_eq!(
+            t.first_at_or_after(u, 11),
+            Some(Access {
+                at: 25,
+                kind: AccessKind::Read
+            })
+        );
+        assert_eq!(t.first_at_or_after(u, 26), None);
+        assert_eq!(t.first_at_or_after(TraceUnit::Reg(4), 0), None);
+    }
+
+    #[test]
+    fn intra_instruction_order_is_preserved() {
+        // read-then-write of the same unit during one instruction must
+        // stay read-first: the read makes the flip live.
+        let mut t = AccessTrace::new();
+        let u = TraceUnit::CacheWord { line: 2, word: 1 };
+        t.record(u, 7, AccessKind::Read);
+        t.record(u, 7, AccessKind::Write);
+        let first = t.first_at_or_after(u, 7).unwrap();
+        assert_eq!(first.kind, AccessKind::Read);
+    }
+
+    #[test]
+    fn only_full_writes_kill() {
+        assert!(AccessKind::Write.is_full_write());
+        assert!(!AccessKind::Read.is_full_write());
+        assert!(!AccessKind::PartialWrite.is_full_write());
+    }
+}

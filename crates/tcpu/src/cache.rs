@@ -17,6 +17,9 @@ pub const NUM_LINES: usize = 8;
 pub const LINE_BYTES: usize = 16;
 /// Number of tag bits stored per line.
 pub const TAG_BITS: u32 = 25;
+/// 32-bit words per cache line — the granularity of the access trace: a
+/// data read or write touches one word, a fill or write-back all four.
+pub const WORDS_PER_LINE: usize = LINE_BYTES / 4;
 
 /// Extracts the line index of an address.
 #[must_use]
@@ -28,6 +31,21 @@ pub fn index_of(addr: u32) -> usize {
 #[must_use]
 pub fn tag_of(addr: u32) -> u32 {
     (addr >> 7) & ((1 << TAG_BITS) - 1)
+}
+
+/// Word-within-line index of an address (`0..WORDS_PER_LINE`) — the trace
+/// unit a cached word access belongs to.
+#[must_use]
+pub fn word_of(addr: u32) -> usize {
+    ((addr >> 2) & 0x3) as usize
+}
+
+/// The word-within-line index containing a scan-chain data bit
+/// (`bit` in `0..LINE_BYTES*8`). The scan catalog orders data bits
+/// byte-by-byte little-endian, so word `w` covers bits `32*w..32*w+32`.
+#[must_use]
+pub fn word_of_data_bit(bit: usize) -> usize {
+    bit / 32
 }
 
 /// Reconstructs the base byte address of a line from its tag and index —

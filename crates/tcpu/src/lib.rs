@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod asm;
 pub mod cache;
 pub mod digest;
@@ -59,6 +60,7 @@ pub mod mem;
 pub mod scan;
 pub mod trace;
 
+pub use access::{Access, AccessKind, AccessTrace, TraceUnit};
 pub use asm::{assemble, AsmError, Program};
 pub use digest::Fnv64;
 pub use edm::ErrorMechanism;

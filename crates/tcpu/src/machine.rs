@@ -20,11 +20,46 @@
 //! A trap (a detected error) freezes the machine: the experiment has
 //! terminated, as in GOOFI's termination condition.
 
-use crate::cache::{DataCache, LINE_BYTES};
+use crate::access::{AccessKind, AccessTrace, TraceSlot, TraceUnit};
+use crate::cache::{DataCache, LINE_BYTES, WORDS_PER_LINE};
 use crate::edm::{ErrorMechanism as Edm, Trap};
 use crate::isa::{self, Decoded, Opcode};
 use crate::mem::{self, Memory, Region};
 use serde::{Deserialize, Serialize};
+
+/// Per-ROM-slot memo of decoded instruction words. Each entry stores the
+/// word it was decoded from and is validated against the actual fetched
+/// word on every hit, so every way code can change under the memo —
+/// `poke_word`, a scan-chain flip of the fetch latch, a store to code —
+/// is handled by construction: a changed word simply misses and decodes
+/// fresh. Behaviourally inert: clones start cold, equality ignores it, and
+/// it serializes as `null` and deserializes empty.
+#[derive(Debug, Default)]
+struct DecodeMemo(Vec<Option<(u32, Decoded)>>);
+
+impl Clone for DecodeMemo {
+    fn clone(&self) -> Self {
+        DecodeMemo(Vec::new())
+    }
+}
+
+impl PartialEq for DecodeMemo {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl serde::Serialize for DecodeMemo {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl serde::Deserialize for DecodeMemo {
+    fn from_value(_v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(DecodeMemo::default())
+    }
+}
 
 /// Number of host-writable input ports.
 pub const NUM_IN_PORTS: usize = 4;
@@ -139,6 +174,10 @@ pub struct Machine {
     /// by the cache controller itself is detected on the next access.
     parity_cache: bool,
     shadow: [crate::cache::CacheLine; crate::cache::NUM_LINES],
+    /// Optional golden-run access-trace recorder (see [`crate::access`]).
+    atrace: TraceSlot,
+    /// Validated per-ROM-slot decode memo.
+    decode_memo: DecodeMemo,
 }
 
 impl Default for Machine {
@@ -175,6 +214,38 @@ impl Machine {
             trapped: None,
             parity_cache: false,
             shadow: [crate::cache::CacheLine::default(); crate::cache::NUM_LINES],
+            atrace: TraceSlot::default(),
+            decode_memo: DecodeMemo::default(),
+        }
+    }
+
+    /// Starts recording an access trace (golden runs only). Any previous
+    /// trace is discarded. Clones taken while tracing do not trace.
+    pub fn start_access_trace(&mut self) {
+        self.atrace.0 = Some(Box::new(AccessTrace::new()));
+    }
+
+    /// Stops tracing and returns the recorded trace, if one was started.
+    pub fn take_access_trace(&mut self) -> Option<AccessTrace> {
+        self.atrace.0.take().map(|b| *b)
+    }
+
+    /// Records the harness's read of an output port at a `yield` boundary
+    /// (the closed-loop driver samples the actuator command there). The
+    /// read belongs to the instruction that just yielded — `instr_count`
+    /// has already advanced past it — so a fault injected exactly at the
+    /// current boundary is *not* visible to it.
+    pub fn trace_harness_port_read(&mut self, port: u16) {
+        let at = self.instr_count.saturating_sub(1);
+        if let Some(t) = self.atrace.0.as_mut() {
+            t.record(TraceUnit::PortOut(port as u8), at, AccessKind::Read);
+        }
+    }
+
+    #[inline]
+    fn trace(&mut self, unit: TraceUnit, kind: AccessKind) {
+        if let Some(t) = self.atrace.0.as_mut() {
+            t.record(unit, self.instr_count, kind);
         }
     }
 
@@ -471,7 +542,9 @@ impl Machine {
         let ipc = self.fetch.pc;
         self.fetch.valid = false;
 
-        let d = isa::decode(word).ok_or((Edm::InstructionError, ipc))?;
+        let d = self
+            .decode_cached(word, ipc)
+            .ok_or((Edm::InstructionError, ipc))?;
         if d.op.is_privileged() {
             return Err((Edm::InstructionError, ipc));
         }
@@ -628,6 +701,7 @@ impl Machine {
                     return Err(Edm::AddressError);
                 }
                 let v = self.read_reg(d.rd);
+                self.trace(TraceUnit::PortOut(port as u8), AccessKind::Write);
                 self.ports_out[port] = v;
             }
             Chk => {
@@ -690,7 +764,32 @@ impl Machine {
         }
     }
 
+    /// Decodes through the per-ROM-slot memo. A memo hit is honoured only
+    /// when the memoized word equals the word actually being executed, so
+    /// the fast path is bit-identical to calling [`isa::decode`] directly.
+    fn decode_cached(&mut self, word: u32, ipc: u32) -> Option<Decoded> {
+        let slot = (mem::ROM_BASE..mem::ROM_BASE + mem::ROM_SIZE)
+            .contains(&ipc)
+            .then(|| ((ipc - mem::ROM_BASE) >> 2) as usize);
+        if let Some(s) = slot {
+            if let Some(Some((w, d))) = self.decode_memo.0.get(s) {
+                if *w == word {
+                    return Some(*d);
+                }
+            }
+        }
+        let d = isa::decode(word)?;
+        if let Some(s) = slot {
+            if self.decode_memo.0.is_empty() {
+                self.decode_memo.0 = vec![None; (mem::ROM_SIZE / 4) as usize];
+            }
+            self.decode_memo.0[s] = Some((word, d));
+        }
+        Some(d)
+    }
+
     fn read_reg(&mut self, r: u8) -> u32 {
+        self.trace(TraceUnit::Reg(r & 0xF), AccessKind::Read);
         let v = self.regs[(r & 0xF) as usize];
         self.idex.a = self.idex.b;
         self.idex.b = v;
@@ -698,6 +797,7 @@ impl Machine {
     }
 
     fn write_reg(&mut self, r: u8, v: u32) {
+        self.trace(TraceUnit::Reg(r & 0xF), AccessKind::Write);
         self.exwb = ResultLatch {
             value: v,
             rd: r & 0xF,
@@ -775,12 +875,22 @@ impl Machine {
         }
         if !self.cache.hits(addr) {
             if let Some((wb_addr, data)) = self.cache.pending_writeback(addr) {
+                // Evicting a dirty victim observes its whole line.
+                let line = crate::cache::index_of(addr);
+                for word in 0..WORDS_PER_LINE {
+                    self.trace(TraceUnit::CacheWord { line, word }, AccessKind::Read);
+                }
                 self.write_back(wb_addr, &data)?;
             }
             self.fill_line(addr)?;
         }
+        let unit = TraceUnit::CacheWord {
+            line: crate::cache::index_of(addr),
+            word: crate::cache::word_of(addr),
+        };
         match write {
             Some(w) => {
+                self.trace(unit, AccessKind::Write);
                 self.sbuf = StoreBuffer {
                     addr,
                     data: w,
@@ -790,7 +900,10 @@ impl Machine {
                 self.update_shadow(addr);
                 Ok(w)
             }
-            None => Ok(self.cache.read_word(addr)),
+            None => {
+                self.trace(unit, AccessKind::Read);
+                Ok(self.cache.read_word(addr))
+            }
         }
     }
 
@@ -806,8 +919,12 @@ impl Machine {
         match mem::region(wb_addr) {
             Region::Ram | Region::Stack => {
                 for i in 0..4 {
+                    let a = wb_addr + (i as u32) * 4;
                     let w = u32::from_le_bytes(data[i * 4..i * 4 + 4].try_into().unwrap());
-                    self.mem.write_word(wb_addr + (i as u32) * 4, w);
+                    if let Some(key) = mem::word_key(a) {
+                        self.trace(TraceUnit::MemWord(key), AccessKind::Write);
+                    }
+                    self.mem.write_word(a, w);
                 }
                 Ok(())
             }
@@ -822,6 +939,9 @@ impl Machine {
         let mut data = [0u8; LINE_BYTES];
         for i in 0..4 {
             let a = base + (i as u32) * 4;
+            if let Some(key) = mem::word_key(a) {
+                self.trace(TraceUnit::MemWord(key), AccessKind::Read);
+            }
             let (w, parity_ok) = self.mem.read_word(a).ok_or(Edm::AddressError)?;
             if !parity_ok || self.edac_syndrome != 0 {
                 return Err(Edm::DataError);
@@ -833,6 +953,10 @@ impl Machine {
                 valid: true,
             };
             data[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        let line = crate::cache::index_of(base);
+        for word in 0..WORDS_PER_LINE {
+            self.trace(TraceUnit::CacheWord { line, word }, AccessKind::Write);
         }
         self.cache.fill(base, data);
         self.update_shadow(base);

@@ -69,6 +69,21 @@ pub fn parity(word: u32) -> bool {
     word.count_ones() % 2 == 1
 }
 
+/// Number of addressable data words (RAM then stack) — the memory half of
+/// the golden-run access trace.
+pub const NUM_DATA_WORDS: usize = ((RAM_SIZE + STACK_SIZE) / 4) as usize;
+
+/// Dense trace index of an aligned data word: RAM words first, stack words
+/// after. `None` outside RAM/stack — only those regions back cached data.
+#[must_use]
+pub fn word_key(addr: u32) -> Option<usize> {
+    match region(addr) {
+        Region::Ram => Some(((addr - RAM_BASE) / 4) as usize),
+        Region::Stack => Some((RAM_SIZE / 4 + (addr - STACK_BASE) / 4) as usize),
+        _ => None,
+    }
+}
+
 /// Main memory: ROM plus EDAC-protected RAM and stack.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Memory {

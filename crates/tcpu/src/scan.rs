@@ -91,6 +91,35 @@ impl BitLocation {
             _ => CpuPart::Registers,
         }
     }
+
+    /// The access-trace unit governing this bit, or `None` when the bit is
+    /// *not* traceable and a fault in it must always be simulated.
+    ///
+    /// A location is traceable only if **every** semantic access to it
+    /// flows through an explicit trace hook. That holds for the register
+    /// file (`read_reg`/`write_reg`), cache data words (cached reads and
+    /// writes, line fills, write-backs), the output ports (`out` plus the
+    /// harness's sample at each `yield`), and the save registers (never
+    /// touched at run time). Everything else is consulted implicitly —
+    /// the fetch latch on every step, the signature register by the
+    /// control-flow monitor, cache tags/flags by every hit check, the
+    /// store/fill buffers by the memory interface, the PSR by branches,
+    /// the stack bounds and EDAC syndrome by the EDMs — so no per-access
+    /// trace can be complete for them.
+    #[must_use]
+    pub fn trace_unit(&self) -> Option<crate::access::TraceUnit> {
+        use crate::access::TraceUnit;
+        match *self {
+            BitLocation::Reg { index, .. } => Some(TraceUnit::Reg(index)),
+            BitLocation::CacheData { line, bit } => Some(TraceUnit::CacheWord {
+                line: line as usize,
+                word: crate::cache::word_of_data_bit(bit as usize),
+            }),
+            BitLocation::PortOut { port, .. } => Some(TraceUnit::PortOut(port)),
+            BitLocation::Save { index, .. } => Some(TraceUnit::Save(index)),
+            _ => None,
+        }
+    }
 }
 
 /// An immutable capture of every scannable bit, used to diff the end state

@@ -1,0 +1,158 @@
+//! Machine-readable campaign wall-clock benchmark — emits
+//! `artifacts/BENCH_campaign.json` so CI can track the end-to-end speedup
+//! trajectory of the campaign engine (checkpoint fast-forward, convergence
+//! pruning, def/use fault-space pruning) release over release.
+//!
+//! ```text
+//! bench_campaign [--reps N]
+//! ```
+//!
+//! Three configurations of the same fixed-seed 40-fault campaign are timed
+//! per workload:
+//!
+//! * `flat` — no checkpoints, every fault simulated (the original engine);
+//! * `checkpointed` — golden checkpoints every 4 iterations, convergence
+//!   pruning, every fault simulated;
+//! * `pruned` — checkpointed plus the def/use planner (the default
+//!   configuration of the `campaign` binary).
+//!
+//! The JSON also records the planner's simulated/analytic/replicated
+//! split from live telemetry, so a regression in pruning coverage shows
+//! up as data rather than as an unexplained slowdown.
+
+use bera::goofi::campaign::{run_scifi_campaign, run_scifi_campaign_observed, CampaignConfig};
+use bera::goofi::experiment::LoopConfig;
+use bera::goofi::observer::Telemetry;
+use bera::goofi::workload::Workload;
+use bera::repro;
+use serde::Serialize;
+use std::time::Instant;
+
+const FAULTS: usize = 40;
+const SEED: u64 = 11;
+const ITERATIONS: usize = 60;
+const STRIDE: usize = 4;
+
+#[derive(Serialize)]
+struct WorkloadBench {
+    workload: String,
+    flat_ms: f64,
+    checkpointed_ms: f64,
+    pruned_ms: f64,
+    /// flat / checkpointed — the checkpoint fast-forward win.
+    checkpointing_speedup: f64,
+    /// checkpointed / pruned — the def/use planner's further win.
+    pruning_speedup: f64,
+    /// flat / pruned — the combined end-to-end win.
+    end_to_end_speedup: f64,
+    simulated: usize,
+    analytic: usize,
+    replicated: usize,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    faults: usize,
+    seed: u64,
+    iterations: usize,
+    checkpoint_stride: usize,
+    reps: u32,
+    workloads: Vec<WorkloadBench>,
+}
+
+fn config(stride: usize, prune: bool) -> CampaignConfig {
+    let mut cfg = CampaignConfig::quick(FAULTS, SEED);
+    cfg.loop_cfg = LoopConfig {
+        iterations: ITERATIONS,
+        checkpoint_stride: stride,
+        ..LoopConfig::paper()
+    };
+    cfg.threads = 1;
+    cfg.prune = prune;
+    cfg
+}
+
+/// Times `reps` full campaign runs (after one warm-up) and returns the
+/// mean wall-clock per run in milliseconds.
+fn time_campaign(workload: &Workload, cfg: &CampaignConfig, reps: u32) -> f64 {
+    let _ = run_scifi_campaign(workload, cfg);
+    let started = Instant::now();
+    for _ in 0..reps {
+        let _ = run_scifi_campaign(workload, cfg);
+    }
+    started.elapsed().as_secs_f64() * 1000.0 / f64::from(reps)
+}
+
+fn bench_workload(name: &str, workload: &Workload, reps: u32) -> WorkloadBench {
+    let flat_ms = time_campaign(workload, &config(0, false), reps);
+    let checkpointed_ms = time_campaign(workload, &config(STRIDE, false), reps);
+    let pruned_ms = time_campaign(workload, &config(STRIDE, true), reps);
+
+    let telemetry = Telemetry::new(FAULTS);
+    let _ = run_scifi_campaign_observed(workload, &config(STRIDE, true), &telemetry);
+    let snap = telemetry.snapshot();
+
+    WorkloadBench {
+        workload: name.to_string(),
+        flat_ms,
+        checkpointed_ms,
+        pruned_ms,
+        checkpointing_speedup: flat_ms / checkpointed_ms,
+        pruning_speedup: checkpointed_ms / pruned_ms,
+        end_to_end_speedup: flat_ms / pruned_ms,
+        simulated: snap.simulated(),
+        analytic: snap.analytic,
+        replicated: snap.replicated,
+    }
+}
+
+fn main() {
+    let mut reps = 15u32;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--reps" => {
+                reps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--reps expects a positive integer");
+            }
+            other => {
+                eprintln!("usage: bench_campaign [--reps N] (unknown flag `{other}`)");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let report = BenchReport {
+        faults: FAULTS,
+        seed: SEED,
+        iterations: ITERATIONS,
+        checkpoint_stride: STRIDE,
+        reps,
+        workloads: vec![
+            bench_workload("Algorithm I", &Workload::algorithm_one(), reps),
+            bench_workload("Algorithm II", &Workload::algorithm_two(), reps),
+        ],
+    };
+
+    for w in &report.workloads {
+        eprintln!(
+            "{}: flat {:.2} ms, checkpointed {:.2} ms ({:.2}x), pruned {:.2} ms \
+             ({:.2}x further, {:.2}x end-to-end; sim {} analytic {} replicated {})",
+            w.workload,
+            w.flat_ms,
+            w.checkpointed_ms,
+            w.checkpointing_speedup,
+            w.pruned_ms,
+            w.pruning_speedup,
+            w.end_to_end_speedup,
+            w.simulated,
+            w.analytic,
+            w.replicated,
+        );
+    }
+
+    let json = serde_json::to_string(&report).expect("serialize bench report");
+    repro::write_artifact("BENCH_campaign.json", &json);
+}

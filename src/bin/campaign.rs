@@ -5,7 +5,7 @@
 //!          [--faults N] [--seed S] [--iterations K] [--threads T]
 //!          [--parity-cache] [--checkpoint-stride K]
 //!          [--fault-model single|double|intermittent:N|stuck0|stuck1|burst:W]
-//!          [--deadline SECS] [--unsupervised]
+//!          [--deadline SECS] [--unsupervised] [--no-prune] [--paranoid N]
 //!          [--json FILE] [--out FILE] [--resume] [--progress]
 //! ```
 //!
@@ -19,6 +19,14 @@
 //! wall-clock overruns are contained, retried once at stride 0, and
 //! quarantined as harness failures rather than aborting the campaign.
 //! `--unsupervised` disables the containment as a debugging aid.
+//!
+//! Single-bit campaigns prune the fault space from the golden run's
+//! def/use access trace by default (`DESIGN.md` § 8e): faults whose
+//! target is overwritten before any read, or never accessed again, are
+//! classified analytically, and faults sharing a first-read site run one
+//! representative simulation. `--no-prune` simulates every fault;
+//! `--paranoid N` re-simulates up to N replicated class members per
+//! equivalence class and panics if any disagrees with its representative.
 
 use bera::goofi::campaign::{prepare_campaign, CampaignConfig};
 use bera::goofi::experiment::{ExperimentRecord, FaultModel, LoopConfig};
@@ -42,6 +50,8 @@ struct Args {
     fault_model: FaultModel,
     deadline: Option<f64>,
     unsupervised: bool,
+    no_prune: bool,
+    paranoid: usize,
     json: Option<String>,
     out: Option<String>,
     resume: bool,
@@ -60,6 +70,8 @@ fn parse_args() -> Result<Args, String> {
         fault_model: FaultModel::SingleBit,
         deadline: None,
         unsupervised: false,
+        no_prune: false,
+        paranoid: 0,
         json: None,
         out: None,
         resume: false,
@@ -120,6 +132,12 @@ fn parse_args() -> Result<Args, String> {
                 args.deadline = Some(secs);
             }
             "--unsupervised" => args.unsupervised = true,
+            "--no-prune" => args.no_prune = true,
+            "--paranoid" => {
+                args.paranoid = value("--paranoid")?
+                    .parse()
+                    .map_err(|e| format!("--paranoid: {e}"))?;
+            }
             "--json" => args.json = Some(value("--json")?),
             "--out" => args.out = Some(value("--out")?),
             "--resume" => args.resume = true,
@@ -136,6 +154,9 @@ fn parse_args() -> Result<Args, String> {
     if args.unsupervised && args.deadline.is_some() {
         return Err("--deadline requires supervision; drop --unsupervised".to_string());
     }
+    if args.no_prune && args.paranoid > 0 {
+        return Err("--paranoid cross-checks the pruner; drop --no-prune".to_string());
+    }
     Ok(args)
 }
 
@@ -145,8 +166,8 @@ fn usage() {
          \t[--faults N] [--seed S] [--iterations K] [--threads T]\n\
          \t[--parity-cache] [--checkpoint-stride K]\n\
          \t[--fault-model single|double|intermittent:N|stuck0|stuck1|burst:W]\n\
-         \t[--deadline SECS] [--unsupervised] [--json FILE]\n\
-         \t[--out FILE] [--resume] [--progress]\n\
+         \t[--deadline SECS] [--unsupervised] [--no-prune] [--paranoid N]\n\
+         \t[--json FILE] [--out FILE] [--resume] [--progress]\n\
          \n\
          --checkpoint-stride K  capture a golden checkpoint every K iterations\n\
          \t(experiments fast-forward from the nearest checkpoint and prune\n\
@@ -159,6 +180,12 @@ fn usage() {
          \toverrun is retried once at stride 0, then quarantined\n\
          --unsupervised   run experiments bare: a panicking experiment\n\
          \taborts the whole campaign (debugging aid)\n\
+         --no-prune     simulate every fault; disables the def/use\n\
+         \taccess-trace pruner (single-bit campaigns classify overwritten/\n\
+         \tlatent faults analytically and share one simulation per\n\
+         \tequivalence class; outcomes are bit-identical either way)\n\
+         --paranoid N   re-simulate up to N replicated members per\n\
+         \tequivalence class as a runtime cross-check of the pruner\n\
          --out FILE     stream records to a checksummed JSONL result store\n\
          --resume       continue an interrupted store (validates that it\n\
          \tbelongs to this campaign; re-runs only the missing faults)\n\
@@ -215,6 +242,8 @@ fn main() -> ExitCode {
     };
     cfg.threads = args.threads;
     cfg.fault_model = args.fault_model;
+    cfg.prune = !args.no_prune;
+    cfg.paranoid = args.paranoid;
     cfg.supervisor = if args.unsupervised {
         None
     } else {

@@ -6,8 +6,9 @@
 //! report FILE1 FILE2          render Table 4 (Algorithm I vs II comparison)
 //! report --by-model FILE...   render a per-fault-model breakdown, one
 //!                             column per model found in the store headers
-//! report --csv FILE           export the single-campaign table as CSV
-//!                             (also applies to --by-model)
+//! report --csv FILE...        export as CSV instead of rendered text
+//!                             (single-campaign, two-file comparison,
+//!                             and --by-model layouts all supported)
 //! report --partial FILE       tabulate an incomplete store (missing faults
 //!                             are simply absent from the counts)
 //! report --artifact NAME ...  additionally write the rendering under
@@ -69,9 +70,6 @@ fn parse_args() -> Result<Args, String> {
         0 => return Err("expected a result store file".to_string()),
         n => return Err(format!("expected 1 or 2 store files, got {n}")),
     }
-    if args.csv && args.files.len() == 2 {
-        return Err("--csv applies to a single-campaign report".to_string());
-    }
     Ok(args)
 }
 
@@ -83,6 +81,7 @@ fn usage() {
          renders the Table 4 comparison (first store = Algorithm I column).\n\
          --by-model groups any number of stores by the fault model in their\n\
          headers and renders one breakdown column per model.\n\
+         --csv exports any of the three layouts as CSV.\n\
          --partial tabulates an incomplete store instead of refusing it."
     );
 }
@@ -169,7 +168,12 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        ComparisonTable::new(&first, &second).render()
+        let cmp = ComparisonTable::new(&first, &second);
+        if args.csv {
+            cmp.to_csv()
+        } else {
+            cmp.render()
+        }
     } else {
         let result = match load(&args.files[0], args.partial) {
             Ok(r) => r,

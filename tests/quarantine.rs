@@ -50,6 +50,10 @@ fn sabotaged_campaign_completes_with_quarantine_records() {
     let stall_indices: BTreeSet<usize> = [5].into_iter().collect();
 
     let mut cfg = CampaignConfig::quick(16, 7);
+    // Chaos sabotage keys on fault-list indices and only fires inside the
+    // containment boundary of an *executed* experiment; def/use pruning
+    // would classify some target indices analytically and dodge the trap.
+    cfg.prune = false;
     cfg.supervisor = Some(SupervisorConfig {
         // Generous for a healthy short(60) experiment (sub-millisecond),
         // far below the chaos stall, so only sabotage trips it.
@@ -111,6 +115,8 @@ fn sabotaged_campaign_completes_with_quarantine_records() {
 fn one_shot_panic_is_retried_and_classifies_normally() {
     let workload = Workload::algorithm_one();
     let mut cfg = CampaignConfig::quick(12, 3);
+    // Sabotage only fires for simulated experiments — see above.
+    cfg.prune = false;
     cfg.supervisor = Some(SupervisorConfig {
         deadline: None,
         chaos: Some(Arc::new(ChaosHarness::panicking_once([4]))),
@@ -155,6 +161,8 @@ fn parallel_sabotaged_campaign_matches_serial() {
     let workload = Workload::algorithm_one();
     let chaos = Arc::new(ChaosHarness::panicking([1, 6, 13]));
     let mut cfg = CampaignConfig::quick(18, 5);
+    // Sabotage only fires for simulated experiments — see above.
+    cfg.prune = false;
     cfg.supervisor = Some(SupervisorConfig {
         deadline: None,
         chaos: Some(Arc::clone(&chaos)),

@@ -15,7 +15,7 @@
 
 use bera_goofi::campaign::{prepare_campaign, CampaignConfig};
 use bera_goofi::classify::{HarnessCause, Outcome, Severity};
-use bera_goofi::experiment::{ExperimentRecord, FaultSpec};
+use bera_goofi::experiment::{ExperimentRecord, FaultSpec, Provenance};
 use bera_goofi::store::{decode_record, encode_record, load_store, JsonlStore, StoreHeader};
 use bera_goofi::table::TABLE_MECHANISMS;
 use bera_goofi::workload::Workload;
@@ -63,6 +63,12 @@ fn build_record(
     let harness_error = outcome
         .is_harness_failure()
         .then(|| format!("chaos detail #{tag}"));
+    // `tag` ranges over 0..7, so `tag % 3` visits every provenance.
+    let provenance = match tag % 3 {
+        0 => Provenance::Simulated,
+        1 => Provenance::Analytic,
+        _ => Provenance::Replicated,
+    };
     ExperimentRecord {
         fault: FaultSpec {
             location_index: location_index % catalog.len(),
@@ -76,6 +82,7 @@ fn build_record(
         detection_latency: latency,
         outputs,
         pruned_at,
+        provenance,
         harness_error,
     }
 }
