@@ -3,19 +3,22 @@
 
 use crate::classify::Outcome;
 use crate::experiment::{
-    golden_run, run_experiment_observed, run_experiment_with_model, ExperimentRecord, FaultModel,
-    FaultSpec, GoldenRun, LoopConfig, Provenance,
+    golden_run, run_experiment_observed, run_experiment_with_model, run_split_experiment,
+    ExperimentRecord, FaultModel, FaultSpec, GoldenRun, LoopConfig, Provenance,
 };
 use crate::observer::{CampaignObserver, NullObserver};
 use crate::planner::{
-    analytic_record, paranoid_members, plan_campaign, prune_eligible, records_equivalent,
-    replicated_record, PlanAction,
+    analytic_record, batch_eligible, batch_groups, lockstep_converged_record, paranoid_members,
+    plan_campaign, prune_eligible, records_equivalent, replicated_record, PlanAction,
 };
 use crate::supervisor::{run_supervised, SupervisorConfig};
 use crate::workload::Workload;
 use bera_stats::sampling::UniformSampler;
-use bera_tcpu::scan;
+use bera_tcpu::scan::{self, BitLocation};
+use bera_tcpu::{BatchMachine, ReplicaFate};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Configuration of one SCIFI campaign (GOOFI's set-up phase).
@@ -52,6 +55,17 @@ pub struct CampaignConfig {
     /// the check; it exists to audit the pruning soundness argument on
     /// live campaigns.
     pub paranoid: usize,
+    /// Lockstep batch width: up to this many plan-`Simulate` replicas ride
+    /// the shared golden stream per [`bera_tcpu::BatchMachine`], resolving
+    /// latent/converged faults without executing an instruction and
+    /// materializing diverging replicas at their split instant. `0`
+    /// disables batching (every simulated fault replays its lockstep
+    /// prefix scalar). Outcomes are bit-identical either way
+    /// (`tests/lockstep_equivalence.rs`); automatically bypassed for
+    /// non-flip fault models, parity-cache runs, stride-0 campaigns and
+    /// chaos-harness tests. Not part of the result-store identity: stores
+    /// may be resumed under a different width.
+    pub batch_width: usize,
 }
 
 impl CampaignConfig {
@@ -68,6 +82,7 @@ impl CampaignConfig {
             supervisor: Some(SupervisorConfig::default()),
             prune: true,
             paranoid: 0,
+            batch_width: 32,
         }
     }
 
@@ -84,6 +99,7 @@ impl CampaignConfig {
             supervisor: Some(SupervisorConfig::default()),
             prune: true,
             paranoid: 0,
+            batch_width: 32,
         }
     }
 }
@@ -279,6 +295,14 @@ pub fn run_fault_list(
     run_fault_list_resumed(workload, cfg, golden, faults, Vec::new(), &NullObserver)
 }
 
+/// A split-off replica's resumption recipe: apply `flips` to the last
+/// golden checkpoint at or before `at` and drive the scalar engine from
+/// there (see [`run_split_experiment`]).
+struct SplitSpec {
+    at: u64,
+    flips: Vec<BitLocation>,
+}
+
 /// Runs one experiment according to the campaign's execution policy:
 /// supervised (panic isolation, watchdog, retry, quarantine) when the
 /// config carries a [`SupervisorConfig`], bare otherwise.
@@ -355,14 +379,141 @@ fn run_fault_list_resumed(
         }
     }
 
+    // Lockstep batch pass: resolve plan-`Simulate` faults against the
+    // golden access trace in shared-stream batches ([`BatchMachine`]).
+    // Replicas that never leave lockstep (latent / converged) are
+    // classified here without executing a single instruction; diverging
+    // replicas split off to the simulation pass below, which materializes
+    // them at their split instant instead of replaying the lockstep
+    // prefix. Split-offs with identical materialized states (same scan
+    // bit cluster, same split instant, same surviving units) deduplicate:
+    // one representative runs, members replicate its record.
+    let mut split_specs: HashMap<usize, SplitSpec> = HashMap::new();
+    let mut split_members: Vec<(usize, usize)> = Vec::new(); // (member, rep)
+    if batch_eligible(cfg) {
+        let catalog = scan::catalog();
+        let candidates: Vec<usize> = (0..faults.len())
+            .filter(|&i| {
+                slots[i].is_none()
+                    && matches!(plan.action(i), PlanAction::Simulate)
+                    // A fault scheduled at or past the end of the run is
+                    // never injected; the trace proves nothing about it.
+                    && faults[i].inject_at < golden.total_instructions
+            })
+            .collect();
+        let mut split_classes: HashMap<(usize, u64, Vec<usize>), usize> = HashMap::new();
+        for group in batch_groups(&candidates, faults, golden, cfg.batch_width) {
+            let window = golden
+                .checkpoint_before(faults[group[0]].inject_at)
+                .map_or(0, |c| c.iteration);
+            let mut bm = BatchMachine::new(&golden.trace, cfg.batch_width);
+            let mut members: Vec<(usize, usize)> = Vec::new();
+            for &i in &group {
+                let flips: Vec<BitLocation> = cfg
+                    .fault_model
+                    .locations(faults[i].location_index)
+                    .into_iter()
+                    .map(|j| catalog[j])
+                    .collect();
+                // Untraceable bits are rejected here and stay scalar.
+                if let Some(r) = bm.try_add_replica(flips, faults[i].inject_at) {
+                    members.push((i, r));
+                }
+            }
+            if members.is_empty() {
+                continue;
+            }
+            observer.batch_group_started(window, members.len(), cfg.batch_width);
+            bm.run();
+            for (i, r) in members {
+                let prefix = bm.lockstep_instructions(r, golden.total_instructions);
+                match bm.fate(r) {
+                    ReplicaFate::Latent => {
+                        observer.replica_resolved(i, prefix);
+                        let record =
+                            analytic_record(faults[i], Outcome::Latent, golden, cfg.detail);
+                        observer.experiment_classified(i, &record);
+                        slots[i] = Some(record);
+                    }
+                    ReplicaFate::Converged { killed_at } => {
+                        observer.replica_resolved(i, prefix);
+                        let record =
+                            lockstep_converged_record(faults[i], killed_at, golden, cfg.detail);
+                        if let Some(iteration) = record.pruned_at {
+                            observer.convergence_spliced(i, iteration);
+                        }
+                        observer.experiment_classified(i, &record);
+                        slots[i] = Some(record);
+                    }
+                    ReplicaFate::SplitOff { at } => {
+                        observer.replica_split_off(i, at, prefix);
+                        let units: Vec<usize> =
+                            bm.delta_units(r).iter().map(|u| u.index()).collect();
+                        match split_classes.entry((faults[i].location_index, at, units)) {
+                            std::collections::hash_map::Entry::Occupied(e) => {
+                                split_members.push((i, *e.get()));
+                            }
+                            std::collections::hash_map::Entry::Vacant(e) => {
+                                e.insert(i);
+                                split_specs.insert(
+                                    i,
+                                    SplitSpec {
+                                        at,
+                                        flips: bm.surviving_flips(r),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    ReplicaFate::Lockstep => unreachable!("run() resolves every replica"),
+                }
+            }
+        }
+    }
+    let split_rep_of: HashMap<usize, usize> = split_members.iter().copied().collect();
+
     // The simulation pass skips preloaded indices and everything the plan
-    // resolves without the simulator (analytic records above, replicated
-    // members filled in below).
+    // (or the batch pass) resolves without the simulator: analytic records
+    // above, replicated members filled in below.
     let done: Vec<bool> = slots
         .iter()
         .zip(plan.actions())
-        .map(|(slot, action)| slot.is_some() || !matches!(action, PlanAction::Simulate))
+        .enumerate()
+        .map(|(i, (slot, action))| {
+            slot.is_some()
+                || !matches!(action, PlanAction::Simulate)
+                || split_rep_of.contains_key(&i)
+        })
         .collect();
+    // Runs fault index `i` on its fastest sound path: a split-off replica
+    // resumes from its materialized divergence state, anything else runs
+    // the full scalar experiment. Under supervision the split path is
+    // panic-contained, falling back to the fully supervised scalar run.
+    let run_index = |i: usize| -> ExperimentRecord {
+        if let Some(spec) = split_specs.get(&i) {
+            let split = |()| {
+                run_split_experiment(
+                    &cfg.loop_cfg,
+                    golden,
+                    faults[i],
+                    &spec.flips,
+                    spec.at,
+                    cfg.detail,
+                    i,
+                    observer,
+                )
+            };
+            let record = if cfg.supervisor.is_some() {
+                catch_unwind(AssertUnwindSafe(|| split(()))).ok().flatten()
+            } else {
+                split(())
+            };
+            if let Some(record) = record {
+                return record;
+            }
+        }
+        run_one(workload, cfg, golden, faults[i], i, observer)
+    };
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism().map_or(1, usize::from)
     } else {
@@ -370,11 +521,11 @@ fn run_fault_list_resumed(
     };
     let remaining = done.iter().filter(|&&d| !d).count();
     if threads <= 1 || remaining < 2 {
-        for (i, &f) in faults.iter().enumerate() {
+        for i in 0..faults.len() {
             if done[i] {
                 continue;
             }
-            slots[i] = Some(run_one(workload, cfg, golden, f, i, observer));
+            slots[i] = Some(run_index(i));
         }
     } else {
         // Dynamic work distribution: experiment run times vary by orders of
@@ -391,15 +542,18 @@ fn run_fault_list_resumed(
                 .map(|_| {
                     let next = &next;
                     let done = &done;
+                    let run_index = &run_index;
                     scope.spawn(move || {
                         let mut ran = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(&f) = faults.get(i) else { break };
+                            if i >= faults.len() {
+                                break;
+                            }
                             if done[i] {
                                 continue;
                             }
-                            ran.push((i, run_one(workload, cfg, golden, f, i, observer)));
+                            ran.push((i, run_index(i)));
                         }
                         ran
                     })
@@ -426,12 +580,36 @@ fn run_fault_list_resumed(
             }
         });
         if cfg.supervisor.is_some() {
-            for (i, slot) in slots.iter_mut().enumerate() {
-                if slot.is_none() && !done[i] {
-                    *slot = Some(run_one(workload, cfg, golden, faults[i], i, observer));
+            for i in 0..faults.len() {
+                if slots[i].is_none() && !done[i] {
+                    slots[i] = Some(run_index(i));
                 }
             }
         }
+    }
+
+    // Split-off replication pass: members of a split-off class share their
+    // representative's materialized state bit-for-bit, so its record
+    // transfers (latency rebased to the member's injection instant). Runs
+    // before the plan replication pass because plan-level members may name
+    // a split-dedup member as their representative.
+    for &(m, rep) in &split_members {
+        if slots[m].is_some() {
+            continue;
+        }
+        let rep_record = slots[rep]
+            .as_ref()
+            .expect("split representatives run in the simulation pass");
+        let record = if matches!(rep_record.outcome, Outcome::HarnessFailure(_)) {
+            // A quarantined representative proves nothing about its class:
+            // fall back to simulating the member itself.
+            run_one(workload, cfg, golden, faults[m], m, observer)
+        } else {
+            let r = replicated_record(faults[m], rep_record);
+            observer.experiment_classified(m, &r);
+            r
+        };
+        slots[m] = Some(record);
     }
 
     // Replication pass: every representative has a record by now (reps are

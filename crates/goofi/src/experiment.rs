@@ -458,6 +458,21 @@ impl FaultInjector {
         }
     }
 
+    /// An injector for a replica split off a lockstep batch: the flip was
+    /// already deposited by [`bera_tcpu::BatchMachine::materialize`], so
+    /// this injector starts quiescent — it never perturbs the machine, it
+    /// only reports the fault as delivered (enabling convergence pruning
+    /// from the first boundary, exactly as a scalar run of the same fault
+    /// would be by its split instant).
+    fn pre_injected(fault: FaultSpec) -> Self {
+        FaultInjector {
+            inject_at: fault.inject_at,
+            locations: Vec::new(),
+            kind: InjectKind::Flip,
+            injected: true,
+        }
+    }
+
     /// Where the current `run_until` must stop: the injection point while
     /// the fault is pending, the hang cap afterwards.
     fn stop_at(&self, instr_cap: u64) -> u64 {
@@ -886,7 +901,6 @@ pub(crate) fn run_experiment_watchdog(
     observer: &dyn CampaignObserver,
     deadline: Option<Instant>,
 ) -> Result<ExperimentRecord, WatchdogExpired> {
-    let classifier = Classifier::paper();
     let location = scan::catalog()[fault.location_index];
     let injector = FaultInjector::new(model, fault);
     let cap = instruction_cap(golden.total_instructions);
@@ -940,7 +954,27 @@ pub(crate) fn run_experiment_watchdog(
         DriveMode::Prune(golden),
         &mut || observer.fault_injected(index, fault),
     );
+    classify_drive(
+        result, &machine, golden, fault, location, detail, index, observer,
+    )
+}
 
+/// Classifies a finished drive into the final [`ExperimentRecord`] and
+/// fires the detection / splice / classified observer events. Shared by
+/// the scalar experiment path and the lockstep split-off path so both
+/// produce records through the identical code.
+#[allow(clippy::too_many_arguments)]
+fn classify_drive(
+    result: DriveResult,
+    machine: &Machine,
+    golden: &GoldenRun,
+    fault: FaultSpec,
+    location: BitLocation,
+    detail: bool,
+    index: usize,
+    observer: &dyn CampaignObserver,
+) -> Result<ExperimentRecord, WatchdogExpired> {
+    let classifier = Classifier::paper();
     let DriveResult {
         mut outputs, end, ..
     } = result;
@@ -1006,6 +1040,71 @@ pub(crate) fn run_experiment_watchdog(
     };
     observer.experiment_classified(index, &record);
     Ok(record)
+}
+
+/// Runs the divergent tail of a replica split off a lockstep batch (see
+/// [`bera_tcpu::BatchMachine`]): materializes the replica's exact state at
+/// the last golden checkpoint at or before its split instant — golden
+/// state plus the surviving `flips` — and drives the ordinary
+/// inject–run–classify pipeline from there with a pre-injected
+/// [`FaultInjector`]. The lockstep prefix between injection and that
+/// checkpoint is never executed; by the batch engine's invariant (no delta
+/// unit accessed in that window) the materialized state is bit-identical
+/// to what the scalar path would have computed, so the record is too.
+///
+/// Returns `None` when there is no checkpoint inside `[inject_at,
+/// split_at]` to materialize from — the split saves nothing over the
+/// scalar path then, and the caller falls back to it.
+///
+/// # Panics
+///
+/// Panics if `fault.location_index` is outside the scan catalog.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_split_experiment(
+    cfg: &LoopConfig,
+    golden: &GoldenRun,
+    fault: FaultSpec,
+    flips: &[BitLocation],
+    split_at: u64,
+    detail: bool,
+    index: usize,
+    observer: &dyn CampaignObserver,
+) -> Option<ExperimentRecord> {
+    let location = scan::catalog()[fault.location_index];
+    let cap = instruction_cap(golden.total_instructions);
+    let ckpt = golden.checkpoint_before(split_at)?;
+    if ckpt.machine.instr_count() < fault.inject_at {
+        // The nearest checkpoint predates the injection: flips deposited
+        // there would amount to injecting early. No prefix is skipped by
+        // splitting here anyway, so let the scalar path run it.
+        return None;
+    }
+    let mut machine = ckpt.machine.clone();
+    for &bit in flips {
+        machine.scan_flip(bit);
+    }
+    let injector = FaultInjector::pre_injected(fault);
+    observer.experiment_started(index, fault, Some(ckpt.iteration));
+    observer.fault_injected(index, fault);
+    let result = drive_from(
+        &mut machine,
+        cfg,
+        ckpt.engine.clone(),
+        ckpt.iteration,
+        golden.outputs[..ckpt.iteration].to_vec(),
+        golden.speeds[..=ckpt.iteration].to_vec(),
+        Some(injector),
+        cap,
+        None,
+        DriveMode::Prune(golden),
+        &mut || {},
+    );
+    match classify_drive(
+        result, &machine, golden, fault, location, detail, index, observer,
+    ) {
+        Ok(record) => Some(record),
+        Err(WatchdogExpired) => unreachable!("no deadline was set"),
+    }
 }
 
 fn deviation_stats(golden: &[u32], observed: &[u32], threshold: f64) -> (f64, Option<usize>) {

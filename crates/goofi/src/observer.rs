@@ -58,6 +58,27 @@ pub trait CampaignObserver: Sync {
         let _ = (index, iteration);
     }
 
+    /// A lockstep batch started resolving `members` replicas (of `width`
+    /// admission capacity) sharing the golden checkpoint window `window`.
+    fn batch_group_started(&self, window: usize, members: usize, width: usize) {
+        let _ = (window, members, width);
+    }
+
+    /// A batched replica was fully resolved *inside* lockstep — latent or
+    /// converged — after riding the shared golden stream for
+    /// `lockstep_instructions` dynamic instructions. No scalar execution
+    /// will happen for this fault.
+    fn replica_resolved(&self, index: usize, lockstep_instructions: u64) {
+        let _ = (index, lockstep_instructions);
+    }
+
+    /// A batched replica diverged from the golden stream at instruction
+    /// `split_at` (after a free lockstep prefix of
+    /// `lockstep_instructions`) and splits off to the scalar path.
+    fn replica_split_off(&self, index: usize, split_at: u64, lockstep_instructions: u64) {
+        let _ = (index, split_at, lockstep_instructions);
+    }
+
     /// The experiment has been classified; `record` is final.
     fn experiment_classified(&self, index: usize, record: &ExperimentRecord) {
         let _ = (index, record);
@@ -132,6 +153,24 @@ impl CampaignObserver for ObserverSet<'_> {
         }
     }
 
+    fn batch_group_started(&self, window: usize, members: usize, width: usize) {
+        for o in &self.observers {
+            o.batch_group_started(window, members, width);
+        }
+    }
+
+    fn replica_resolved(&self, index: usize, lockstep_instructions: u64) {
+        for o in &self.observers {
+            o.replica_resolved(index, lockstep_instructions);
+        }
+    }
+
+    fn replica_split_off(&self, index: usize, split_at: u64, lockstep_instructions: u64) {
+        for o in &self.observers {
+            o.replica_split_off(index, split_at, lockstep_instructions);
+        }
+    }
+
     fn experiment_classified(&self, index: usize, record: &ExperimentRecord) {
         for o in &self.observers {
             o.experiment_classified(index, record);
@@ -180,6 +219,11 @@ pub struct Telemetry {
     fast_forwarded: AtomicUsize,
     analytic: AtomicUsize,
     replicated: AtomicUsize,
+    batch_groups: AtomicUsize,
+    batch_members: AtomicUsize,
+    batch_capacity: AtomicUsize,
+    split_offs: AtomicUsize,
+    lockstep_instructions: AtomicUsize,
     rate: Mutex<RateState>,
 }
 
@@ -204,6 +248,11 @@ impl Telemetry {
             fast_forwarded: AtomicUsize::new(0),
             analytic: AtomicUsize::new(0),
             replicated: AtomicUsize::new(0),
+            batch_groups: AtomicUsize::new(0),
+            batch_members: AtomicUsize::new(0),
+            batch_capacity: AtomicUsize::new(0),
+            split_offs: AtomicUsize::new(0),
+            lockstep_instructions: AtomicUsize::new(0),
             rate: Mutex::new(RateState {
                 last_completion: Instant::now(),
                 // Smooth over roughly the last ~40 completions.
@@ -263,6 +312,11 @@ impl Telemetry {
             fast_forwarded: load(&self.fast_forwarded),
             analytic: load(&self.analytic),
             replicated: load(&self.replicated),
+            batch_groups: load(&self.batch_groups),
+            batch_members: load(&self.batch_members),
+            batch_capacity: load(&self.batch_capacity),
+            split_offs: load(&self.split_offs),
+            lockstep_instructions: load(&self.lockstep_instructions) as u64,
         }
     }
 }
@@ -283,6 +337,23 @@ impl CampaignObserver for Telemetry {
 
     fn convergence_spliced(&self, _index: usize, _iteration: usize) {
         self.pruned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn batch_group_started(&self, _window: usize, members: usize, width: usize) {
+        self.batch_groups.fetch_add(1, Ordering::Relaxed);
+        self.batch_members.fetch_add(members, Ordering::Relaxed);
+        self.batch_capacity.fetch_add(width, Ordering::Relaxed);
+    }
+
+    fn replica_resolved(&self, _index: usize, lockstep_instructions: u64) {
+        self.lockstep_instructions
+            .fetch_add(lockstep_instructions as usize, Ordering::Relaxed);
+    }
+
+    fn replica_split_off(&self, _index: usize, _split_at: u64, lockstep_instructions: u64) {
+        self.split_offs.fetch_add(1, Ordering::Relaxed);
+        self.lockstep_instructions
+            .fetch_add(lockstep_instructions as usize, Ordering::Relaxed);
     }
 
     fn experiment_classified(&self, _index: usize, record: &ExperimentRecord) {
@@ -321,8 +392,10 @@ impl CampaignObserver for Telemetry {
     }
 }
 
-/// A point-in-time view of a campaign's [`Telemetry`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// A point-in-time view of a campaign's [`Telemetry`]. Serializable so a
+/// campaign can persist its final snapshot as a machine-readable side
+/// artifact for the offline `report` bin.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TelemetrySnapshot {
     /// Campaign size (faults).
     pub total: usize,
@@ -363,6 +436,17 @@ pub struct TelemetrySnapshot {
     pub analytic: usize,
     /// Records replicated from a def/use equivalence-class representative.
     pub replicated: usize,
+    /// Lockstep batches resolved by the batch engine.
+    pub batch_groups: usize,
+    /// Replicas admitted into lockstep batches.
+    pub batch_members: usize,
+    /// Total admission capacity of the started batches (for occupancy).
+    pub batch_capacity: usize,
+    /// Batched replicas that diverged and split off to the scalar path.
+    pub split_offs: usize,
+    /// Dynamic instructions batched replicas rode the shared golden stream
+    /// for free (from injection to their fate instant, summed).
+    pub lockstep_instructions: u64,
 }
 
 impl TelemetrySnapshot {
@@ -401,6 +485,27 @@ impl TelemetrySnapshot {
     pub fn defuse_prune_rate(&self) -> f64 {
         (self.analytic + self.replicated) as f64 / (self.completed.max(1)) as f64
     }
+
+    /// Fraction of batched replicas that diverged and split off to the
+    /// scalar path (the rest were resolved entirely inside lockstep).
+    #[must_use]
+    pub fn split_off_rate(&self) -> f64 {
+        self.split_offs as f64 / (self.batch_members.max(1)) as f64
+    }
+
+    /// Mean free lockstep prefix per batched replica, in dynamic
+    /// instructions.
+    #[must_use]
+    pub fn mean_lockstep_prefix(&self) -> f64 {
+        self.lockstep_instructions as f64 / (self.batch_members.max(1)) as f64
+    }
+
+    /// Mean fill level of the started batches: admitted replicas over
+    /// admission capacity.
+    #[must_use]
+    pub fn batch_occupancy(&self) -> f64 {
+        self.batch_members as f64 / (self.batch_capacity.max(1)) as f64
+    }
 }
 
 impl fmt::Display for TelemetrySnapshot {
@@ -434,6 +539,16 @@ impl fmt::Display for TelemetrySnapshot {
                 self.simulated(),
                 self.analytic,
                 self.replicated
+            )?;
+        }
+        if self.batch_groups > 0 {
+            write!(
+                f,
+                " | batch {}x{:.0}% split {:.0}% pfx {:.0}",
+                self.batch_groups,
+                100.0 * self.batch_occupancy(),
+                100.0 * self.split_off_rate(),
+                self.mean_lockstep_prefix()
             )?;
         }
         Ok(())
@@ -541,11 +656,13 @@ mod tests {
         }
         let probe = Probe::default();
         let w = Workload::algorithm_one();
-        // Def/use pruning skips started/injected for analytically
-        // classified faults; disable it so this test keeps documenting
-        // the full per-experiment life cycle.
+        // Def/use pruning and the lockstep batch engine skip
+        // started/injected for analytically classified faults; disable
+        // both so this test keeps documenting the full per-experiment
+        // life cycle.
         let mut cfg = CampaignConfig::quick(15, 7);
         cfg.prune = false;
+        cfg.batch_width = 0;
         let _ = run_scifi_campaign_observed(&w, &cfg, &probe);
         assert_eq!(probe.sampled.load(Ordering::Relaxed), 15);
         assert_eq!(probe.started.load(Ordering::Relaxed), 15);

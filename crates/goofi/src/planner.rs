@@ -43,7 +43,7 @@ use crate::classify::Outcome;
 use crate::experiment::{ExperimentRecord, FaultModel, FaultSpec, GoldenRun, Provenance};
 use bera_tcpu::scan::{self, BitLocation};
 use bera_tcpu::{AccessTrace, Fnv64};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// The planner's decision for one fault-list index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,6 +139,86 @@ impl CampaignPlan {
 #[must_use]
 pub fn prune_eligible(cfg: &CampaignConfig) -> bool {
     cfg.prune && cfg.fault_model == FaultModel::SingleBit && !cfg.loop_cfg.parity_cache
+}
+
+/// `true` when `cfg` may run its plan-`Simulate` faults through the
+/// lockstep batch engine ([`bera_tcpu::BatchMachine`]): batching enabled,
+/// a one-shot flip fault model (re-asserting and stuck-at injectors are
+/// not quiescent, so replicas cannot ride the golden stream), golden
+/// checkpoints available (split-off replicas materialize from them), no
+/// parity cache (its checker observes cache data outside the trace hooks)
+/// and no chaos harness (chaos sabotages *executions* by index; resolving
+/// an index without executing it would dodge the sabotage under test).
+#[must_use]
+pub fn batch_eligible(cfg: &CampaignConfig) -> bool {
+    cfg.batch_width > 0
+        && cfg.loop_cfg.checkpoint_stride > 0
+        && !cfg.loop_cfg.parity_cache
+        && matches!(
+            cfg.fault_model,
+            FaultModel::SingleBit | FaultModel::AdjacentDoubleBit | FaultModel::Burst { .. }
+        )
+        && cfg.supervisor.as_ref().is_none_or(|s| s.chaos.is_none())
+}
+
+/// Groups batch-candidate fault indices into lockstep batches: faults
+/// sharing a checkpoint fast-forward window (the same
+/// [`GoldenRun::checkpoint_before`] their injection instant resolves to)
+/// ride the same [`bera_tcpu::BatchMachine`], chunked to at most `width`
+/// replicas per batch. Grouping is deterministic — windows ascend and
+/// fault-list order is preserved within a window — so resumed campaigns
+/// rebuild identical batches.
+#[must_use]
+pub fn batch_groups(
+    candidates: &[usize],
+    faults: &[FaultSpec],
+    golden: &GoldenRun,
+    width: usize,
+) -> Vec<Vec<usize>> {
+    let mut by_window: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for &i in candidates {
+        let window = golden
+            .checkpoint_before(faults[i].inject_at)
+            .map_or(0, |c| c.iteration);
+        by_window.entry(window).or_default().push(i);
+    }
+    by_window
+        .into_values()
+        .flat_map(|group| {
+            group
+                .chunks(width.max(1))
+                .map(<[usize]>::to_vec)
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Builds the record of a replica the batch engine proved *converged*:
+/// every flipped unit was fully overwritten with its golden value by the
+/// instruction at `killed_at`, without ever being observed. The scalar
+/// path would detect the rejoin at the first golden checkpoint boundary
+/// past `killed_at` and splice the golden tail there; `pruned_at` records
+/// that same boundary (or `None` when no checkpoint boundary follows the
+/// kill — the scalar run would then simply complete in the golden end
+/// state).
+///
+/// # Panics
+///
+/// Panics if `fault.location_index` is outside the scan catalog.
+#[must_use]
+pub fn lockstep_converged_record(
+    fault: FaultSpec,
+    killed_at: u64,
+    golden: &GoldenRun,
+    detail: bool,
+) -> ExperimentRecord {
+    let mut record = analytic_record(fault, Outcome::Overwritten, golden, detail);
+    record.pruned_at = golden
+        .checkpoints
+        .iter()
+        .find(|c| c.machine.instr_count() > killed_at)
+        .map(|c| c.iteration);
+    record
 }
 
 /// Plans the campaign: one [`PlanAction`] per fault of `faults`, derived

@@ -1,0 +1,410 @@
+//! Lockstep-batched replica execution against a shared golden stream.
+//!
+//! A [`BatchMachine`] holds up to `width` fault replicas in
+//! structure-of-arrays form. Each replica is represented as a
+//! **copy-on-write delta** against the golden image: the set of scan-chain
+//! flips it carries and the traceable units those flips live in. While a
+//! replica's delta units are untouched by the (single, shared) golden
+//! instruction stream, the replica's full architectural state is — by
+//! construction — exactly `golden ⊕ flips`, so executing its instructions
+//! individually would be a no-op: the common case costs nothing regardless
+//! of batch width. The engine therefore never steps replicas at all; it
+//! walks the golden access trace and resolves each replica's fate:
+//!
+//! * a delta unit's next access is a **read** (or partial write): the flip
+//!   is about to be observed and the trajectories may diverge — the
+//!   replica must [`BatchMachine::materialize`] (split off) onto a private
+//!   scalar [`Machine`] *at* that instant, where the ordinary
+//!   inject–run–classify pipeline takes over;
+//! * the next access is a **full write**: the golden stream deposits the
+//!   fault-free value over the flip (the writing instruction's inputs are
+//!   all clean, so it writes exactly what golden wrote) — the unit leaves
+//!   the delta. An empty delta means the replica has *converged* onto the
+//!   golden trajectory;
+//! * **no further access**: the flip sits untouched until the end-of-run
+//!   state diff — the replica is *latent* and never needs to execute.
+//!
+//! Correctness rests on the same invariant as def/use pruning: every
+//! semantic access to a traceable unit flows through a trace hook
+//! ([`BitLocation::trace_unit`] returns `None` for anything consulted
+//! implicitly, and such faults are rejected here and simulated scalar).
+//! Intra-instruction order is preserved per unit, so "first access at
+//! instant `e` is a full write" is exactly the kill condition.
+
+use crate::access::{AccessTrace, TraceUnit};
+use crate::machine::Machine;
+use crate::scan::BitLocation;
+
+/// The resolved fate of one replica in a lockstep batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaFate {
+    /// Not yet resolved ([`BatchMachine::run`] has not been called).
+    Lockstep,
+    /// Every delta unit was fully overwritten with its golden value; the
+    /// replica's state is bit-identical to golden once the instruction at
+    /// `killed_at` retires.
+    Converged {
+        /// Dynamic instruction index of the write that emptied the delta.
+        killed_at: u64,
+    },
+    /// No delta unit is ever accessed again: the flips survive, untouched
+    /// and unobserved, to the end-of-run state diff.
+    Latent,
+    /// A delta unit is read (or partially written) at instant `at`: the
+    /// replica leaves lockstep there and must run scalar from a state
+    /// materialized at or before `at`.
+    SplitOff {
+        /// Dynamic instruction index of the first live observation.
+        at: u64,
+    },
+}
+
+/// A batch of fault replicas riding the golden instruction stream in
+/// lockstep, stored structure-of-arrays.
+#[derive(Debug)]
+pub struct BatchMachine<'a> {
+    trace: &'a AccessTrace,
+    width: usize,
+    // Structure-of-arrays replica state: index i across these vectors is
+    // replica i.
+    inject_at: Vec<u64>,
+    flips: Vec<Vec<BitLocation>>,
+    deltas: Vec<Vec<TraceUnit>>,
+    fates: Vec<ReplicaFate>,
+}
+
+impl<'a> BatchMachine<'a> {
+    /// An empty batch over the golden access trace, admitting at most
+    /// `width` replicas.
+    #[must_use]
+    pub fn new(trace: &'a AccessTrace, width: usize) -> Self {
+        BatchMachine {
+            trace,
+            width,
+            inject_at: Vec::new(),
+            flips: Vec::new(),
+            deltas: Vec::new(),
+            fates: Vec::new(),
+        }
+    }
+
+    /// Number of replicas admitted so far.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.inject_at.len()
+    }
+
+    /// Admission capacity.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Admits a replica carrying `flips` injected at instruction boundary
+    /// `inject_at`. Returns its index, or `None` when the batch is full or
+    /// any flipped bit is untraceable (such faults must be simulated on the
+    /// scalar path — no trace can prove anything about them).
+    pub fn try_add_replica(&mut self, flips: Vec<BitLocation>, inject_at: u64) -> Option<usize> {
+        if self.occupancy() >= self.width {
+            return None;
+        }
+        let mut delta: Vec<TraceUnit> = Vec::with_capacity(flips.len());
+        for bit in &flips {
+            let unit = bit.trace_unit()?;
+            if !delta.contains(&unit) {
+                delta.push(unit);
+            }
+        }
+        self.inject_at.push(inject_at);
+        self.flips.push(flips);
+        self.deltas.push(delta);
+        self.fates.push(ReplicaFate::Lockstep);
+        Some(self.occupancy() - 1)
+    }
+
+    /// Resolves every replica's fate by walking the golden access trace.
+    /// The shared stream is consulted once per replica-delta event; no
+    /// instructions are executed.
+    pub fn run(&mut self) {
+        for i in 0..self.occupancy() {
+            if self.fates[i] == ReplicaFate::Lockstep {
+                self.fates[i] = self.resolve(i);
+            }
+        }
+    }
+
+    fn resolve(&mut self, i: usize) -> ReplicaFate {
+        let mut cursor = self.inject_at[i];
+        loop {
+            // Earliest pending access to any surviving delta unit.
+            let next = self.deltas[i]
+                .iter()
+                .filter_map(|&u| self.trace.first_at_or_after(u, cursor).map(|a| (u, a)))
+                .min_by_key(|(_, a)| a.at);
+            let Some((_, first)) = next else {
+                return ReplicaFate::Latent;
+            };
+            let e = first.at;
+            // Every delta unit touched during instruction `e` must be
+            // killed — overwritten full-width before being observed — or
+            // the replica leaves lockstep here. Intra-instruction order is
+            // preserved per unit, so the unit's first access at `e`
+            // decides.
+            let touched: Vec<TraceUnit> = self.deltas[i]
+                .iter()
+                .copied()
+                .filter(|&u| {
+                    self.trace
+                        .first_at_or_after(u, cursor)
+                        .is_some_and(|a| a.at == e)
+                })
+                .collect();
+            let all_killed = touched.iter().all(|&u| {
+                self.trace
+                    .first_at_or_after(u, cursor)
+                    .is_some_and(|a| a.kind.is_full_write())
+            });
+            if !all_killed {
+                return ReplicaFate::SplitOff { at: e };
+            }
+            self.deltas[i].retain(|u| !touched.contains(u));
+            if self.deltas[i].is_empty() {
+                return ReplicaFate::Converged { killed_at: e };
+            }
+            cursor = e + 1;
+        }
+    }
+
+    /// The resolved fate of replica `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn fate(&self, i: usize) -> ReplicaFate {
+        self.fates[i]
+    }
+
+    /// Instruction boundary replica `i` was injected at.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn inject_at(&self, i: usize) -> u64 {
+        self.inject_at[i]
+    }
+
+    /// The delta units replica `i` still differs from golden in (after
+    /// [`BatchMachine::run`]: the units surviving at its fate instant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn delta_units(&self, i: usize) -> &[TraceUnit] {
+        &self.deltas[i]
+    }
+
+    /// The flips of replica `i` that are still live — those in surviving
+    /// delta units. Flips in killed units were overwritten with golden
+    /// values and must *not* be re-applied at materialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn surviving_flips(&self, i: usize) -> Vec<BitLocation> {
+        self.flips[i]
+            .iter()
+            .copied()
+            .filter(|b| b.trace_unit().is_some_and(|u| self.deltas[i].contains(&u)))
+            .collect()
+    }
+
+    /// Number of instructions replica `i` rode the shared stream for free:
+    /// from injection to its fate instant (`end_of_run` for latent
+    /// replicas, which never leave lockstep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn lockstep_instructions(&self, i: usize, end_of_run: u64) -> u64 {
+        let until = match self.fates[i] {
+            ReplicaFate::Lockstep => self.inject_at[i],
+            ReplicaFate::Converged { killed_at } => killed_at,
+            ReplicaFate::Latent => end_of_run,
+            ReplicaFate::SplitOff { at } => at,
+        };
+        until.saturating_sub(self.inject_at[i])
+    }
+
+    /// Materializes replica `i` onto a private scalar machine: clones
+    /// `base` — which must hold the golden state at an instruction boundary
+    /// in `[inject_at, fate instant]` — and deposits the surviving flips.
+    /// Because no delta unit was accessed between injection and the fate
+    /// instant, `golden ⊕ surviving flips` *is* the replica's exact
+    /// architectural state at any such boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn materialize(&self, i: usize, base: &Machine) -> Machine {
+        let mut m = base.clone();
+        for bit in self.surviving_flips(i) {
+            m.scan_flip(bit);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{Access, AccessKind};
+
+    fn trace_with(entries: &[(TraceUnit, u64, AccessKind)]) -> AccessTrace {
+        let mut t = AccessTrace::new();
+        for &(u, at, kind) in entries {
+            t.insert_for_test(u, Access { at, kind });
+        }
+        t
+    }
+
+    const REG3_BIT: BitLocation = BitLocation::Reg { index: 3, bit: 5 };
+    const REG4_BIT: BitLocation = BitLocation::Reg { index: 4, bit: 0 };
+    const REG3: TraceUnit = TraceUnit::Reg(3);
+    const REG4: TraceUnit = TraceUnit::Reg(4);
+
+    #[test]
+    fn untraceable_bits_are_rejected() {
+        let t = AccessTrace::new();
+        let mut bm = BatchMachine::new(&t, 4);
+        assert_eq!(
+            bm.try_add_replica(vec![BitLocation::Psr { bit: 0 }], 0),
+            None
+        );
+        assert_eq!(
+            bm.try_add_replica(vec![REG3_BIT, BitLocation::FetchValid], 0),
+            None
+        );
+    }
+
+    #[test]
+    fn width_is_enforced() {
+        let t = AccessTrace::new();
+        let mut bm = BatchMachine::new(&t, 1);
+        assert_eq!(bm.try_add_replica(vec![REG3_BIT], 0), Some(0));
+        assert_eq!(bm.try_add_replica(vec![REG3_BIT], 1), None);
+        assert_eq!(bm.occupancy(), 1);
+    }
+
+    #[test]
+    fn untouched_delta_is_latent() {
+        let t = trace_with(&[(REG3, 10, AccessKind::Read)]);
+        let mut bm = BatchMachine::new(&t, 4);
+        // Injected after the last access: nothing ever observes the flip.
+        let id = bm.try_add_replica(vec![REG3_BIT], 11).unwrap();
+        bm.run();
+        assert_eq!(bm.fate(id), ReplicaFate::Latent);
+        assert_eq!(bm.lockstep_instructions(id, 100), 89);
+    }
+
+    #[test]
+    fn read_splits_off_at_the_access() {
+        let t = trace_with(&[(REG3, 10, AccessKind::Write), (REG3, 20, AccessKind::Read)]);
+        let mut bm = BatchMachine::new(&t, 4);
+        // Injected between the write and the read: the read observes it.
+        let id = bm.try_add_replica(vec![REG3_BIT], 15).unwrap();
+        bm.run();
+        assert_eq!(bm.fate(id), ReplicaFate::SplitOff { at: 20 });
+        assert_eq!(bm.surviving_flips(id), vec![REG3_BIT]);
+    }
+
+    #[test]
+    fn full_write_kills_and_converges() {
+        let t = trace_with(&[(REG3, 10, AccessKind::Write), (REG3, 20, AccessKind::Read)]);
+        let mut bm = BatchMachine::new(&t, 4);
+        // Injected before the write: overwritten before observation.
+        let id = bm.try_add_replica(vec![REG3_BIT], 5).unwrap();
+        bm.run();
+        assert_eq!(bm.fate(id), ReplicaFate::Converged { killed_at: 10 });
+        assert!(bm.surviving_flips(id).is_empty());
+    }
+
+    #[test]
+    fn partial_write_is_conservative() {
+        let t = trace_with(&[(REG3, 10, AccessKind::PartialWrite)]);
+        let mut bm = BatchMachine::new(&t, 4);
+        let id = bm.try_add_replica(vec![REG3_BIT], 5).unwrap();
+        bm.run();
+        assert_eq!(bm.fate(id), ReplicaFate::SplitOff { at: 10 });
+    }
+
+    #[test]
+    fn multi_unit_delta_shrinks_then_splits() {
+        let t = trace_with(&[(REG3, 10, AccessKind::Write), (REG4, 30, AccessKind::Read)]);
+        let mut bm = BatchMachine::new(&t, 4);
+        let id = bm.try_add_replica(vec![REG3_BIT, REG4_BIT], 5).unwrap();
+        bm.run();
+        assert_eq!(bm.fate(id), ReplicaFate::SplitOff { at: 30 });
+        // r3's flip was killed at 10; only r4's survives to the split.
+        assert_eq!(bm.delta_units(id), &[REG4]);
+        assert_eq!(bm.surviving_flips(id), vec![REG4_BIT]);
+    }
+
+    #[test]
+    fn read_then_write_at_same_instant_splits() {
+        // Intra-instruction order: the read observes the flip before the
+        // write lands — e.g. `add r3, r3, r0`.
+        let mut t = AccessTrace::new();
+        t.record(REG3, 10, AccessKind::Read);
+        t.record(REG3, 10, AccessKind::Write);
+        let mut bm = BatchMachine::new(&t, 4);
+        let id = bm.try_add_replica(vec![REG3_BIT], 5).unwrap();
+        bm.run();
+        assert_eq!(bm.fate(id), ReplicaFate::SplitOff { at: 10 });
+    }
+
+    #[test]
+    fn write_then_read_at_same_instant_kills() {
+        // The full write lands first (from clean inputs), so the read at
+        // the same instant observes the golden value.
+        let mut t = AccessTrace::new();
+        t.record(REG3, 10, AccessKind::Write);
+        t.record(REG3, 10, AccessKind::Read);
+        let mut bm = BatchMachine::new(&t, 4);
+        let id = bm.try_add_replica(vec![REG3_BIT], 5).unwrap();
+        bm.run();
+        assert_eq!(bm.fate(id), ReplicaFate::Converged { killed_at: 10 });
+    }
+
+    #[test]
+    fn kill_and_live_touch_at_same_instant_splits() {
+        // One instruction fully writes r3 but reads r4: the r4 flip is
+        // observed, so the whole replica must leave lockstep.
+        let t = trace_with(&[(REG3, 10, AccessKind::Write), (REG4, 10, AccessKind::Read)]);
+        let mut bm = BatchMachine::new(&t, 4);
+        let id = bm.try_add_replica(vec![REG3_BIT, REG4_BIT], 5).unwrap();
+        bm.run();
+        assert_eq!(bm.fate(id), ReplicaFate::SplitOff { at: 10 });
+    }
+
+    #[test]
+    fn materialize_applies_only_surviving_flips() {
+        let t = trace_with(&[(REG3, 10, AccessKind::Write), (REG4, 30, AccessKind::Read)]);
+        let mut bm = BatchMachine::new(&t, 4);
+        let id = bm.try_add_replica(vec![REG3_BIT, REG4_BIT], 5).unwrap();
+        bm.run();
+        let base = Machine::new();
+        let m = bm.materialize(id, &base);
+        // r3's flip was overwritten with the golden value (bit 5 stays 0);
+        // r4's flip (bit 0) is live.
+        assert_eq!(m.reg(3), base.reg(3));
+        assert_eq!(m.reg(4), base.reg(4) ^ 1);
+        assert!(m.state_equals_on(&base, &[REG3]));
+        assert!(!m.state_equals_on(&base, &[REG4]));
+    }
+}

@@ -51,6 +51,7 @@
 
 pub mod access;
 pub mod asm;
+pub mod batch;
 pub mod cache;
 pub mod digest;
 pub mod edm;
@@ -62,6 +63,7 @@ pub mod trace;
 
 pub use access::{Access, AccessKind, AccessTrace, TraceUnit};
 pub use asm::{assemble, AsmError, Program};
+pub use batch::{BatchMachine, ReplicaFate};
 pub use digest::Fnv64;
 pub use edm::ErrorMechanism;
 pub use machine::{Machine, RunExit};

@@ -26,22 +26,22 @@ use crate::edm::{ErrorMechanism as Edm, Trap};
 use crate::isa::{self, Decoded, Opcode};
 use crate::mem::{self, Memory, Region};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Per-ROM-slot memo of decoded instruction words. Each entry stores the
 /// word it was decoded from and is validated against the actual fetched
 /// word on every hit, so every way code can change under the memo —
 /// `poke_word`, a scan-chain flip of the fetch latch, a store to code —
 /// is handled by construction: a changed word simply misses and decodes
-/// fresh. Behaviourally inert: clones start cold, equality ignores it, and
-/// it serializes as `null` and deserializes empty.
-#[derive(Debug, Default)]
-struct DecodeMemo(Vec<Option<(u32, Decoded)>>);
-
-impl Clone for DecodeMemo {
-    fn clone(&self) -> Self {
-        DecodeMemo(Vec::new())
-    }
-}
+/// fresh. The table is pre-populated for the whole ROM image at
+/// [`Machine::load_program`] and shared between clones through an `Arc`,
+/// so every machine cloned from a loaded one — checkpoints, lockstep
+/// replicas, convergence probes — starts warm without re-decoding or
+/// re-allocating; a post-load ROM change copies-on-write through
+/// `Arc::make_mut`. Behaviourally inert: equality ignores it and it
+/// serializes as `null` and deserializes empty.
+#[derive(Debug, Default, Clone)]
+struct DecodeMemo(Arc<Vec<Option<(u32, Decoded)>>>);
 
 impl PartialEq for DecodeMemo {
     fn eq(&self, _other: &Self) -> bool {
@@ -273,6 +273,14 @@ impl Machine {
             );
         }
         self.pc = program.entry;
+        // ROM is immutable from here on, so decode the whole image once;
+        // clones share the warm table through the memo's `Arc`.
+        let mut table = vec![None; (mem::ROM_SIZE / 4) as usize];
+        for (i, &word) in program.code.iter().enumerate() {
+            let slot = ((program.code_base - mem::ROM_BASE) >> 2) as usize + i;
+            table[slot] = isa::decode(word).map(|d| (word, d));
+        }
+        self.decode_memo = DecodeMemo(Arc::new(table));
     }
 
     /// Sets an input port to a raw word.
@@ -427,6 +435,30 @@ impl Machine {
             && self.mem == other.mem
     }
 
+    /// Equality restricted to the given trace units — the dirty-set
+    /// divergence check of the lockstep batch engine. Where a replica is
+    /// known (from the golden access trace) to differ from golden *at most*
+    /// on its delta units, comparing those units alone replaces the full
+    /// `state_equals` walk over every register, cache line, and memory
+    /// word. This is **not** architectural equality: units outside `units`
+    /// are not examined.
+    #[must_use]
+    pub fn state_equals_on(&self, other: &Machine, units: &[TraceUnit]) -> bool {
+        units.iter().all(|unit| match *unit {
+            TraceUnit::Reg(r) => self.regs[r as usize & 0xF] == other.regs[r as usize & 0xF],
+            TraceUnit::CacheWord { line, word } => {
+                let range = word * 4..word * 4 + 4;
+                self.cache.line(line).data[range.clone()] == other.cache.line(line).data[range]
+            }
+            TraceUnit::PortOut(p) => self.ports_out[p as usize] == other.ports_out[p as usize],
+            TraceUnit::Save(i) => self.save[i as usize] == other.save[i as usize],
+            TraceUnit::MemWord(key) => match mem::key_addr(key) {
+                Some(addr) => self.mem.read_word(addr) == other.mem.read_word(addr),
+                None => true,
+            },
+        })
+    }
+
     /// Host-side write of a data word (campaign initialisation).
     pub fn poke_data(&mut self, addr: u32, word: u32) -> bool {
         self.mem.poke(addr, word)
@@ -477,8 +509,19 @@ impl Machine {
     /// Executes at most `budget` instructions, returning early on a `yield`
     /// or a trap.
     pub fn run(&mut self, budget: u64) -> RunExit {
+        // Monomorphise the step path on whether an access trace is being
+        // recorded: the untraced interpreter (every experiment) compiles
+        // with the per-access trace hooks removed entirely.
+        if self.atrace.0.is_some() {
+            self.run_gen::<true>(budget)
+        } else {
+            self.run_gen::<false>(budget)
+        }
+    }
+
+    fn run_gen<const TRACING: bool>(&mut self, budget: u64) -> RunExit {
         for _ in 0..budget {
-            match self.step() {
+            match self.step_gen::<TRACING>() {
                 Ok(StepEvent::Normal) => {}
                 Ok(StepEvent::Yield) => return RunExit::Yield,
                 Err(trap) => return RunExit::Trap(trap),
@@ -491,8 +534,16 @@ impl Machine {
     /// returning early on a `yield` or a trap. Used to position the machine
     /// at a fault-injection breakpoint.
     pub fn run_until(&mut self, stop_at: u64) -> RunExit {
+        if self.atrace.0.is_some() {
+            self.run_until_gen::<true>(stop_at)
+        } else {
+            self.run_until_gen::<false>(stop_at)
+        }
+    }
+
+    fn run_until_gen<const TRACING: bool>(&mut self, stop_at: u64) -> RunExit {
         while self.instr_count < stop_at {
-            match self.step() {
+            match self.step_gen::<TRACING>() {
                 Ok(StepEvent::Normal) => {}
                 Ok(StepEvent::Yield) => return RunExit::Yield,
                 Err(trap) => return RunExit::Trap(trap),
@@ -508,11 +559,19 @@ impl Machine {
     /// Returns the trap when an error detection mechanism fires; the machine
     /// freezes and every subsequent call returns the same trap.
     pub fn step(&mut self) -> Result<StepEvent, Trap> {
+        if self.atrace.0.is_some() {
+            self.step_gen::<true>()
+        } else {
+            self.step_gen::<false>()
+        }
+    }
+
+    fn step_gen<const TRACING: bool>(&mut self) -> Result<StepEvent, Trap> {
         if let Some(t) = self.trapped {
             return Err(t);
         }
         let idx = self.instr_count;
-        match self.step_inner() {
+        match self.step_inner::<TRACING>() {
             Ok(ev) => {
                 self.instr_count += 1;
                 Ok(ev)
@@ -532,7 +591,7 @@ impl Machine {
         }
     }
 
-    fn step_inner(&mut self) -> Result<StepEvent, (Edm, u32)> {
+    fn step_inner<const TRACING: bool>(&mut self) -> Result<StepEvent, (Edm, u32)> {
         // Consume the prefetched instruction (fetch now if the latch was
         // invalidated by a control transfer or a failed prefetch).
         if !self.fetch.valid {
@@ -557,7 +616,7 @@ impl Machine {
 
         let mut event = StepEvent::Normal;
         let mut transferred = false;
-        self.execute(&d, ipc, &mut event, &mut transferred)
+        self.execute::<TRACING>(&d, ipc, &mut event, &mut transferred)
             .map_err(|m| (m, ipc))?;
 
         if !transferred {
@@ -566,7 +625,7 @@ impl Machine {
         Ok(event)
     }
 
-    fn execute(
+    fn execute<const TRACING: bool>(
         &mut self,
         d: &Decoded,
         ipc: u32,
@@ -584,49 +643,49 @@ impl Machine {
                 }
                 self.sig = 0;
             }
-            Lui => self.write_reg(d.rd, d.uimm16 << 16),
+            Lui => self.write_reg::<TRACING>(d.rd, d.uimm16 << 16),
             Ori => {
-                let a = self.read_reg(d.ra);
-                self.write_reg(d.rd, a | d.uimm16);
+                let a = self.read_reg::<TRACING>(d.ra);
+                self.write_reg::<TRACING>(d.rd, a | d.uimm16);
             }
             Addi => {
-                let a = self.read_reg(d.ra) as i32;
+                let a = self.read_reg::<TRACING>(d.ra) as i32;
                 let v = a.checked_add(d.imm16).ok_or(Edm::OverflowCheck)?;
-                self.write_reg(d.rd, v as u32);
+                self.write_reg::<TRACING>(d.rd, v as u32);
             }
             Ld => {
-                let addr = self.read_reg(d.ra).wrapping_add(d.imm16 as u32);
-                let v = self.data_access(addr, None)?;
-                self.write_reg(d.rd, v);
+                let addr = self.read_reg::<TRACING>(d.ra).wrapping_add(d.imm16 as u32);
+                let v = self.data_access::<TRACING>(addr, None)?;
+                self.write_reg::<TRACING>(d.rd, v);
             }
             St => {
-                let addr = self.read_reg(d.ra).wrapping_add(d.imm16 as u32);
-                let v = self.read_reg(d.rd);
-                self.data_access(addr, Some(v))?;
+                let addr = self.read_reg::<TRACING>(d.ra).wrapping_add(d.imm16 as u32);
+                let v = self.read_reg::<TRACING>(d.rd);
+                self.data_access::<TRACING>(addr, Some(v))?;
             }
             Add | Sub | Mul => {
-                let a = self.read_reg(d.ra) as i32;
-                let b = self.read_reg(d.rb) as i32;
+                let a = self.read_reg::<TRACING>(d.ra) as i32;
+                let b = self.read_reg::<TRACING>(d.rb) as i32;
                 let v = match d.op {
                     Add => a.checked_add(b),
                     Sub => a.checked_sub(b),
                     _ => a.checked_mul(b),
                 }
                 .ok_or(Edm::OverflowCheck)?;
-                self.write_reg(d.rd, v as u32);
+                self.write_reg::<TRACING>(d.rd, v as u32);
             }
             Div => {
-                let a = self.read_reg(d.ra) as i32;
-                let b = self.read_reg(d.rb) as i32;
+                let a = self.read_reg::<TRACING>(d.ra) as i32;
+                let b = self.read_reg::<TRACING>(d.rb) as i32;
                 if b == 0 {
                     return Err(Edm::DivisionCheck);
                 }
                 let v = a.checked_div(b).ok_or(Edm::OverflowCheck)?;
-                self.write_reg(d.rd, v as u32);
+                self.write_reg::<TRACING>(d.rd, v as u32);
             }
             And | Or | Xor | Shl | Shr => {
-                let a = self.read_reg(d.ra);
-                let b = self.read_reg(d.rb);
+                let a = self.read_reg::<TRACING>(d.ra);
+                let b = self.read_reg::<TRACING>(d.rb);
                 let v = match d.op {
                     And => a & b,
                     Or => a | b,
@@ -634,25 +693,25 @@ impl Machine {
                     Shl => a.wrapping_shl(b & 31),
                     _ => a.wrapping_shr(b & 31),
                 };
-                self.write_reg(d.rd, v);
+                self.write_reg::<TRACING>(d.rd, v);
             }
             Fadd | Fsub | Fmul | Fdiv => {
-                let a = f32::from_bits(self.read_reg(d.ra));
-                let b = f32::from_bits(self.read_reg(d.rb));
+                let a = f32::from_bits(self.read_reg::<TRACING>(d.ra));
+                let b = f32::from_bits(self.read_reg::<TRACING>(d.rb));
                 let v = self.float_binop(d.op, a, b)?;
-                self.write_reg(d.rd, v.to_bits());
+                self.write_reg::<TRACING>(d.rd, v.to_bits());
             }
             Fcmp => {
-                let a = f32::from_bits(self.read_reg(d.ra));
-                let b = f32::from_bits(self.read_reg(d.rb));
+                let a = f32::from_bits(self.read_reg::<TRACING>(d.ra));
+                let b = f32::from_bits(self.read_reg::<TRACING>(d.rb));
                 if a.is_nan() || b.is_nan() {
                     return Err(Edm::IllegalOperation);
                 }
                 self.set_flags(a == b, a < b);
             }
             Cmp => {
-                let a = self.read_reg(d.ra) as i32;
-                let b = self.read_reg(d.rb) as i32;
+                let a = self.read_reg::<TRACING>(d.ra) as i32;
+                let b = self.read_reg::<TRACING>(d.rb) as i32;
                 self.set_flags(a == b, a < b);
             }
             Beq | Bne | Blt | Bge | Bgt | Ble => {
@@ -679,12 +738,12 @@ impl Machine {
                 *transferred = true;
             }
             Call => {
-                self.write_reg(isa::REG_LR, ipc.wrapping_add(4));
+                self.write_reg::<TRACING>(isa::REG_LR, ipc.wrapping_add(4));
                 self.control_transfer(d.imm22.wrapping_mul(4))?;
                 *transferred = true;
             }
             Ret => {
-                let target = self.read_reg(isa::REG_LR);
+                let target = self.read_reg::<TRACING>(isa::REG_LR);
                 self.control_transfer(target)?;
                 *transferred = true;
             }
@@ -693,39 +752,41 @@ impl Machine {
                 if port >= NUM_IN_PORTS {
                     return Err(Edm::AddressError);
                 }
-                self.write_reg(d.rd, self.ports_in[port]);
+                self.write_reg::<TRACING>(d.rd, self.ports_in[port]);
             }
             Out => {
                 let port = d.uimm16 as usize;
                 if port >= NUM_OUT_PORTS {
                     return Err(Edm::AddressError);
                 }
-                let v = self.read_reg(d.rd);
-                self.trace(TraceUnit::PortOut(port as u8), AccessKind::Write);
+                let v = self.read_reg::<TRACING>(d.rd);
+                if TRACING {
+                    self.trace(TraceUnit::PortOut(port as u8), AccessKind::Write);
+                }
                 self.ports_out[port] = v;
             }
             Chk => {
-                let v = f32::from_bits(self.read_reg(d.rd));
-                let lo = f32::from_bits(self.read_reg(d.ra));
-                let hi = f32::from_bits(self.read_reg(d.rb));
+                let v = f32::from_bits(self.read_reg::<TRACING>(d.rd));
+                let lo = f32::from_bits(self.read_reg::<TRACING>(d.ra));
+                let hi = f32::from_bits(self.read_reg::<TRACING>(d.rb));
                 if v.is_nan() || lo.is_nan() || hi.is_nan() || v < lo || v > hi {
                     return Err(Edm::ConstraintError);
                 }
             }
             Itof => {
-                let a = self.read_reg(d.ra) as i32;
-                self.write_reg(d.rd, (a as f32).to_bits());
+                let a = self.read_reg::<TRACING>(d.ra) as i32;
+                self.write_reg::<TRACING>(d.rd, (a as f32).to_bits());
             }
             Ftoi => {
-                let a = f32::from_bits(self.read_reg(d.ra));
+                let a = f32::from_bits(self.read_reg::<TRACING>(d.ra));
                 if a.is_nan() || !(-2147483648.0..2147483648.0).contains(&a) {
                     return Err(Edm::OverflowCheck);
                 }
-                self.write_reg(d.rd, (a as i32) as u32);
+                self.write_reg::<TRACING>(d.rd, (a as i32) as u32);
             }
             Mov => {
-                let a = self.read_reg(d.ra);
-                self.write_reg(d.rd, a);
+                let a = self.read_reg::<TRACING>(d.ra);
+                self.write_reg::<TRACING>(d.rd, a);
             }
         }
         Ok(())
@@ -780,24 +841,32 @@ impl Machine {
         }
         let d = isa::decode(word)?;
         if let Some(s) = slot {
-            if self.decode_memo.0.is_empty() {
-                self.decode_memo.0 = vec![None; (mem::ROM_SIZE / 4) as usize];
+            // Miss on a ROM slot: the image changed after load (host poke,
+            // deserialized machine). Copy-on-write keeps sharing clones
+            // correct while re-warming this machine's table.
+            let table = Arc::make_mut(&mut self.decode_memo.0);
+            if table.is_empty() {
+                *table = vec![None; (mem::ROM_SIZE / 4) as usize];
             }
-            self.decode_memo.0[s] = Some((word, d));
+            table[s] = Some((word, d));
         }
         Some(d)
     }
 
-    fn read_reg(&mut self, r: u8) -> u32 {
-        self.trace(TraceUnit::Reg(r & 0xF), AccessKind::Read);
+    fn read_reg<const TRACING: bool>(&mut self, r: u8) -> u32 {
+        if TRACING {
+            self.trace(TraceUnit::Reg(r & 0xF), AccessKind::Read);
+        }
         let v = self.regs[(r & 0xF) as usize];
         self.idex.a = self.idex.b;
         self.idex.b = v;
         v
     }
 
-    fn write_reg(&mut self, r: u8, v: u32) {
-        self.trace(TraceUnit::Reg(r & 0xF), AccessKind::Write);
+    fn write_reg<const TRACING: bool>(&mut self, r: u8, v: u32) {
+        if TRACING {
+            self.trace(TraceUnit::Reg(r & 0xF), AccessKind::Write);
+        }
         self.exwb = ResultLatch {
             value: v,
             rd: r & 0xF,
@@ -848,7 +917,11 @@ impl Machine {
         let _ = self.fill_latch();
     }
 
-    fn data_access(&mut self, addr: u32, write: Option<u32>) -> Result<u32, Edm> {
+    fn data_access<const TRACING: bool>(
+        &mut self,
+        addr: u32,
+        write: Option<u32>,
+    ) -> Result<u32, Edm> {
         if !addr.is_multiple_of(4) {
             return Err(Edm::AddressError);
         }
@@ -860,13 +933,17 @@ impl Machine {
                 if addr < self.stack_lo || addr >= self.stack_hi {
                     return Err(Edm::StorageError);
                 }
-                self.cached_access(addr, write)
+                self.cached_access::<TRACING>(addr, write)
             }
-            Region::Ram => self.cached_access(addr, write),
+            Region::Ram => self.cached_access::<TRACING>(addr, write),
         }
     }
 
-    fn cached_access(&mut self, addr: u32, write: Option<u32>) -> Result<u32, Edm> {
+    fn cached_access<const TRACING: bool>(
+        &mut self,
+        addr: u32,
+        write: Option<u32>,
+    ) -> Result<u32, Edm> {
         if self.parity_cache {
             let idx = crate::cache::index_of(addr);
             if *self.cache.line(idx) != self.shadow[idx] {
@@ -876,13 +953,15 @@ impl Machine {
         if !self.cache.hits(addr) {
             if let Some((wb_addr, data)) = self.cache.pending_writeback(addr) {
                 // Evicting a dirty victim observes its whole line.
-                let line = crate::cache::index_of(addr);
-                for word in 0..WORDS_PER_LINE {
-                    self.trace(TraceUnit::CacheWord { line, word }, AccessKind::Read);
+                if TRACING {
+                    let line = crate::cache::index_of(addr);
+                    for word in 0..WORDS_PER_LINE {
+                        self.trace(TraceUnit::CacheWord { line, word }, AccessKind::Read);
+                    }
                 }
-                self.write_back(wb_addr, &data)?;
+                self.write_back::<TRACING>(wb_addr, &data)?;
             }
-            self.fill_line(addr)?;
+            self.fill_line::<TRACING>(addr)?;
         }
         let unit = TraceUnit::CacheWord {
             line: crate::cache::index_of(addr),
@@ -890,7 +969,9 @@ impl Machine {
         };
         match write {
             Some(w) => {
-                self.trace(unit, AccessKind::Write);
+                if TRACING {
+                    self.trace(unit, AccessKind::Write);
+                }
                 self.sbuf = StoreBuffer {
                     addr,
                     data: w,
@@ -901,7 +982,9 @@ impl Machine {
                 Ok(w)
             }
             None => {
-                self.trace(unit, AccessKind::Read);
+                if TRACING {
+                    self.trace(unit, AccessKind::Read);
+                }
                 Ok(self.cache.read_word(addr))
             }
         }
@@ -915,14 +998,20 @@ impl Machine {
         }
     }
 
-    fn write_back(&mut self, wb_addr: u32, data: &[u8; LINE_BYTES]) -> Result<(), Edm> {
+    fn write_back<const TRACING: bool>(
+        &mut self,
+        wb_addr: u32,
+        data: &[u8; LINE_BYTES],
+    ) -> Result<(), Edm> {
         match mem::region(wb_addr) {
             Region::Ram | Region::Stack => {
                 for i in 0..4 {
                     let a = wb_addr + (i as u32) * 4;
                     let w = u32::from_le_bytes(data[i * 4..i * 4 + 4].try_into().unwrap());
-                    if let Some(key) = mem::word_key(a) {
-                        self.trace(TraceUnit::MemWord(key), AccessKind::Write);
+                    if TRACING {
+                        if let Some(key) = mem::word_key(a) {
+                            self.trace(TraceUnit::MemWord(key), AccessKind::Write);
+                        }
                     }
                     self.mem.write_word(a, w);
                 }
@@ -934,13 +1023,15 @@ impl Machine {
         }
     }
 
-    fn fill_line(&mut self, addr: u32) -> Result<(), Edm> {
+    fn fill_line<const TRACING: bool>(&mut self, addr: u32) -> Result<(), Edm> {
         let base = addr & !0xF;
         let mut data = [0u8; LINE_BYTES];
         for i in 0..4 {
             let a = base + (i as u32) * 4;
-            if let Some(key) = mem::word_key(a) {
-                self.trace(TraceUnit::MemWord(key), AccessKind::Read);
+            if TRACING {
+                if let Some(key) = mem::word_key(a) {
+                    self.trace(TraceUnit::MemWord(key), AccessKind::Read);
+                }
             }
             let (w, parity_ok) = self.mem.read_word(a).ok_or(Edm::AddressError)?;
             if !parity_ok || self.edac_syndrome != 0 {
@@ -954,9 +1045,11 @@ impl Machine {
             };
             data[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
         }
-        let line = crate::cache::index_of(base);
-        for word in 0..WORDS_PER_LINE {
-            self.trace(TraceUnit::CacheWord { line, word }, AccessKind::Write);
+        if TRACING {
+            let line = crate::cache::index_of(base);
+            for word in 0..WORDS_PER_LINE {
+                self.trace(TraceUnit::CacheWord { line, word }, AccessKind::Write);
+            }
         }
         self.cache.fill(base, data);
         self.update_shadow(base);

@@ -1,31 +1,44 @@
 //! Machine-readable campaign wall-clock benchmark — emits
 //! `artifacts/BENCH_campaign.json` so CI can track the end-to-end speedup
 //! trajectory of the campaign engine (checkpoint fast-forward, convergence
-//! pruning, def/use fault-space pruning) release over release.
+//! pruning, def/use fault-space pruning, lockstep batching) release over
+//! release.
 //!
 //! ```text
-//! bench_campaign [--reps N]
+//! bench_campaign [--reps N] [--baseline PATH]
 //! ```
 //!
-//! Three configurations of the same fixed-seed 40-fault campaign are timed
+//! Four configurations of the same fixed-seed 40-fault campaign are timed
 //! per workload:
 //!
 //! * `flat` — no checkpoints, every fault simulated (the original engine);
 //! * `checkpointed` — golden checkpoints every 4 iterations, convergence
 //!   pruning, every fault simulated;
-//! * `pruned` — checkpointed plus the def/use planner (the default
+//! * `pruned` — checkpointed plus the def/use planner;
+//! * `batched` — pruned plus the lockstep batch engine (the default
 //!   configuration of the `campaign` binary).
 //!
-//! The JSON also records the planner's simulated/analytic/replicated
-//! split from live telemetry, so a regression in pruning coverage shows
-//! up as data rather than as an unexplained slowdown.
+//! A paper-scale section then times the 2000-fault seed-20010701 campaign
+//! for each flip fault model, scalar (`batch_width: 0`, the PR 4 pruned
+//! baseline) against batched. The multi-bit models have no def/use
+//! planner, so there the lockstep walk carries the whole reduction; for
+//! single-bit faults the planner already absorbs most of it and the
+//! honest per-model numbers show both regimes. `BERA_FAULTS` scales the
+//! section down for smoke runs.
+//!
+//! `--baseline PATH` compares the freshly measured speedup ratios against
+//! a committed report and exits non-zero if any regressed by more than
+//! 20% — ratios, not milliseconds, so the gate is portable across
+//! machines. The JSON also records the planner's and batch engine's
+//! classification splits from live telemetry, so a regression in coverage
+//! shows up as data rather than as an unexplained slowdown.
 
 use bera::goofi::campaign::{run_scifi_campaign, run_scifi_campaign_observed, CampaignConfig};
-use bera::goofi::experiment::LoopConfig;
+use bera::goofi::experiment::{FaultModel, LoopConfig};
 use bera::goofi::observer::Telemetry;
 use bera::goofi::workload::Workload;
 use bera::repro;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 const FAULTS: usize = 40;
@@ -33,24 +46,55 @@ const SEED: u64 = 11;
 const ITERATIONS: usize = 60;
 const STRIDE: usize = 4;
 
-#[derive(Serialize)]
+/// The share of a baseline speedup ratio the fresh measurement must
+/// retain: 0.8 = "fail the gate on a >20% regression".
+const REGRESSION_FLOOR: f64 = 0.8;
+
+#[derive(Serialize, Deserialize)]
 struct WorkloadBench {
     workload: String,
     flat_ms: f64,
     checkpointed_ms: f64,
     pruned_ms: f64,
+    batched_ms: f64,
     /// flat / checkpointed — the checkpoint fast-forward win.
     checkpointing_speedup: f64,
     /// checkpointed / pruned — the def/use planner's further win.
     pruning_speedup: f64,
-    /// flat / pruned — the combined end-to-end win.
+    /// pruned / batched — the lockstep batch engine's further win.
+    batching_speedup: f64,
+    /// flat / batched — the combined end-to-end win.
     end_to_end_speedup: f64,
     simulated: usize,
     analytic: usize,
     replicated: usize,
 }
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
+struct ModelBench {
+    model: String,
+    /// Pruned scalar (`batch_width: 0`) — the PR 4 baseline path.
+    scalar_ms: f64,
+    /// The default batched path.
+    batched_ms: f64,
+    /// scalar / batched.
+    batching_speedup: f64,
+    simulated: usize,
+    analytic: usize,
+    replicated: usize,
+    batch_members: usize,
+    split_offs: usize,
+}
+
+#[derive(Serialize, Deserialize)]
+struct PaperScale {
+    faults: usize,
+    seed: u64,
+    iterations: usize,
+    models: Vec<ModelBench>,
+}
+
+#[derive(Serialize, Deserialize)]
 struct BenchReport {
     faults: usize,
     seed: u64,
@@ -58,9 +102,10 @@ struct BenchReport {
     checkpoint_stride: usize,
     reps: u32,
     workloads: Vec<WorkloadBench>,
+    paper_scale: PaperScale,
 }
 
-fn config(stride: usize, prune: bool) -> CampaignConfig {
+fn config(stride: usize, prune: bool, batch_width: usize) -> CampaignConfig {
     let mut cfg = CampaignConfig::quick(FAULTS, SEED);
     cfg.loop_cfg = LoopConfig {
         iterations: ITERATIONS,
@@ -69,6 +114,7 @@ fn config(stride: usize, prune: bool) -> CampaignConfig {
     };
     cfg.threads = 1;
     cfg.prune = prune;
+    cfg.batch_width = batch_width;
     cfg
 }
 
@@ -84,12 +130,13 @@ fn time_campaign(workload: &Workload, cfg: &CampaignConfig, reps: u32) -> f64 {
 }
 
 fn bench_workload(name: &str, workload: &Workload, reps: u32) -> WorkloadBench {
-    let flat_ms = time_campaign(workload, &config(0, false), reps);
-    let checkpointed_ms = time_campaign(workload, &config(STRIDE, false), reps);
-    let pruned_ms = time_campaign(workload, &config(STRIDE, true), reps);
+    let flat_ms = time_campaign(workload, &config(0, false, 0), reps);
+    let checkpointed_ms = time_campaign(workload, &config(STRIDE, false, 0), reps);
+    let pruned_ms = time_campaign(workload, &config(STRIDE, true, 0), reps);
+    let batched_ms = time_campaign(workload, &config(STRIDE, true, 32), reps);
 
     let telemetry = Telemetry::new(FAULTS);
-    let _ = run_scifi_campaign_observed(workload, &config(STRIDE, true), &telemetry);
+    let _ = run_scifi_campaign_observed(workload, &config(STRIDE, true, 32), &telemetry);
     let snap = telemetry.snapshot();
 
     WorkloadBench {
@@ -97,17 +144,96 @@ fn bench_workload(name: &str, workload: &Workload, reps: u32) -> WorkloadBench {
         flat_ms,
         checkpointed_ms,
         pruned_ms,
+        batched_ms,
         checkpointing_speedup: flat_ms / checkpointed_ms,
         pruning_speedup: checkpointed_ms / pruned_ms,
-        end_to_end_speedup: flat_ms / pruned_ms,
+        batching_speedup: pruned_ms / batched_ms,
+        end_to_end_speedup: flat_ms / batched_ms,
         simulated: snap.simulated(),
         analytic: snap.analytic,
         replicated: snap.replicated,
     }
 }
 
+/// Times the paper-scale campaign (Algorithm I, the fixed report seed)
+/// under `model`, scalar against batched. One rep each — at 2000 faults
+/// the runs are long enough that a single measurement is stable, and the
+/// process is already warm from the quick section.
+fn bench_paper_model(model: FaultModel, faults: usize) -> ModelBench {
+    let mut cfg = CampaignConfig::paper(faults, repro::CAMPAIGN_SEED);
+    cfg.threads = 1;
+    cfg.fault_model = model;
+
+    cfg.batch_width = 0;
+    let workload = Workload::algorithm_one();
+    let started = Instant::now();
+    let _ = run_scifi_campaign(&workload, &cfg);
+    let scalar_ms = started.elapsed().as_secs_f64() * 1000.0;
+
+    cfg.batch_width = 32;
+    let telemetry = Telemetry::new(faults);
+    let started = Instant::now();
+    let _ = run_scifi_campaign_observed(&workload, &cfg, &telemetry);
+    let batched_ms = started.elapsed().as_secs_f64() * 1000.0;
+    let snap = telemetry.snapshot();
+
+    ModelBench {
+        model: model.to_string(),
+        scalar_ms,
+        batched_ms,
+        batching_speedup: scalar_ms / batched_ms,
+        simulated: snap.simulated(),
+        analytic: snap.analytic,
+        replicated: snap.replicated,
+        batch_members: snap.batch_members,
+        split_offs: snap.split_offs,
+    }
+}
+
+/// Compares every speedup ratio in `fresh` against `baseline` and returns
+/// the regressions (label, baseline ratio, fresh ratio).
+fn regressions(fresh: &BenchReport, baseline: &BenchReport) -> Vec<(String, f64, f64)> {
+    let mut out = Vec::new();
+    let mut check = |label: String, base: f64, now: f64| {
+        if now < REGRESSION_FLOOR * base {
+            out.push((label, base, now));
+        }
+    };
+    for w in &fresh.workloads {
+        let Some(b) = baseline.workloads.iter().find(|b| b.workload == w.workload) else {
+            continue;
+        };
+        check(
+            format!("{} end-to-end", w.workload),
+            b.end_to_end_speedup,
+            w.end_to_end_speedup,
+        );
+    }
+    for m in &fresh.paper_scale.models {
+        let Some(b) = baseline
+            .paper_scale
+            .models
+            .iter()
+            .find(|b| b.model == m.model)
+        else {
+            continue;
+        };
+        // Millisecond columns vary by machine; the speedup ratio is the
+        // portable signal, and only comparable at equal campaign size.
+        if baseline.paper_scale.faults == fresh.paper_scale.faults {
+            check(
+                format!("paper-scale {} batching", m.model),
+                b.batching_speedup,
+                m.batching_speedup,
+            );
+        }
+    }
+    out
+}
+
 fn main() {
     let mut reps = 15u32;
+    let mut baseline_path: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -117,13 +243,19 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--reps expects a positive integer");
             }
+            "--baseline" => {
+                baseline_path = Some(it.next().expect("--baseline expects a path"));
+            }
             other => {
-                eprintln!("usage: bench_campaign [--reps N] (unknown flag `{other}`)");
+                eprintln!(
+                    "usage: bench_campaign [--reps N] [--baseline PATH] (unknown flag `{other}`)"
+                );
                 std::process::exit(1);
             }
         }
     }
 
+    let paper_faults = repro::fault_override(2000);
     let report = BenchReport {
         faults: FAULTS,
         seed: SEED,
@@ -134,25 +266,80 @@ fn main() {
             bench_workload("Algorithm I", &Workload::algorithm_one(), reps),
             bench_workload("Algorithm II", &Workload::algorithm_two(), reps),
         ],
+        paper_scale: PaperScale {
+            faults: paper_faults,
+            seed: repro::CAMPAIGN_SEED,
+            iterations: LoopConfig::paper().iterations,
+            models: vec![
+                bench_paper_model(FaultModel::SingleBit, paper_faults),
+                bench_paper_model(FaultModel::AdjacentDoubleBit, paper_faults),
+                bench_paper_model(FaultModel::Burst { width: 3 }, paper_faults),
+            ],
+        },
     };
 
     for w in &report.workloads {
         eprintln!(
             "{}: flat {:.2} ms, checkpointed {:.2} ms ({:.2}x), pruned {:.2} ms \
-             ({:.2}x further, {:.2}x end-to-end; sim {} analytic {} replicated {})",
+             ({:.2}x further), batched {:.2} ms ({:.2}x further, {:.2}x end-to-end; \
+             sim {} analytic {} replicated {})",
             w.workload,
             w.flat_ms,
             w.checkpointed_ms,
             w.checkpointing_speedup,
             w.pruned_ms,
             w.pruning_speedup,
+            w.batched_ms,
+            w.batching_speedup,
             w.end_to_end_speedup,
             w.simulated,
             w.analytic,
             w.replicated,
         );
     }
+    for m in &report.paper_scale.models {
+        eprintln!(
+            "paper scale {} ({} faults): scalar {:.0} ms, batched {:.0} ms ({:.2}x; \
+             sim {} analytic {} replicated {}, {} batched {} split off)",
+            m.model,
+            report.paper_scale.faults,
+            m.scalar_ms,
+            m.batched_ms,
+            m.batching_speedup,
+            m.simulated,
+            m.analytic,
+            m.replicated,
+            m.batch_members,
+            m.split_offs,
+        );
+    }
 
-    let json = serde_json::to_string(&report).expect("serialize bench report");
+    let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
     repro::write_artifact("BENCH_campaign.json", &json);
+
+    if let Some(path) = baseline_path {
+        let contents = match std::fs::read_to_string(&path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: cannot read baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let baseline: BenchReport = match serde_json::from_str(&contents) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: cannot parse baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let regressed = regressions(&report, &baseline);
+        if regressed.is_empty() {
+            eprintln!("baseline check passed: no speedup regressed below 80% of {path}");
+        } else {
+            for (label, base, now) in &regressed {
+                eprintln!("regression: {label} speedup {now:.2}x < 80% of baseline {base:.2}x");
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -6,6 +6,7 @@
 //!          [--parity-cache] [--checkpoint-stride K]
 //!          [--fault-model single|double|intermittent:N|stuck0|stuck1|burst:W]
 //!          [--deadline SECS] [--unsupervised] [--no-prune] [--paranoid N]
+//!          [--batch-width W] [--no-batch]
 //!          [--json FILE] [--out FILE] [--resume] [--progress]
 //! ```
 //!
@@ -27,6 +28,14 @@
 //! representative simulation. `--no-prune` simulates every fault;
 //! `--paranoid N` re-simulates up to N replicated class members per
 //! equivalence class and panics if any disagrees with its representative.
+//!
+//! Flip-model campaigns additionally run the lockstep batch engine
+//! (`DESIGN.md` § 8f): plan survivors sharing a checkpoint window walk the
+//! golden access trace together as copy-on-write deltas, classifying
+//! replicas that never diverge without executing a single instruction and
+//! materializing the rest at their divergence instant. `--batch-width W`
+//! sizes the replica groups; `--no-batch` forces the scalar path.
+//! Outcomes are bit-identical either way.
 
 use bera::goofi::campaign::{prepare_campaign, CampaignConfig};
 use bera::goofi::experiment::{ExperimentRecord, FaultModel, LoopConfig};
@@ -52,6 +61,7 @@ struct Args {
     unsupervised: bool,
     no_prune: bool,
     paranoid: usize,
+    batch_width: usize,
     json: Option<String>,
     out: Option<String>,
     resume: bool,
@@ -72,6 +82,7 @@ fn parse_args() -> Result<Args, String> {
         unsupervised: false,
         no_prune: false,
         paranoid: 0,
+        batch_width: CampaignConfig::paper(1, 0).batch_width,
         json: None,
         out: None,
         resume: false,
@@ -138,6 +149,12 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--paranoid: {e}"))?;
             }
+            "--batch-width" => {
+                args.batch_width = value("--batch-width")?
+                    .parse()
+                    .map_err(|e| format!("--batch-width: {e}"))?;
+            }
+            "--no-batch" => args.batch_width = 0,
             "--json" => args.json = Some(value("--json")?),
             "--out" => args.out = Some(value("--out")?),
             "--resume" => args.resume = true,
@@ -167,6 +184,7 @@ fn usage() {
          \t[--parity-cache] [--checkpoint-stride K]\n\
          \t[--fault-model single|double|intermittent:N|stuck0|stuck1|burst:W]\n\
          \t[--deadline SECS] [--unsupervised] [--no-prune] [--paranoid N]\n\
+         \t[--batch-width W] [--no-batch]\n\
          \t[--json FILE] [--out FILE] [--resume] [--progress]\n\
          \n\
          --checkpoint-stride K  capture a golden checkpoint every K iterations\n\
@@ -186,6 +204,10 @@ fn usage() {
          \tequivalence class; outcomes are bit-identical either way)\n\
          --paranoid N   re-simulate up to N replicated members per\n\
          \tequivalence class as a runtime cross-check of the pruner\n\
+         --batch-width W  lockstep-batch up to W replicas per checkpoint\n\
+         \twindow against the golden access trace (flip models only;\n\
+         \toutcomes are bit-identical to the scalar path)\n\
+         --no-batch     force the scalar per-fault path (= --batch-width 0)\n\
          --out FILE     stream records to a checksummed JSONL result store\n\
          --resume       continue an interrupted store (validates that it\n\
          \tbelongs to this campaign; re-runs only the missing faults)\n\
@@ -244,6 +266,7 @@ fn main() -> ExitCode {
     cfg.fault_model = args.fault_model;
     cfg.prune = !args.no_prune;
     cfg.paranoid = args.paranoid;
+    cfg.batch_width = args.batch_width;
     cfg.supervisor = if args.unsupervised {
         None
     } else {
@@ -355,6 +378,27 @@ fn finish(
         elapsed.as_secs_f64(),
         result.records.len() as f64 / elapsed.as_secs_f64().max(1e-9),
     );
+
+    // A result store gets a telemetry sidecar: the snapshot holds the
+    // execution-strategy counters (prune/splice/batch/split-off) that the
+    // records themselves don't carry, so `report` can show how a stored
+    // campaign was run.
+    if let Some(out) = &args.out {
+        let side = format!("{out}.telemetry.json");
+        match serde_json::to_string_pretty(&snap) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&side, json) {
+                    eprintln!("error writing {side}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("telemetry written to {side}");
+            }
+            Err(e) => {
+                eprintln!("error serialising telemetry: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     if let Some(path) = &args.json {
         match result.to_json() {

@@ -20,6 +20,7 @@
 //! mis-tabulated.
 
 use bera::goofi::campaign::CampaignResult;
+use bera::goofi::observer::TelemetrySnapshot;
 use bera::goofi::store::load_store;
 use bera::goofi::table::{tabulate, ComparisonTable, ModelBreakdown};
 use bera::repro;
@@ -133,6 +134,34 @@ fn load(path: &str, partial: bool) -> Result<CampaignResult, String> {
     }
 }
 
+/// Prints the execution-strategy counters from a campaign's telemetry
+/// sidecar (`<store>.telemetry.json`, written by `campaign --out`), when
+/// one exists. The records alone can't show *how* the campaign ran —
+/// prune rate, convergence splices, lockstep batch occupancy and
+/// split-off rate live only in the snapshot.
+fn report_telemetry_sidecar(store_path: &str) {
+    let side = format!("{store_path}.telemetry.json");
+    let Ok(json) = std::fs::read_to_string(&side) else {
+        return;
+    };
+    match serde_json::from_str::<TelemetrySnapshot>(&json) {
+        Ok(snap) => {
+            eprintln!("{store_path}: run as {snap}");
+            if snap.batch_members > 0 {
+                eprintln!(
+                    "{store_path}: lockstep batching: {} groups, {:.0}% occupancy, \
+                     {:.0}% split off, mean lockstep prefix {:.0} instructions",
+                    snap.batch_groups,
+                    100.0 * snap.batch_occupancy(),
+                    100.0 * snap.split_off_rate(),
+                    snap.mean_lockstep_prefix(),
+                );
+            }
+        }
+        Err(e) => eprintln!("note: {side} is unreadable ({e}); ignoring"),
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -191,6 +220,9 @@ fn main() -> ExitCode {
     };
 
     println!("{rendered}");
+    for path in &args.files {
+        report_telemetry_sidecar(path);
+    }
     if let Some(name) = &args.artifact {
         repro::write_artifact(name, &rendered);
     }

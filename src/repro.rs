@@ -20,14 +20,21 @@ pub const CAMPAIGN_SEED: u64 = 20010701; // DSN 2001, Göteborg, July 2001
 #[must_use]
 pub fn artifacts_dir() -> PathBuf {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("artifacts");
-    fs::create_dir_all(&dir).expect("artifacts directory must be creatable");
+    if let Err(e) = fs::create_dir_all(&dir) {
+        panic!("cannot create artifacts directory {}: {e}", dir.display());
+    }
     dir
 }
 
 /// Writes an artifact file and reports where it went.
+///
+/// Fails loudly — naming the path and the OS error — rather than letting
+/// a benchmark or table run complete with its output silently missing.
 pub fn write_artifact(name: &str, contents: &str) {
     let path = artifacts_dir().join(name);
-    fs::write(&path, contents).expect("artifact must be writable");
+    if let Err(e) = fs::write(&path, contents) {
+        panic!("cannot write artifact {}: {e}", path.display());
+    }
     println!("wrote {}", path.display());
 }
 

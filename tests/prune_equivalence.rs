@@ -59,6 +59,7 @@ fn assert_equivalent(pruned: &[ExperimentRecord], unpruned: &[ExperimentRecord])
 fn equivalence_500(workload: &Workload, seed: u64) {
     let mut cfg = CampaignConfig::quick(500, seed);
     cfg.threads = 0; // all cores; sharding is outcome-invariant
+    cfg.batch_width = 0; // provenance counts below assume scalar execution
     let pruned = run(workload, &cfg);
     cfg.prune = false;
     let unpruned = run(workload, &cfg);
@@ -144,6 +145,9 @@ fn every_fault_model_matches_its_unpruned_run() {
     for model in models {
         let mut cfg = CampaignConfig::quick(80, 31);
         cfg.fault_model = model;
+        // The lockstep batch engine also emits analytic records for the
+        // flip models; pin it off so the counts below isolate the pruner.
+        cfg.batch_width = 0;
         let pruned = run(&workload, &cfg);
         cfg.prune = false;
         let unpruned = run(&workload, &cfg);
