@@ -525,6 +525,7 @@ fn run_fault_list_resumed(
             if done[i] {
                 continue;
             }
+            crate::fp_nofail!("campaign.claim");
             slots[i] = Some(run_index(i));
         }
     } else {
@@ -553,6 +554,10 @@ fn run_fault_list_resumed(
                             if done[i] {
                                 continue;
                             }
+                            // A `panic` here kills the worker with claims
+                            // in flight (the self-heal path); a `crash`
+                            // kills the process mid-campaign.
+                            crate::fp_nofail!("campaign.claim");
                             ran.push((i, run_index(i)));
                         }
                         ran
@@ -580,6 +585,10 @@ fn run_fault_list_resumed(
             }
         });
         if cfg.supervisor.is_some() {
+            // A crash here models dying after workers died but before
+            // their lost claims were re-run: the store keeps every record
+            // that classified, and the claims stay a resumable gap.
+            crate::fp_nofail!("campaign.self-heal");
             for i in 0..faults.len() {
                 if slots[i].is_none() && !done[i] {
                     slots[i] = Some(run_index(i));

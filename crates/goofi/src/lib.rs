@@ -48,6 +48,7 @@
 pub mod campaign;
 pub mod classify;
 pub mod experiment;
+pub mod failpoints;
 pub mod observer;
 pub mod planner;
 pub mod propagation;

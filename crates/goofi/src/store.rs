@@ -27,13 +27,13 @@
 
 use crate::campaign::{CampaignConfig, CampaignResult};
 use crate::experiment::{ExperimentRecord, FaultModel, GoldenRun};
-use crate::observer::CampaignObserver;
+use crate::observer::{CampaignObserver, TelemetrySnapshot};
 use bera_tcpu::Fnv64;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// First bytes of every store file, guarding against feeding an arbitrary
@@ -458,10 +458,19 @@ impl JsonlStore {
     ///
     /// Propagates filesystem errors.
     pub fn create(path: &Path, header: &StoreHeader) -> Result<Self, StoreError> {
-        let mut writer = BufWriter::new(File::create(path)?);
+        let file = File::create(path)?;
+        crate::fp!("store.create.before-header");
+        let mut writer = BufWriter::new(file);
         writer.write_all(to_json(header).as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
+        crate::fp!("store.create.after-header");
+        // The header is the store's identity: force it to stable storage
+        // before any record references it, so a machine crash cannot leave
+        // records under a header that never made it to disk. Records
+        // themselves rely on line-at-a-time flushes plus checksum
+        // detection — a torn tail is re-run on resume by design.
+        writer.get_ref().sync_all()?;
         Ok(JsonlStore {
             inner: Mutex::new(StoreInner {
                 writer,
@@ -488,6 +497,7 @@ impl JsonlStore {
         if loaded.torn_tail {
             // Cut the partial final line so new appends start on a fresh
             // line instead of concatenating onto the torn one.
+            crate::fp!("store.resume.before-truncate");
             let bytes = std::fs::read(path)?;
             let keep = bytes
                 .iter()
@@ -495,6 +505,8 @@ impl JsonlStore {
                 .map_or(0, |pos| pos + 1);
             let file = OpenOptions::new().write(true).open(path)?;
             file.set_len(keep as u64)?;
+            file.sync_all()?;
+            crate::fp!("store.resume.after-truncate");
         }
         let writer = BufWriter::new(OpenOptions::new().append(true).open(path)?);
         Ok((
@@ -508,6 +520,19 @@ impl JsonlStore {
         ))
     }
 
+    /// Writes and flushes one record line; the single append path shared
+    /// by [`JsonlStore::append`] and the observer callback, so the
+    /// failpoint instrumentation covers both.
+    fn write_line(inner: &mut StoreInner, line: &str) -> std::io::Result<()> {
+        crate::fp!("store.append.before-write");
+        inner.writer.write_all(line.as_bytes())?;
+        inner.writer.write_all(b"\n")?;
+        crate::fp!("store.append.after-write");
+        inner.writer.flush()?;
+        crate::fp!("store.append.after-flush");
+        Ok(())
+    }
+
     /// Appends one record line and flushes it.
     ///
     /// # Errors
@@ -516,9 +541,7 @@ impl JsonlStore {
     pub fn append(&self, index: usize, record: &ExperimentRecord) -> Result<(), StoreError> {
         let line = encode_record(index, record);
         let mut inner = self.inner.lock().expect("store lock poisoned");
-        inner.writer.write_all(line.as_bytes())?;
-        inner.writer.write_all(b"\n")?;
-        inner.writer.flush()?;
+        Self::write_line(&mut inner, &line)?;
         Ok(())
     }
 
@@ -538,6 +561,72 @@ impl JsonlStore {
     }
 }
 
+/// The conventional path of a store's telemetry sidecar:
+/// `<store>.telemetry.json` next to the store file.
+#[must_use]
+pub fn telemetry_sidecar_path(store: &Path) -> PathBuf {
+    let mut name = store
+        .file_name()
+        .map_or_else(Default::default, std::ffi::OsStr::to_os_string);
+    name.push(".telemetry.json");
+    store.with_file_name(name)
+}
+
+/// Writes the telemetry sidecar for the store at `store` atomically: the
+/// snapshot is serialized to a `.tmp` sibling and renamed into place, so
+/// a crash mid-write can never leave a truncated or half-JSON sidecar at
+/// the published path — readers (`report`) see the old sidecar, the new
+/// one, or none.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; the temporary file is cleaned up on a
+/// failed rename.
+pub fn write_telemetry_sidecar(
+    store: &Path,
+    snapshot: &TelemetrySnapshot,
+) -> Result<PathBuf, StoreError> {
+    let side = telemetry_sidecar_path(store);
+    let mut tmp_name = side
+        .file_name()
+        .map_or_else(Default::default, std::ffi::OsStr::to_os_string);
+    tmp_name.push(".tmp");
+    let tmp = side.with_file_name(tmp_name);
+    crate::fp!("sidecar.before-write");
+    let json = serde_json::to_string_pretty(snapshot).map_err(|e| StoreError::Corrupt {
+        line: 0,
+        message: format!("telemetry snapshot does not serialize: {e}"),
+    })?;
+    let write_tmp = || -> std::io::Result<()> {
+        let mut file = File::create(&tmp)?;
+        file.write_all(json.as_bytes())?;
+        file.write_all(b"\n")?;
+        file.sync_all()?;
+        crate::fp!("sidecar.before-rename");
+        std::fs::rename(&tmp, &side)
+    };
+    if let Err(e) = write_tmp() {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(StoreError::Io(e));
+    }
+    Ok(side)
+}
+
+/// Recognizes the disk state left by a crash between store creation and a
+/// durable header: an empty file, or a file containing no newline at all
+/// (a torn header write — a valid store always begins with a
+/// newline-terminated header line, so such a file provably holds no
+/// records). A resume can safely recreate such a remnant from scratch;
+/// anything else that fails to load is genuine corruption and must be
+/// refused, never overwritten.
+#[must_use]
+pub fn headerless_remnant(path: &Path) -> bool {
+    let Ok(bytes) = std::fs::read(path) else {
+        return false;
+    };
+    !bytes.contains(&b'\n')
+}
+
 impl CampaignObserver for JsonlStore {
     fn experiment_classified(&self, index: usize, record: &ExperimentRecord) {
         let line = encode_record(index, record);
@@ -545,12 +634,7 @@ impl CampaignObserver for JsonlStore {
         if inner.deferred_error.is_some() {
             return; // already failing; don't spam
         }
-        let write = |inner: &mut StoreInner| -> std::io::Result<()> {
-            inner.writer.write_all(line.as_bytes())?;
-            inner.writer.write_all(b"\n")?;
-            inner.writer.flush()
-        };
-        if let Err(e) = write(&mut inner) {
+        if let Err(e) = Self::write_line(&mut inner, &line) {
             eprintln!("warning: result store append failed: {e}");
             inner.deferred_error = Some(e);
         }
@@ -662,6 +746,49 @@ mod tests {
             other => panic!("expected a corrupt-line error, got {other:?}"),
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sidecar_path_follows_the_store_name() {
+        let p = telemetry_sidecar_path(Path::new("/tmp/run/camp.jsonl"));
+        assert_eq!(p, PathBuf::from("/tmp/run/camp.jsonl.telemetry.json"));
+    }
+
+    #[test]
+    fn sidecar_write_is_atomic_and_reparses() {
+        let store_path = temp_path("sidecar");
+        let snap = crate::observer::Telemetry::new(7).snapshot();
+        let side = write_telemetry_sidecar(&store_path, &snap).expect("sidecar write");
+        assert_eq!(side, telemetry_sidecar_path(&store_path));
+        let json = std::fs::read_to_string(&side).expect("sidecar readable");
+        let back: TelemetrySnapshot = serde_json::from_str(&json).expect("sidecar parses");
+        assert_eq!(back.total, 7);
+        let mut tmp_name = side.file_name().unwrap().to_os_string();
+        tmp_name.push(".tmp");
+        assert!(
+            !side.with_file_name(tmp_name).exists(),
+            "temporary file must not survive a successful rename"
+        );
+        std::fs::remove_file(&side).ok();
+    }
+
+    #[test]
+    fn headerless_remnants_are_recognized_and_real_stores_are_not() {
+        let path = temp_path("remnant");
+        std::fs::write(&path, b"").unwrap();
+        assert!(headerless_remnant(&path), "empty file is a remnant");
+        std::fs::write(&path, b"{\"magic\":\"bera-camp").unwrap();
+        assert!(headerless_remnant(&path), "torn header is a remnant");
+        std::fs::write(&path, b"{\"hello\":1}\nmore\n").unwrap();
+        assert!(
+            !headerless_remnant(&path),
+            "newline-terminated content is never recreated over"
+        );
+        std::fs::remove_file(&path).ok();
+        assert!(
+            !headerless_remnant(&path),
+            "a missing file is not a remnant"
+        );
     }
 
     #[test]

@@ -177,6 +177,10 @@ fn attempt(
 ) -> Result<ExperimentRecord, (HarnessCause, String)> {
     let deadline = sup.deadline.map(|d| Instant::now() + d);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
+        // Inside the containment boundary: arming this with `panic` is the
+        // CLI-reachable way to drive the retry/quarantine paths that the
+        // ChaosHarness drives from tests (ASSURANCE.md).
+        crate::fp_nofail!("experiment.attempt");
         if let Some(chaos) = &sup.chaos {
             chaos.before_attempt(index);
         }
@@ -226,6 +230,9 @@ pub fn run_supervised(
         Ok(record) => return record,
         Err(failure) => failure,
     };
+    // A crash here models dying between a failed attempt and its retry:
+    // no record was emitted, so the fault is a gap a resume must re-run.
+    crate::fp_nofail!("supervisor.before-retry");
     observer.experiment_retried(index, cause);
 
     // Graceful degradation: replay from reset with checkpointing disabled,
@@ -255,6 +262,10 @@ pub fn run_supervised(
     };
 
     // Quarantine: a terminal record accounting for what could not be run.
+    // A crash here models dying with the quarantine decision made but its
+    // record not yet durable — the fault must re-run (healthy or not) on
+    // resume rather than be lost.
+    crate::fp_nofail!("supervisor.before-quarantine");
     let location = scan::catalog()[fault.location_index];
     let record = ExperimentRecord {
         fault,

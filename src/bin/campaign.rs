@@ -8,6 +8,7 @@
 //!          [--deadline SECS] [--unsupervised] [--no-prune] [--paranoid N]
 //!          [--batch-width W] [--no-batch]
 //!          [--json FILE] [--out FILE] [--resume] [--progress]
+//!          [--failpoint id=action[@N]]...
 //! ```
 //!
 //! `--out` streams every record to a checksummed JSONL store as it
@@ -29,6 +30,12 @@
 //! `--paranoid N` re-simulates up to N replicated class members per
 //! equivalence class and panics if any disagrees with its representative.
 //!
+//! Builds carrying the `failpoints` feature accept `--failpoint
+//! id=action[@N]` (repeatable) to arm deterministic crash/error/panic/
+//! delay injection at the campaign plane's durability boundaries — the
+//! manual-repro face of the crash-recovery assurance suite
+//! (`ASSURANCE.md`, `tests/crash_recovery.rs`).
+//!
 //! Flip-model campaigns additionally run the lockstep batch engine
 //! (`DESIGN.md` § 8f): plan survivors sharing a checkpoint window walk the
 //! golden access trace together as copy-on-write deltas, classifying
@@ -39,8 +46,9 @@
 
 use bera::goofi::campaign::{prepare_campaign, CampaignConfig};
 use bera::goofi::experiment::{ExperimentRecord, FaultModel, LoopConfig};
+use bera::goofi::failpoints;
 use bera::goofi::observer::{CampaignObserver, ObserverSet, Telemetry};
-use bera::goofi::store::{JsonlStore, StoreHeader};
+use bera::goofi::store::{headerless_remnant, write_telemetry_sidecar, JsonlStore, StoreHeader};
 use bera::goofi::table::tabulate;
 use bera::goofi::workload::Workload;
 use std::path::Path;
@@ -66,6 +74,7 @@ struct Args {
     out: Option<String>,
     resume: bool,
     progress: bool,
+    failpoints: Vec<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -87,6 +96,7 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         resume: false,
         progress: false,
+        failpoints: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -159,6 +169,7 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = Some(value("--out")?),
             "--resume" => args.resume = true,
             "--progress" => args.progress = true,
+            "--failpoint" => args.failpoints.push(value("--failpoint")?),
             "--help" | "-h" => {
                 return Err(String::new()); // triggers usage
             }
@@ -173,6 +184,16 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.no_prune && args.paranoid > 0 {
         return Err("--paranoid cross-checks the pruner; drop --no-prune".to_string());
+    }
+    if !args.failpoints.is_empty() && !failpoints::ENABLED {
+        return Err(
+            "--failpoint requires a build with the `failpoints` feature \
+             (cargo run --features failpoints --bin campaign ...)"
+                .to_string(),
+        );
+    }
+    for spec in &args.failpoints {
+        failpoints::configure(spec).map_err(|e| format!("--failpoint: {e}"))?;
     }
     Ok(args)
 }
@@ -211,7 +232,12 @@ fn usage() {
          --out FILE     stream records to a checksummed JSONL result store\n\
          --resume       continue an interrupted store (validates that it\n\
          \tbelongs to this campaign; re-runs only the missing faults)\n\
-         --progress     live telemetry on stderr (throughput, ETA, counters)"
+         --progress     live telemetry on stderr (throughput, ETA, counters)\n\
+         --failpoint id=action[@N]  arm a failpoint (builds with the\n\
+         \t`failpoints` feature only): deterministic crash/error/panic/\n\
+         \tdelay injection at the store/supervisor/claim boundaries, for\n\
+         \tcrash-recovery testing and manual repro (see ASSURANCE.md);\n\
+         \t@N fires from the Nth hit; repeat the flag to arm several"
     );
 }
 
@@ -294,7 +320,23 @@ fn main() -> ExitCode {
         Some(path) => {
             let path = Path::new(path);
             let header = StoreHeader::new(args.workload.name(), &cfg, prepared.golden());
-            if args.resume && path.exists() {
+            if args.resume && path.exists() && headerless_remnant(path) {
+                // A crash between store creation and a durable header
+                // leaves an empty or newline-free file: provably no
+                // records, so recovery is a fresh start, not a refusal.
+                eprintln!(
+                    "note: {} is a headerless remnant (crash before the \
+                     header was durable); starting the store afresh",
+                    path.display()
+                );
+                match JsonlStore::create(path, &header) {
+                    Ok(store) => store,
+                    Err(e) => {
+                        eprintln!("error: cannot recreate {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else if args.resume && path.exists() {
                 match JsonlStore::open_resume(path, &header) {
                     Ok((store, loaded)) => {
                         if loaded.torn_tail {
@@ -382,19 +424,13 @@ fn finish(
     // A result store gets a telemetry sidecar: the snapshot holds the
     // execution-strategy counters (prune/splice/batch/split-off) that the
     // records themselves don't carry, so `report` can show how a stored
-    // campaign was run.
+    // campaign was run. Written atomically (temp file + rename) so a
+    // crash mid-write cannot leave a truncated sidecar.
     if let Some(out) = &args.out {
-        let side = format!("{out}.telemetry.json");
-        match serde_json::to_string_pretty(&snap) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(&side, json) {
-                    eprintln!("error writing {side}: {e}");
-                    return ExitCode::FAILURE;
-                }
-                eprintln!("telemetry written to {side}");
-            }
+        match write_telemetry_sidecar(Path::new(out), &snap) {
+            Ok(side) => eprintln!("telemetry written to {}", side.display()),
             Err(e) => {
-                eprintln!("error serialising telemetry: {e}");
+                eprintln!("error writing telemetry sidecar for {out}: {e}");
                 return ExitCode::FAILURE;
             }
         }

@@ -1,0 +1,160 @@
+//! Keeps `ASSURANCE.md` honest. Runs with or without the `failpoints`
+//! feature (it only reads source and docs), so plain `cargo test` fails
+//! the moment the traceability table drifts from the failpoint catalog,
+//! the crash/recovery suite, or the CI workflow.
+
+use bera::goofi::failpoints::CATALOG;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+fn repo_file(rel: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// One parsed row of the ASSURANCE.md traceability table.
+struct Row {
+    failpoint: String,
+    invariants: Vec<String>,
+    tests: Vec<String>,
+    gate: String,
+}
+
+/// Extracts every backtick-quoted token from a table cell.
+fn backticked(cell: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = cell;
+    while let Some(start) = rest.find('`') {
+        let tail = &rest[start + 1..];
+        let end = tail
+            .find('`')
+            .expect("unterminated backtick in ASSURANCE.md cell");
+        out.push(tail[..end].to_string());
+        rest = &tail[end + 1..];
+    }
+    out
+}
+
+fn parse_rows(markdown: &str) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for line in markdown.lines() {
+        let line = line.trim();
+        // Data rows start with a backticked failpoint ID; this skips the
+        // header row and the |---| separator.
+        if !line.starts_with("| `") {
+            continue;
+        }
+        let cells: Vec<&str> = line.trim_matches('|').split('|').map(str::trim).collect();
+        assert_eq!(
+            cells.len(),
+            4,
+            "ASSURANCE.md table rows must have 4 cells: {line}"
+        );
+        let failpoint = backticked(cells[0]);
+        assert_eq!(failpoint.len(), 1, "exactly one failpoint per row: {line}");
+        let invariants: Vec<String> = cells[1]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        assert!(!invariants.is_empty(), "row maps no invariant: {line}");
+        let tests = backticked(cells[2]);
+        assert!(!tests.is_empty(), "row names no test: {line}");
+        let gate = backticked(cells[3]);
+        assert_eq!(gate.len(), 1, "exactly one CI gate per row: {line}");
+        rows.push(Row {
+            failpoint: failpoint.into_iter().next().unwrap(),
+            invariants,
+            tests,
+            gate: gate.into_iter().next().unwrap(),
+        });
+    }
+    rows
+}
+
+#[test]
+fn assurance_table_maps_the_catalog_exactly() {
+    let rows = parse_rows(&repo_file("ASSURANCE.md"));
+    let mapped: BTreeMap<&str, &Row> = rows.iter().map(|r| (r.failpoint.as_str(), r)).collect();
+    assert_eq!(
+        mapped.len(),
+        rows.len(),
+        "ASSURANCE.md maps some failpoint twice"
+    );
+    for def in CATALOG {
+        assert!(
+            mapped.contains_key(def.id),
+            "catalog failpoint `{}` has no ASSURANCE.md row",
+            def.id
+        );
+    }
+    for row in &rows {
+        assert!(
+            CATALOG.iter().any(|d| d.id == row.failpoint),
+            "ASSURANCE.md row `{}` names no catalog failpoint",
+            row.failpoint
+        );
+    }
+}
+
+#[test]
+fn assurance_invariants_are_the_declared_ones() {
+    let markdown = repo_file("ASSURANCE.md");
+    for row in parse_rows(&markdown) {
+        for inv in &row.invariants {
+            assert!(
+                matches!(inv.as_str(), "I1" | "I2" | "I3" | "I4" | "I5" | "I6"),
+                "row `{}` cites unknown invariant `{inv}`",
+                row.failpoint
+            );
+            let heading = format!("**{inv} —");
+            assert!(
+                markdown.contains(&heading),
+                "invariant `{inv}` cited by `{}` is not defined above the table",
+                row.failpoint
+            );
+        }
+    }
+}
+
+#[test]
+fn every_mapped_test_exists_in_the_crash_recovery_suite() {
+    let suite = repo_file("tests/crash_recovery.rs");
+    for row in parse_rows(&repo_file("ASSURANCE.md")) {
+        for test in &row.tests {
+            assert!(
+                suite.contains(&format!("fn {test}(")),
+                "ASSURANCE.md row `{}` names test `{test}` which does not \
+                 exist in tests/crash_recovery.rs",
+                row.failpoint
+            );
+        }
+    }
+}
+
+#[test]
+fn every_failpoint_has_a_crash_scenario() {
+    let suite = repo_file("tests/crash_recovery.rs");
+    for def in CATALOG {
+        assert!(
+            suite.contains(&format!("{}=crash", def.id)),
+            "failpoint `{}` is never driven through a crash scenario in \
+             tests/crash_recovery.rs",
+            def.id
+        );
+    }
+}
+
+#[test]
+fn the_ci_gate_column_names_a_real_workflow_job() {
+    let workflow = repo_file(".github/workflows/ci.yml");
+    for row in parse_rows(&repo_file("ASSURANCE.md")) {
+        assert!(
+            workflow.contains(&format!("\n  {}:", row.gate)),
+            "ASSURANCE.md row `{}` cites CI gate `{}` which is not a job \
+             in .github/workflows/ci.yml",
+            row.failpoint,
+            row.gate
+        );
+    }
+}

@@ -229,6 +229,72 @@ fn resume_from_empty_gap_is_a_no_op() {
 }
 
 #[test]
+fn double_crash_converges_to_the_one_shot_result() {
+    // Crash once mid-campaign (torn final line), crash *again* midway
+    // through the resume that was repairing it (its own torn final line),
+    // and resume a third time: the store must still converge bit-identical
+    // to the never-crashed run. Resume is idempotent, not merely
+    // single-shot safe.
+    let workload = Workload::algorithm_one();
+    let cfg = config(FaultModel::SingleBit);
+    let full_path = temp_path("dc-full");
+    let crash1_path = temp_path("dc-crash1");
+    let crash2_path = temp_path("dc-crash2");
+
+    let full = one_shot(&workload, &cfg, &full_path);
+
+    // Crash #1: six records survive whole, the seventh is torn mid-write.
+    interrupt(&full_path, &crash1_path, 6, 9);
+
+    // The first recovery run completes the store...
+    let resumed_once = resume(&workload, &cfg, &crash1_path);
+    assert_eq!(record_set_json(&full), record_set_json(&resumed_once));
+
+    // ...but crash #2 hits a hypothetical sibling of that run midway:
+    // the six original records plus three the resume appended survive,
+    // and the recovery's own in-flight line is torn.
+    interrupt(&crash1_path, &crash2_path, 9, 11);
+    let after_second_crash = load_store(&crash2_path).expect("doubly-crashed store loads");
+    assert!(
+        after_second_crash.torn_tail,
+        "second crash must leave a torn tail"
+    );
+    assert!(
+        after_second_crash.done() < cfg.faults,
+        "doubly-crashed store must still have a gap"
+    );
+
+    // The third run converges.
+    let final_result = resume(&workload, &cfg, &crash2_path);
+    assert_eq!(
+        record_set_json(&full),
+        record_set_json(&final_result),
+        "two crashes and two resumes must still reproduce the one-shot records"
+    );
+    let reload_full = load_store(&full_path)
+        .expect("reload one-shot store")
+        .into_result()
+        .expect("one-shot store complete");
+    let reload_final = load_store(&crash2_path)
+        .expect("reload twice-resumed store")
+        .into_result()
+        .expect("twice-resumed store complete");
+    assert_eq!(
+        record_set_json(&reload_full),
+        record_set_json(&reload_final)
+    );
+    assert_eq!(
+        ComparisonTable::new(&reload_full, &reload_full).render(),
+        ComparisonTable::new(&reload_final, &reload_final).render(),
+        "tables rendered after a double crash must be byte-identical"
+    );
+
+    let _ = std::fs::remove_file(&full_path);
+    let _ = std::fs::remove_file(&crash1_path);
+    let _ = std::fs::remove_file(&crash2_path);
+}
+
+#[test]
 fn table4_from_resumed_stores_is_bit_identical() {
     // Render the Algorithm I vs II comparison from one-shot results and
     // from interrupted-then-resumed results; the reports must match

@@ -254,6 +254,84 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Crash-consistency property over the *whole file*: truncating the
+    /// store at an arbitrary byte — inside the header, at a line
+    /// boundary, mid-record, anywhere — either fails to load with a loud
+    /// error (header gone) or loads exactly the records whose lines
+    /// survived complete, bit-identical to the uncrashed file, with the
+    /// torn-tail flag set iff a partial line remains. It is never
+    /// silently misparsed: no phantom records, no altered records, no
+    /// unflagged partial tail.
+    #[test]
+    fn truncation_at_any_byte_recovers_or_rejects_loudly(cut_seed in 0usize..1_000_000) {
+        let text = reference_store_text();
+        let bytes = text.as_bytes();
+        let cut = cut_seed % (bytes.len() + 1);
+        let prefix = &bytes[..cut];
+        let path = temp_path("anycut");
+        std::fs::write(&path, prefix).expect("write truncated store");
+        let loaded = load_store(&path);
+        let _ = std::fs::remove_file(&path);
+
+        let newlines = prefix.iter().filter(|&&b| b == b'\n').count();
+        if newlines == 0 {
+            // Header line incomplete: the file holds no records and must
+            // be rejected loudly, never half-parsed.
+            prop_assert!(
+                loaded.is_err(),
+                "cut at byte {} leaves no complete header and must not load",
+                cut
+            );
+            return Ok(());
+        }
+
+        let loaded = match loaded {
+            Ok(l) => l,
+            Err(e) => return Err(proptest::test_runner::TestCaseError::fail(format!(
+                "cut at byte {cut} after a complete header must load, got: {e}"
+            ))),
+        };
+        // The complete record lines of the prefix, decoded from the
+        // reference text (line 0 is the header).
+        let complete_records: Vec<(usize, String)> = text
+            .lines()
+            .take(newlines)
+            .skip(1)
+            .map(|line| {
+                let (index, record) = decode_record(line).expect("reference line decodes");
+                (index, serde_json::to_string(&record).unwrap())
+            })
+            .collect();
+        prop_assert_eq!(
+            loaded.done(),
+            complete_records.len(),
+            "cut at byte {} must load exactly the complete record lines",
+            cut
+        );
+        for (index, expected) in &complete_records {
+            let got = loaded.records[*index]
+                .as_ref()
+                .expect("surviving record is present");
+            prop_assert_eq!(
+                &serde_json::to_string(got).unwrap(),
+                expected,
+                "record {} must survive truncation bit-identically",
+                index
+            );
+        }
+        let torn_expected = cut > 0 && bytes[cut - 1] != b'\n';
+        prop_assert_eq!(
+            loaded.torn_tail,
+            torn_expected,
+            "cut at byte {} must flag the torn tail iff a partial line remains",
+            cut
+        );
+    }
+}
+
 #[test]
 fn untorn_reference_store_is_complete() {
     let text = reference_store_text();
