@@ -66,6 +66,15 @@ pub struct CampaignConfig {
     /// chaos-harness tests. Not part of the result-store identity: stores
     /// may be resumed under a different width.
     pub batch_width: usize,
+    /// EDM-visibility analytic coverage (see [`bera_tcpu::vis`] and
+    /// DESIGN.md §8h): classify faults in *untraceable* state —
+    /// PC/PSR/signature/tags/buffers — from the golden run's
+    /// visibility-window trace, and admit their replicas to the lockstep
+    /// batch engine. On by default; outcomes are bit-identical either way
+    /// (the equivalence suites cover the untraceable population), so this
+    /// only widens the analytic/batched share of the campaign. Only
+    /// consulted where pruning/batching are themselves eligible.
+    pub vis: bool,
 }
 
 impl CampaignConfig {
@@ -83,6 +92,7 @@ impl CampaignConfig {
             prune: true,
             paranoid: 0,
             batch_width: 32,
+            vis: true,
         }
     }
 
@@ -100,6 +110,7 @@ impl CampaignConfig {
             prune: true,
             paranoid: 0,
             batch_width: 32,
+            vis: true,
         }
     }
 }
@@ -365,6 +376,7 @@ fn run_fault_list_resumed(
         completed
     };
     let plan = plan_campaign(faults, cfg, golden);
+    observer.plan_computed(&plan.stats());
 
     // Analytic records first: they cost nothing and keep the simulation
     // scheduler's claim loop dense in real work.
@@ -402,11 +414,20 @@ fn run_fault_list_resumed(
             })
             .collect();
         let mut split_classes: HashMap<(usize, u64, Vec<usize>), usize> = HashMap::new();
+        // When the def/use planner ran (single-bit campaigns), every
+        // vis-classifiable fault it left as `Simulate` is sample-first —
+        // its replica is guaranteed to split off at that very sample, so
+        // admission would only pay the lockstep walk for nothing. The
+        // visibility trace therefore feeds admission only where no
+        // planner ran: the multi-bit flip models, and `--no-prune`.
+        let vis_trace = (cfg.vis && !prune_eligible(cfg)).then_some(&golden.vis);
+        let mut rejected_untraceable = 0usize;
+        let mut vis_admitted = 0usize;
         for group in batch_groups(&candidates, faults, golden, cfg.batch_width) {
             let window = golden
                 .checkpoint_before(faults[group[0]].inject_at)
                 .map_or(0, |c| c.iteration);
-            let mut bm = BatchMachine::new(&golden.trace, cfg.batch_width);
+            let mut bm = BatchMachine::new(&golden.trace, vis_trace, cfg.batch_width);
             let mut members: Vec<(usize, usize)> = Vec::new();
             for &i in &group {
                 let flips: Vec<BitLocation> = cfg
@@ -415,9 +436,19 @@ fn run_fault_list_resumed(
                     .into_iter()
                     .map(|j| catalog[j])
                     .collect();
-                // Untraceable bits are rejected here and stay scalar.
+                // Groups are chunked to the batch width, so a rejection
+                // here always means an inadmissible bit: the replica
+                // stays scalar. With the visibility trace the residue is
+                // only the signature register, the fetch-valid bit and
+                // the operand latch.
+                let needs_vis = flips.iter().any(|b| b.trace_unit().is_none());
                 if let Some(r) = bm.try_add_replica(flips, faults[i].inject_at) {
                     members.push((i, r));
+                    if needs_vis {
+                        vis_admitted += 1;
+                    }
+                } else {
+                    rejected_untraceable += 1;
                 }
             }
             if members.is_empty() {
@@ -469,6 +500,7 @@ fn run_fault_list_resumed(
                 }
             }
         }
+        observer.batch_admission(rejected_untraceable, vis_admitted);
     }
     let split_rep_of: HashMap<usize, usize> = split_members.iter().copied().collect();
 
@@ -648,8 +680,10 @@ fn run_fault_list_resumed(
     // semantic equality with their replicated records. Observer-silent —
     // the checks are audits, not campaign work.
     if cfg.paranoid > 0 && prune_eligible(cfg) {
+        let golden_digest = golden.digest();
         for (rep, members) in plan.classes() {
-            for m in paranoid_members(&members, cfg.paranoid, cfg.seed, rep) {
+            for m in paranoid_members(&members, cfg.paranoid, cfg.seed, golden_digest, faults[rep])
+            {
                 let replicated = slots[m].as_ref().expect("all slots filled");
                 if replicated.provenance != Provenance::Replicated {
                     continue; // preloaded or fallback-simulated: nothing to audit

@@ -8,6 +8,7 @@ use bera_plant::{Engine, Profiles};
 use bera_tcpu::access::AccessTrace;
 use bera_tcpu::machine::{Machine, RunExit, PORT_R, PORT_U, PORT_Y};
 use bera_tcpu::scan::{self, BitLocation, CpuPart, ScanSnapshot};
+use bera_tcpu::vis::VisTrace;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Instant;
@@ -253,6 +254,14 @@ pub struct GoldenRun {
     /// ([`crate::planner`]). Deterministic for a given workload and loop
     /// configuration, like everything else in the golden run.
     pub trace: AccessTrace,
+    /// EDM-visibility trace recorded alongside the access trace (see
+    /// [`bera_tcpu::vis`]): for every *untraceable* state unit, the
+    /// ordered instants at which an asynchronous observer (pipeline
+    /// fetch, branch-condition check, cache hit check, EDM sample)
+    /// actually consulted or wholly redeposited it, plus operand-latch
+    /// shift instants. Extends analytic classification and lockstep
+    /// batching to the PC/PSR/tag/buffer fault population.
+    pub vis: VisTrace,
 }
 
 impl GoldenRun {
@@ -762,6 +771,7 @@ pub fn golden_run(workload: &Workload, cfg: &LoopConfig) -> GoldenRun {
     machine.load_program(workload.program());
     machine.set_cache_parity(cfg.parity_cache);
     machine.start_access_trace();
+    machine.start_vis_trace();
     let engine = cfg.engine.clone();
     let speeds = vec![engine.speed_rpm()];
     set_ports(&mut machine, cfg, 0, &engine);
@@ -795,6 +805,9 @@ pub fn golden_run(workload: &Workload, cfg: &LoopConfig) -> GoldenRun {
     let trace = machine
         .take_access_trace()
         .expect("the golden machine was tracing");
+    let vis = machine
+        .take_vis_trace()
+        .expect("the golden machine was vis-tracing");
     GoldenRun {
         outputs: result.outputs,
         speeds: result.speeds,
@@ -803,6 +816,7 @@ pub fn golden_run(workload: &Workload, cfg: &LoopConfig) -> GoldenRun {
         end_machine: machine,
         checkpoints,
         trace,
+        vis,
     }
 }
 

@@ -12,6 +12,7 @@
 use crate::campaign::CampaignResult;
 use crate::classify::{HarnessCause, Outcome};
 use crate::experiment::{ExperimentRecord, FaultSpec};
+use crate::planner::PlanStats;
 use bera_stats::rate::Ewma;
 use bera_tcpu::edm::ErrorMechanism;
 use std::fmt;
@@ -32,6 +33,22 @@ pub trait CampaignObserver: Sync {
     /// The fault list has been sampled (fires once, before any experiment).
     fn fault_list_sampled(&self, faults: &[FaultSpec]) {
         let _ = faults;
+    }
+
+    /// The campaign plan has been computed; `stats` carries the planner's
+    /// per-rule hit counters and classification wall-clock (fires once,
+    /// after [`fault_list_sampled`](CampaignObserver::fault_list_sampled)).
+    fn plan_computed(&self, stats: &PlanStats) {
+        let _ = stats;
+    }
+
+    /// The lockstep batch pass finished admission: `rejected_untraceable`
+    /// candidates had no admissible delta unit and stay scalar,
+    /// `vis_admitted` replicas were admitted only thanks to the
+    /// EDM-visibility trace (at least one flipped bit outside the def/use
+    /// trace). Fires once per campaign, after the batch pass.
+    fn batch_admission(&self, rejected_untraceable: usize, vis_admitted: usize) {
+        let _ = (rejected_untraceable, vis_admitted);
     }
 
     /// An experiment is starting. `fast_forward_from` is the golden
@@ -126,6 +143,18 @@ impl CampaignObserver for ObserverSet<'_> {
     fn fault_list_sampled(&self, faults: &[FaultSpec]) {
         for o in &self.observers {
             o.fault_list_sampled(faults);
+        }
+    }
+
+    fn plan_computed(&self, stats: &PlanStats) {
+        for o in &self.observers {
+            o.plan_computed(stats);
+        }
+    }
+
+    fn batch_admission(&self, rejected_untraceable: usize, vis_admitted: usize) {
+        for o in &self.observers {
+            o.batch_admission(rejected_untraceable, vis_admitted);
         }
     }
 
@@ -224,6 +253,14 @@ pub struct Telemetry {
     batch_capacity: AtomicUsize,
     split_offs: AtomicUsize,
     lockstep_instructions: AtomicUsize,
+    plan_micros: AtomicUsize,
+    vis_latent: AtomicUsize,
+    vis_overwritten: AtomicUsize,
+    sig_overwritten: AtomicUsize,
+    value_resolved: AtomicUsize,
+    vis_replicated: AtomicUsize,
+    batch_untraceable: AtomicUsize,
+    batch_vis_admitted: AtomicUsize,
     rate: Mutex<RateState>,
 }
 
@@ -253,6 +290,14 @@ impl Telemetry {
             batch_capacity: AtomicUsize::new(0),
             split_offs: AtomicUsize::new(0),
             lockstep_instructions: AtomicUsize::new(0),
+            plan_micros: AtomicUsize::new(0),
+            vis_latent: AtomicUsize::new(0),
+            vis_overwritten: AtomicUsize::new(0),
+            sig_overwritten: AtomicUsize::new(0),
+            value_resolved: AtomicUsize::new(0),
+            vis_replicated: AtomicUsize::new(0),
+            batch_untraceable: AtomicUsize::new(0),
+            batch_vis_admitted: AtomicUsize::new(0),
             rate: Mutex::new(RateState {
                 last_completion: Instant::now(),
                 // Smooth over roughly the last ~40 completions.
@@ -317,6 +362,14 @@ impl Telemetry {
             batch_capacity: load(&self.batch_capacity),
             split_offs: load(&self.split_offs),
             lockstep_instructions: load(&self.lockstep_instructions) as u64,
+            plan_micros: load(&self.plan_micros) as u64,
+            vis_latent: load(&self.vis_latent),
+            vis_overwritten: load(&self.vis_overwritten),
+            sig_overwritten: load(&self.sig_overwritten),
+            value_resolved: load(&self.value_resolved),
+            vis_replicated: load(&self.vis_replicated),
+            batch_untraceable: load(&self.batch_untraceable),
+            batch_vis_admitted: load(&self.batch_vis_admitted),
         }
     }
 }
@@ -337,6 +390,28 @@ impl CampaignObserver for Telemetry {
 
     fn convergence_spliced(&self, _index: usize, _iteration: usize) {
         self.pruned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn plan_computed(&self, stats: &PlanStats) {
+        let add = |c: &AtomicUsize, n: usize| {
+            c.fetch_add(n, Ordering::Relaxed);
+        };
+        add(
+            &self.plan_micros,
+            usize::try_from(stats.plan_micros).unwrap_or(usize::MAX),
+        );
+        add(&self.vis_latent, stats.vis_latent);
+        add(&self.vis_overwritten, stats.vis_overwritten);
+        add(&self.sig_overwritten, stats.sig_overwritten);
+        add(&self.value_resolved, stats.value_resolved);
+        add(&self.vis_replicated, stats.vis_replicated);
+    }
+
+    fn batch_admission(&self, rejected_untraceable: usize, vis_admitted: usize) {
+        self.batch_untraceable
+            .fetch_add(rejected_untraceable, Ordering::Relaxed);
+        self.batch_vis_admitted
+            .fetch_add(vis_admitted, Ordering::Relaxed);
     }
 
     fn batch_group_started(&self, _window: usize, members: usize, width: usize) {
@@ -447,6 +522,24 @@ pub struct TelemetrySnapshot {
     /// Dynamic instructions batched replicas rode the shared golden stream
     /// for free (from injection to their fate instant, summed).
     pub lockstep_instructions: u64,
+    /// Wall-clock microseconds the planner spent classifying the fault
+    /// list (def/use + visibility + value rules).
+    pub plan_micros: u64,
+    /// Analytic `Latent` verdicts from an EDM-visibility window.
+    pub vis_latent: usize,
+    /// Analytic `Overwritten` verdicts from an EDM-visibility window.
+    pub vis_overwritten: usize,
+    /// Signature faults proven overwritten by the write-first rule.
+    pub sig_overwritten: usize,
+    /// Operand-latch faults resolved by the value-level shift rule.
+    pub value_resolved: usize,
+    /// Live faults merged into a class via a visibility window.
+    pub vis_replicated: usize,
+    /// Batch candidates rejected at admission: no delta unit covers them
+    /// (the untraceable-must-simulate residue).
+    pub batch_untraceable: usize,
+    /// Replicas admitted to lockstep only thanks to the visibility trace.
+    pub batch_vis_admitted: usize,
 }
 
 impl TelemetrySnapshot {
@@ -506,6 +599,13 @@ impl TelemetrySnapshot {
     pub fn batch_occupancy(&self) -> f64 {
         self.batch_members as f64 / (self.batch_capacity.max(1)) as f64
     }
+
+    /// Total analytic verdicts attributable to the visibility/value layer
+    /// (everything the def/use planner alone could not classify).
+    #[must_use]
+    pub fn vis_analytic(&self) -> usize {
+        self.vis_latent + self.vis_overwritten + self.sig_overwritten + self.value_resolved
+    }
 }
 
 impl fmt::Display for TelemetrySnapshot {
@@ -550,6 +650,22 @@ impl fmt::Display for TelemetrySnapshot {
                 100.0 * self.split_off_rate(),
                 self.mean_lockstep_prefix()
             )?;
+        }
+        if self.vis_analytic() > 0 || self.vis_replicated > 0 || self.batch_vis_admitted > 0 {
+            write!(
+                f,
+                " | vis lat {} ovw {} sig {} val {} rep {} adm {} opq {}",
+                self.vis_latent,
+                self.vis_overwritten,
+                self.sig_overwritten,
+                self.value_resolved,
+                self.vis_replicated,
+                self.batch_vis_admitted,
+                self.batch_untraceable
+            )?;
+        }
+        if self.plan_micros > 0 {
+            write!(f, " | plan {} µs", self.plan_micros)?;
         }
         Ok(())
     }

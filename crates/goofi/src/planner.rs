@@ -42,7 +42,7 @@ use crate::campaign::CampaignConfig;
 use crate::classify::Outcome;
 use crate::experiment::{ExperimentRecord, FaultModel, FaultSpec, GoldenRun, Provenance};
 use bera_tcpu::scan::{self, BitLocation};
-use bera_tcpu::{AccessTrace, Fnv64};
+use bera_tcpu::{AccessTrace, Fnv64, VisTrace};
 use std::collections::{BTreeMap, HashMap};
 
 /// The planner's decision for one fault-list index.
@@ -62,11 +62,49 @@ pub enum PlanAction {
     },
 }
 
+/// Per-rule hit counters and timing for one planner invocation — pure
+/// telemetry (never consulted for classification), surfaced through the
+/// campaign observer, the telemetry sidecar and `report`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Analytic `Latent` verdicts from the def/use access trace.
+    pub defuse_latent: usize,
+    /// Analytic `Overwritten` verdicts from the def/use access trace.
+    pub defuse_overwritten: usize,
+    /// Analytic `Latent` verdicts from an EDM-visibility window (the
+    /// unit is never sampled again).
+    pub vis_latent: usize,
+    /// Analytic `Overwritten` verdicts from an EDM-visibility window
+    /// (a whole-unit deposit precedes every sample).
+    pub vis_overwritten: usize,
+    /// Signature-register faults proven `Overwritten` by the write-first
+    /// rule (a control transfer zeroes the register before any compare).
+    pub sig_overwritten: usize,
+    /// Operand-latch faults resolved by the value-level shift rule
+    /// (either displaced off the latch or migrated bit-identically).
+    pub value_resolved: usize,
+    /// Live faults merged into an equivalence class via a visibility
+    /// window rather than the def/use trace.
+    pub vis_replicated: usize,
+    /// Wall-clock microseconds spent planning (classification only).
+    pub plan_micros: u64,
+}
+
+impl PlanStats {
+    /// Total analytic verdicts attributable to the visibility/value layer
+    /// (everything PR-4's def/use planner could not classify).
+    #[must_use]
+    pub fn vis_analytic(&self) -> usize {
+        self.vis_latent + self.vis_overwritten + self.sig_overwritten + self.value_resolved
+    }
+}
+
 /// One action per fault-list index, plus the class structure needed for
 /// replication and paranoid cross-checking.
 #[derive(Debug, Clone)]
 pub struct CampaignPlan {
     actions: Vec<PlanAction>,
+    stats: PlanStats,
 }
 
 impl CampaignPlan {
@@ -75,7 +113,14 @@ impl CampaignPlan {
     pub fn simulate_all(n: usize) -> Self {
         CampaignPlan {
             actions: vec![PlanAction::Simulate; n],
+            stats: PlanStats::default(),
         }
+    }
+
+    /// Per-rule planner telemetry for this plan.
+    #[must_use]
+    pub fn stats(&self) -> PlanStats {
+        self.stats
     }
 
     /// The action for fault-list index `i`.
@@ -238,74 +283,193 @@ pub fn plan_campaign(
     if !prune_eligible(cfg) {
         return CampaignPlan::simulate_all(faults.len());
     }
+    let started = std::time::Instant::now();
     let catalog = scan::catalog();
+    let vis = cfg.vis.then_some(&golden.vis);
+    let mut stats = PlanStats::default();
     // Class key: (scan-catalog bit index, position of the first visible
-    // access in the unit's trace slot). Two faults sharing both flip the
-    // same bit and are first observed by the same read, so their faulty
-    // trajectories are identical from that read onward.
+    // access in the unit's trace slot — def/use or visibility, disjoint
+    // per location). Two faults sharing both flip the same bit and are
+    // first observed by the same read, so their faulty trajectories are
+    // identical from that read onward.
     let mut class_reps: HashMap<(usize, usize), usize> = HashMap::new();
     let actions = faults
         .iter()
         .enumerate()
         .map(|(i, fault)| {
-            match classify_from_trace(&golden.trace, catalog[fault.location_index], fault, golden) {
+            match classify_fault(
+                &golden.trace,
+                vis,
+                catalog[fault.location_index],
+                fault,
+                golden,
+                &mut stats,
+            ) {
                 TraceVerdict::Opaque => PlanAction::Simulate,
                 TraceVerdict::Analytic(outcome) => PlanAction::Analytic(outcome),
-                TraceVerdict::Live { first_access } => {
-                    match class_reps.entry((fault.location_index, first_access)) {
-                        std::collections::hash_map::Entry::Occupied(e) => PlanAction::Replicate {
+                TraceVerdict::Live {
+                    first_access,
+                    via_vis,
+                } => match class_reps.entry((fault.location_index, first_access)) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        if via_vis {
+                            stats.vis_replicated += 1;
+                        }
+                        PlanAction::Replicate {
                             representative: *e.get(),
-                        },
-                        std::collections::hash_map::Entry::Vacant(e) => {
-                            e.insert(i);
-                            PlanAction::Simulate
                         }
                     }
-                }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(i);
+                        PlanAction::Simulate
+                    }
+                },
             }
         })
         .collect();
-    CampaignPlan { actions }
+    stats.plan_micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    CampaignPlan { actions, stats }
 }
 
-/// What the golden trace says about one single-bit fault.
+/// What the golden traces say about one single-bit fault.
 enum TraceVerdict {
-    /// The faulted unit is not fully covered by trace hooks (or the
+    /// The faulted unit is not fully covered by any trace (or the
     /// injection time falls outside the traced run): simulate.
     Opaque,
-    /// The outcome follows from the trace alone.
+    /// The outcome follows from the traces alone.
     Analytic(Outcome),
     /// The fault is live: first observed by the read at this position of
     /// the unit's trace slot.
-    Live { first_access: usize },
+    Live {
+        first_access: usize,
+        /// The observation came from a visibility window (telemetry only).
+        via_vis: bool,
+    },
 }
 
-fn classify_from_trace(
+/// Classifies one fault against the def/use access trace first, then —
+/// when `vis` is supplied — against the EDM-visibility trace and the
+/// value-level rules for the remaining opaque state.
+fn classify_fault(
     trace: &AccessTrace,
+    vis: Option<&VisTrace>,
     location: BitLocation,
     fault: &FaultSpec,
     golden: &GoldenRun,
+    stats: &mut PlanStats,
 ) -> TraceVerdict {
-    let Some(unit) = location.trace_unit() else {
-        return TraceVerdict::Opaque;
-    };
     // A fault scheduled at or past the end of the run is never injected
-    // (the drive loop completes first); the trace says nothing about it.
+    // (the drive loop completes first); no trace says anything about it.
     if fault.inject_at >= golden.total_instructions {
         return TraceVerdict::Opaque;
     }
-    let slot = trace.accesses(unit);
+    if let Some(unit) = location.trace_unit() {
+        let slot = trace.accesses(unit);
+        let first = slot.partition_point(|a| a.at < fault.inject_at);
+        return match slot.get(first) {
+            // Never accessed again: the flip survives untouched to the
+            // end-of-run scan diff, and nothing else ever diverges.
+            None => {
+                stats.defuse_latent += 1;
+                TraceVerdict::Analytic(Outcome::Latent)
+            }
+            // Overwritten with the golden value before anything read it.
+            Some(a) if a.kind.is_full_write() => {
+                stats.defuse_overwritten += 1;
+                TraceVerdict::Analytic(Outcome::Overwritten)
+            }
+            // A read (or a partial write, treated conservatively as a use
+            // by classing on the access position): the fault is live.
+            Some(_) => TraceVerdict::Live {
+                first_access: first,
+                via_vis: false,
+            },
+        };
+    }
+    let Some(vis) = vis else {
+        return TraceVerdict::Opaque;
+    };
+    classify_from_vis(vis, location, fault, stats)
+}
+
+/// The visibility-window and value-level rules for a bit the def/use
+/// trace cannot see. Soundness arguments in DESIGN.md §8h and the
+/// [`bera_tcpu::vis`] module docs.
+fn classify_from_vis(
+    vis: &VisTrace,
+    location: BitLocation,
+    fault: &FaultSpec,
+    stats: &mut PlanStats,
+) -> TraceVerdict {
+    // Value-level rules for the operand latch, a two-slot shift register
+    // (`a ← b`, `b ← clean value` on every register read). A flip in
+    // slot A is deposited over by the first shift; a flip in slot B
+    // migrates — bit-identically — into slot A on the first shift and is
+    // deposited over by the second. Nothing ever reads the latch, so an
+    // undisplaced flip is exactly a latent end-of-run scan diff.
+    match location {
+        BitLocation::OperandA { .. } => {
+            stats.value_resolved += 1;
+            let shifts = vis.shifts_at_or_after(fault.inject_at);
+            return TraceVerdict::Analytic(if shifts >= 1 {
+                Outcome::Overwritten
+            } else {
+                Outcome::Latent
+            });
+        }
+        BitLocation::OperandB { .. } => {
+            stats.value_resolved += 1;
+            let shifts = vis.shifts_at_or_after(fault.inject_at);
+            return TraceVerdict::Analytic(if shifts >= 2 {
+                Outcome::Overwritten
+            } else {
+                Outcome::Latent
+            });
+        }
+        _ => {}
+    }
+    let Some(unit) = location.vis_unit() else {
+        // The fetch-latch valid bit: consulted every instruction, no
+        // window exists — permanently opaque.
+        return TraceVerdict::Opaque;
+    };
+    let slot = vis.accesses(unit);
     let first = slot.partition_point(|a| a.at < fault.inject_at);
+    if unit == bera_tcpu::VisUnit::Sig {
+        // The signature register is folded (read-modify-written) by every
+        // executed instruction, so `golden ⊕ flip` stops describing the
+        // faulty value immediately: neither a latent claim (folding may
+        // or may not re-converge) nor class merging is sound. The one
+        // sound rule is write-first: a control transfer zeroes the
+        // register — value-independently — before any compare samples it.
+        return match slot.get(first) {
+            Some(a) if a.kind.is_full_write() => {
+                stats.sig_overwritten += 1;
+                TraceVerdict::Analytic(Outcome::Overwritten)
+            }
+            _ => TraceVerdict::Opaque,
+        };
+    }
     match slot.get(first) {
-        // Never accessed again: the flip survives untouched to the
-        // end-of-run scan diff, and nothing else ever diverges.
-        None => TraceVerdict::Analytic(Outcome::Latent),
-        // Overwritten with the golden value before anything read it.
-        Some(a) if a.kind.is_full_write() => TraceVerdict::Analytic(Outcome::Overwritten),
-        // A read (or a partial write, treated conservatively as a use by
-        // classing on the access position): the fault is live.
+        // No asynchronous observer ever samples the unit again: the flip
+        // survives untouched to the end-of-run scan diff.
+        None => {
+            stats.vis_latent += 1;
+            TraceVerdict::Analytic(Outcome::Latent)
+        }
+        // A whole-unit deposit (line fill, store, cmp, control transfer,
+        // trap bookkeeping) lands before any sample: the flip is erased
+        // with clean inputs.
+        Some(a) if a.kind.is_full_write() => {
+            stats.vis_overwritten += 1;
+            TraceVerdict::Analytic(Outcome::Overwritten)
+        }
+        // Sampled: live, and mergeable on the sampling position exactly
+        // like a def/use read (the unit is untouched between injection
+        // and the sample, so every member reaches it as golden ⊕ flip).
         Some(_) => TraceVerdict::Live {
             first_access: first,
+            via_vis: true,
         },
     }
 }
@@ -391,15 +555,19 @@ pub fn records_equivalent(a: &ExperimentRecord, b: &ExperimentRecord) -> bool {
 }
 
 /// Deterministically picks up to `n` members of an equivalence class for
-/// paranoid re-simulation, seeded so different campaigns (and different
-/// classes) sample different members while a given campaign always checks
-/// the same ones.
+/// paranoid re-simulation. The choice is *content-addressed*: keyed on
+/// the campaign seed, the store's golden digest and the representative's
+/// fault spec (never its fault-list position), over a sorted member
+/// pool — so two runs of the same campaign, a resumed run, and a CI
+/// cross-check all re-simulate exactly the same members regardless of
+/// the order in which the class structure was assembled.
 #[must_use]
 pub fn paranoid_members(
     members: &[usize],
     n: usize,
     seed: u64,
-    representative: usize,
+    golden_digest: u64,
+    representative: FaultSpec,
 ) -> Vec<usize> {
     if n == 0 || members.is_empty() {
         return Vec::new();
@@ -407,9 +575,12 @@ pub fn paranoid_members(
     let mut picked: Vec<usize> = Vec::new();
     let mut h = Fnv64::new();
     h.write_u64(seed);
-    h.write_u64(representative as u64);
+    h.write_u64(golden_digest);
+    h.write_u64(representative.location_index as u64);
+    h.write_u64(representative.inject_at);
     let mut state = h.finish();
     let mut pool: Vec<usize> = members.to_vec();
+    pool.sort_unstable();
     while picked.len() < n && !pool.is_empty() {
         // FNV-chained index selection: cheap, deterministic, seed-mixed.
         let mut step = Fnv64::new();
@@ -571,16 +742,229 @@ mod tests {
     #[test]
     fn paranoid_member_choice_is_deterministic_and_bounded() {
         let members = vec![3, 9, 14, 20, 31];
-        let a = paranoid_members(&members, 3, 42, 1);
-        let b = paranoid_members(&members, 3, 42, 1);
+        let rep = FaultSpec {
+            location_index: 7,
+            inject_at: 123,
+        };
+        let a = paranoid_members(&members, 3, 42, 0xDEAD, rep);
+        let b = paranoid_members(&members, 3, 42, 0xDEAD, rep);
         assert_eq!(a, b);
         assert_eq!(a.len(), 3);
         assert!(a.iter().all(|m| members.contains(m)));
-        let all = paranoid_members(&members, 10, 42, 1);
+        let all = paranoid_members(&members, 10, 42, 0xDEAD, rep);
         assert_eq!(all.len(), members.len(), "capped at the class size");
-        assert!(paranoid_members(&members, 0, 42, 1).is_empty());
+        assert!(paranoid_members(&members, 0, 42, 0xDEAD, rep).is_empty());
         // Different seeds generally pick different subsets (not asserted
         // strictly — just that the seed participates).
-        let _ = paranoid_members(&members, 3, 43, 1);
+        let _ = paranoid_members(&members, 3, 43, 0xDEAD, rep);
+    }
+
+    #[test]
+    fn paranoid_member_choice_is_independent_of_assembly_order() {
+        // The pool is sorted internally, so the picks are a function of
+        // the class *contents* — not of the iteration order (e.g. a
+        // HashMap walk) that produced the member list.
+        let rep = FaultSpec {
+            location_index: 7,
+            inject_at: 123,
+        };
+        let forward = vec![3, 9, 14, 20, 31];
+        let shuffled = vec![20, 3, 31, 9, 14];
+        assert_eq!(
+            paranoid_members(&forward, 3, 42, 0xDEAD, rep),
+            paranoid_members(&shuffled, 3, 42, 0xDEAD, rep),
+        );
+        // And the golden digest participates: a different workload store
+        // cross-checks a different sample.
+        assert_ne!(
+            paranoid_members(&forward, 2, 42, 0xDEAD, rep),
+            paranoid_members(&forward, 2, 42, 0xBEEF, rep),
+            "digest must perturb the sample for this fixture"
+        );
+    }
+
+    fn catalog_index(pred: impl Fn(&BitLocation) -> bool) -> usize {
+        scan::catalog()
+            .iter()
+            .position(pred)
+            .expect("catalog holds the requested location")
+    }
+
+    #[test]
+    fn vis_windows_classify_the_untraceable_population() {
+        let (cfg, golden, _) = quick_plan_inputs();
+        assert!(cfg.vis);
+        // PSR bits 2..8 are never consulted by this ISA: latent.
+        let psr7 = catalog_index(|l| matches!(l, BitLocation::Psr { bit: 7 }));
+        // The trap bookkeeping registers are written only by the (never
+        // taken in golden) trap path: latent.
+        let epc = catalog_index(|l| matches!(l, BitLocation::Epc { bit: 0 }));
+        let faults = [
+            FaultSpec {
+                location_index: psr7,
+                inject_at: 10,
+            },
+            FaultSpec {
+                location_index: epc,
+                inject_at: 10,
+            },
+        ];
+        let plan = plan_campaign(&faults, &cfg, &golden);
+        assert_eq!(plan.action(0), PlanAction::Analytic(Outcome::Latent));
+        assert_eq!(plan.action(1), PlanAction::Analytic(Outcome::Latent));
+        assert_eq!(plan.stats().vis_latent, 2);
+
+        // Without the visibility layer both fall back to simulation.
+        let mut no_vis = cfg.clone();
+        no_vis.vis = false;
+        let plan = plan_campaign(&faults, &no_vis, &golden);
+        assert_eq!(plan.simulated(), faults.len());
+        assert_eq!(plan.stats().vis_analytic(), 0);
+    }
+
+    #[test]
+    fn signature_faults_use_only_the_write_first_rule() {
+        let (cfg, golden, _) = quick_plan_inputs();
+        let sig = catalog_index(|l| matches!(l, BitLocation::SigReg { bit: 3 }));
+        let sig_slot = golden.vis.accesses(bera_tcpu::VisUnit::Sig);
+        assert!(
+            !sig_slot.is_empty(),
+            "the workload loops, so control transfers zero the signature"
+        );
+        // Find an injection instant whose first signature event is a
+        // write (a control-transfer zeroing): provably overwritten. A
+        // `sig` compare's zeroing write trails its same-instant sampling
+        // read, so only a write that *leads* its instant qualifies.
+        let first_write = sig_slot
+            .iter()
+            .enumerate()
+            .find(|(i, a)| a.kind.is_full_write() && (*i == 0 || sig_slot[i - 1].at < a.at))
+            .expect("some transfer zeroes the signature")
+            .1
+            .at;
+        let plan = plan_campaign(
+            &[FaultSpec {
+                location_index: sig,
+                inject_at: first_write,
+            }],
+            &cfg,
+            &golden,
+        );
+        assert_eq!(plan.action(0), PlanAction::Analytic(Outcome::Overwritten));
+        assert_eq!(plan.stats().sig_overwritten, 1);
+
+        // Past the last event the register is folded to the end of run:
+        // no latent claim is sound, so the planner must simulate.
+        let last = sig_slot.last().unwrap().at;
+        if last + 1 < golden.total_instructions {
+            let plan = plan_campaign(
+                &[FaultSpec {
+                    location_index: sig,
+                    inject_at: last + 1,
+                }],
+                &cfg,
+                &golden,
+            );
+            assert_eq!(plan.action(0), PlanAction::Simulate);
+        }
+    }
+
+    #[test]
+    fn operand_latch_faults_resolve_by_shift_count() {
+        let (cfg, golden, _) = quick_plan_inputs();
+        let op_a = catalog_index(|l| matches!(l, BitLocation::OperandA { bit: 4 }));
+        let op_b = catalog_index(|l| matches!(l, BitLocation::OperandB { bit: 4 }));
+        // Early in the run there are plenty of register reads left: both
+        // slots are displaced with clean values.
+        let early = [
+            FaultSpec {
+                location_index: op_a,
+                inject_at: 5,
+            },
+            FaultSpec {
+                location_index: op_b,
+                inject_at: 5,
+            },
+        ];
+        let plan = plan_campaign(&early, &cfg, &golden);
+        assert_eq!(plan.action(0), PlanAction::Analytic(Outcome::Overwritten));
+        assert_eq!(plan.action(1), PlanAction::Analytic(Outcome::Overwritten));
+        assert_eq!(plan.stats().value_resolved, 2);
+        // Past the final shift nothing displaces the latch: latent.
+        let last_shift_plus = golden.total_instructions - 1;
+        if golden.vis.shifts_at_or_after(last_shift_plus) == 0 {
+            let plan = plan_campaign(
+                &[FaultSpec {
+                    location_index: op_a,
+                    inject_at: last_shift_plus,
+                }],
+                &cfg,
+                &golden,
+            );
+            assert_eq!(plan.action(0), PlanAction::Analytic(Outcome::Latent));
+        }
+    }
+
+    #[test]
+    fn fetch_valid_faults_always_simulate() {
+        let (cfg, golden, _) = quick_plan_inputs();
+        let fv = catalog_index(|l| matches!(l, BitLocation::FetchValid));
+        let plan = plan_campaign(
+            &[FaultSpec {
+                location_index: fv,
+                inject_at: 10,
+            }],
+            &cfg,
+            &golden,
+        );
+        assert_eq!(plan.action(0), PlanAction::Simulate);
+    }
+
+    #[test]
+    fn vis_live_faults_merge_on_the_sampling_position() {
+        use bera_tcpu::VisUnit;
+        let (cfg, mut golden, _) = quick_plan_inputs();
+        assert!(golden.total_instructions > 300);
+        let psr0 = catalog_index(|l| matches!(l, BitLocation::Psr { bit: 0 }));
+        // Synthetic windows: a cmp deposits the EQ flag at 100, a branch
+        // consults it at 200. Two flips landing inside (100, 200] are
+        // first observed by the same consult — one class; a flip before
+        // the deposit is erased by it.
+        golden.vis = bera_tcpu::VisTrace::new();
+        golden.vis.record(VisUnit::Psr(0), 100, AccessKind::Write);
+        golden.vis.record(VisUnit::Psr(0), 200, AccessKind::Read);
+        let faults = [
+            FaultSpec {
+                location_index: psr0,
+                inject_at: 150,
+            },
+            FaultSpec {
+                location_index: psr0,
+                inject_at: 200,
+            },
+            FaultSpec {
+                location_index: psr0,
+                inject_at: 50,
+            },
+        ];
+        let plan = plan_campaign(&faults, &cfg, &golden);
+        assert_eq!(plan.action(0), PlanAction::Simulate);
+        assert_eq!(plan.action(1), PlanAction::Replicate { representative: 0 });
+        assert_eq!(plan.action(2), PlanAction::Analytic(Outcome::Overwritten));
+        assert_eq!(plan.stats().vis_replicated, 1);
+        assert_eq!(plan.stats().vis_overwritten, 1);
+
+        // Adversarial: one extra EDM sample inside the window splits the
+        // class — the earlier fault is now observed by a different read.
+        golden.vis.insert_for_test(
+            VisUnit::Psr(0),
+            Access {
+                at: 170,
+                kind: AccessKind::Read,
+            },
+        );
+        let plan = plan_campaign(&faults, &cfg, &golden);
+        assert_eq!(plan.action(0), PlanAction::Simulate);
+        assert_eq!(plan.action(1), PlanAction::Simulate, "class must split");
     }
 }

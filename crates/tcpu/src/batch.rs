@@ -25,15 +25,47 @@
 //!   state diff — the replica is *latent* and never needs to execute.
 //!
 //! Correctness rests on the same invariant as def/use pruning: every
-//! semantic access to a traceable unit flows through a trace hook
-//! ([`BitLocation::trace_unit`] returns `None` for anything consulted
-//! implicitly, and such faults are rejected here and simulated scalar).
-//! Intra-instruction order is preserved per unit, so "first access at
-//! instant `e` is a full write" is exactly the kill condition.
+//! semantic access to a traceable unit flows through a trace hook, and —
+//! since the EDM-visibility trace ([`crate::vis`]) — every *asynchronous*
+//! consult of the remaining architectural state flows through a
+//! visibility hook. A replica's delta may therefore mix ordinary
+//! [`TraceUnit`]s with batch-inert [`VisUnit`]s ([`DeltaUnit`]); only
+//! bits that are neither traceable nor batch-inert-visible (the
+//! signature register, the fetch-valid bit, the operand latch) are
+//! rejected here and simulated scalar. Intra-instruction order is
+//! preserved per unit, so "first access at instant `e` is a full write"
+//! is exactly the kill condition.
 
-use crate::access::{AccessTrace, TraceUnit};
+use crate::access::{Access, AccessTrace, TraceUnit};
 use crate::machine::Machine;
 use crate::scan::BitLocation;
+use crate::vis::{VisTrace, VisUnit};
+
+/// A copy-on-write delta unit: either a def/use-traced unit or a
+/// batch-inert EDM-visibility unit. The two index spaces are disjoint;
+/// [`DeltaUnit::index`] packs them densely for split-class dedup keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeltaUnit {
+    /// A unit of the golden def/use access trace.
+    Trace(TraceUnit),
+    /// A batch-inert unit of the golden EDM-visibility trace.
+    Vis(VisUnit),
+}
+
+impl DeltaUnit {
+    /// Total number of delta units across both spaces.
+    pub const COUNT: usize = TraceUnit::COUNT + VisUnit::COUNT;
+
+    /// Dense index in `0..DeltaUnit::COUNT` (vis units follow the trace
+    /// units).
+    #[must_use]
+    pub fn index(&self) -> usize {
+        match *self {
+            DeltaUnit::Trace(u) => u.index(),
+            DeltaUnit::Vis(u) => TraceUnit::COUNT + u.index(),
+        }
+    }
+}
 
 /// The resolved fate of one replica in a lockstep batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,27 +96,62 @@ pub enum ReplicaFate {
 #[derive(Debug)]
 pub struct BatchMachine<'a> {
     trace: &'a AccessTrace,
+    vis: Option<&'a VisTrace>,
     width: usize,
     // Structure-of-arrays replica state: index i across these vectors is
     // replica i.
     inject_at: Vec<u64>,
     flips: Vec<Vec<BitLocation>>,
-    deltas: Vec<Vec<TraceUnit>>,
+    deltas: Vec<Vec<DeltaUnit>>,
     fates: Vec<ReplicaFate>,
 }
 
 impl<'a> BatchMachine<'a> {
     /// An empty batch over the golden access trace, admitting at most
-    /// `width` replicas.
+    /// `width` replicas. When `vis` carries the golden run's
+    /// EDM-visibility trace, flips in batch-inert [`VisUnit`]s are
+    /// admissible too; with `None` only def/use-traceable bits are (the
+    /// PR-5 behaviour).
     #[must_use]
-    pub fn new(trace: &'a AccessTrace, width: usize) -> Self {
+    pub fn new(trace: &'a AccessTrace, vis: Option<&'a VisTrace>, width: usize) -> Self {
         BatchMachine {
             trace,
+            vis,
             width,
             inject_at: Vec::new(),
             flips: Vec::new(),
             deltas: Vec::new(),
             fates: Vec::new(),
+        }
+    }
+
+    /// The delta unit carrying a flip of `bit`, under this batch's
+    /// admission rules: a def/use trace unit when one exists, else a
+    /// batch-inert visibility unit when a visibility trace was supplied,
+    /// else `None` (the bit stays scalar).
+    fn delta_unit_of(&self, bit: BitLocation) -> Option<DeltaUnit> {
+        if let Some(u) = bit.trace_unit() {
+            return Some(DeltaUnit::Trace(u));
+        }
+        if self.vis.is_some() {
+            if let Some(v) = bit.vis_unit() {
+                if v.batch_inert() {
+                    return Some(DeltaUnit::Vis(v));
+                }
+            }
+        }
+        None
+    }
+
+    /// The first event of `u` at or after `cursor`, from whichever golden
+    /// trace governs the unit.
+    fn first_at_or_after(&self, u: DeltaUnit, cursor: u64) -> Option<Access> {
+        match u {
+            DeltaUnit::Trace(t) => self.trace.first_at_or_after(t, cursor),
+            DeltaUnit::Vis(v) => self
+                .vis
+                .expect("vis delta admitted without a vis trace")
+                .first_at_or_after(v, cursor),
         }
     }
 
@@ -102,15 +169,17 @@ impl<'a> BatchMachine<'a> {
 
     /// Admits a replica carrying `flips` injected at instruction boundary
     /// `inject_at`. Returns its index, or `None` when the batch is full or
-    /// any flipped bit is untraceable (such faults must be simulated on the
-    /// scalar path — no trace can prove anything about them).
+    /// any flipped bit has no admissible delta unit — neither traceable
+    /// nor (when a visibility trace is present) batch-inert-visible. Such
+    /// faults must be simulated on the scalar path: no trace can prove
+    /// anything about them.
     pub fn try_add_replica(&mut self, flips: Vec<BitLocation>, inject_at: u64) -> Option<usize> {
         if self.occupancy() >= self.width {
             return None;
         }
-        let mut delta: Vec<TraceUnit> = Vec::with_capacity(flips.len());
+        let mut delta: Vec<DeltaUnit> = Vec::with_capacity(flips.len());
         for bit in &flips {
-            let unit = bit.trace_unit()?;
+            let unit = self.delta_unit_of(*bit)?;
             if !delta.contains(&unit) {
                 delta.push(unit);
             }
@@ -139,7 +208,7 @@ impl<'a> BatchMachine<'a> {
             // Earliest pending access to any surviving delta unit.
             let next = self.deltas[i]
                 .iter()
-                .filter_map(|&u| self.trace.first_at_or_after(u, cursor).map(|a| (u, a)))
+                .filter_map(|&u| self.first_at_or_after(u, cursor).map(|a| (u, a)))
                 .min_by_key(|(_, a)| a.at);
             let Some((_, first)) = next else {
                 return ReplicaFate::Latent;
@@ -150,18 +219,13 @@ impl<'a> BatchMachine<'a> {
             // the replica leaves lockstep here. Intra-instruction order is
             // preserved per unit, so the unit's first access at `e`
             // decides.
-            let touched: Vec<TraceUnit> = self.deltas[i]
+            let touched: Vec<DeltaUnit> = self.deltas[i]
                 .iter()
                 .copied()
-                .filter(|&u| {
-                    self.trace
-                        .first_at_or_after(u, cursor)
-                        .is_some_and(|a| a.at == e)
-                })
+                .filter(|&u| self.first_at_or_after(u, cursor).is_some_and(|a| a.at == e))
                 .collect();
             let all_killed = touched.iter().all(|&u| {
-                self.trace
-                    .first_at_or_after(u, cursor)
+                self.first_at_or_after(u, cursor)
                     .is_some_and(|a| a.kind.is_full_write())
             });
             if !all_killed {
@@ -202,7 +266,7 @@ impl<'a> BatchMachine<'a> {
     ///
     /// Panics if `i` is out of range.
     #[must_use]
-    pub fn delta_units(&self, i: usize) -> &[TraceUnit] {
+    pub fn delta_units(&self, i: usize) -> &[DeltaUnit] {
         &self.deltas[i]
     }
 
@@ -218,7 +282,10 @@ impl<'a> BatchMachine<'a> {
         self.flips[i]
             .iter()
             .copied()
-            .filter(|b| b.trace_unit().is_some_and(|u| self.deltas[i].contains(&u)))
+            .filter(|&b| {
+                self.delta_unit_of(b)
+                    .is_some_and(|u| self.deltas[i].contains(&u))
+            })
             .collect()
     }
 
@@ -279,9 +346,9 @@ mod tests {
     const REG4: TraceUnit = TraceUnit::Reg(4);
 
     #[test]
-    fn untraceable_bits_are_rejected() {
+    fn untraceable_bits_are_rejected_without_a_vis_trace() {
         let t = AccessTrace::new();
-        let mut bm = BatchMachine::new(&t, 4);
+        let mut bm = BatchMachine::new(&t, None, 4);
         assert_eq!(
             bm.try_add_replica(vec![BitLocation::Psr { bit: 0 }], 0),
             None
@@ -293,9 +360,82 @@ mod tests {
     }
 
     #[test]
+    fn a_vis_trace_admits_inert_vis_bits_but_never_opaque_ones() {
+        let t = AccessTrace::new();
+        let v = VisTrace::new();
+        let mut bm = BatchMachine::new(&t, Some(&v), 8);
+        // PSR / cache-tag / store-buffer flips now batch.
+        assert!(bm
+            .try_add_replica(vec![BitLocation::Psr { bit: 0 }], 0)
+            .is_some());
+        assert!(bm
+            .try_add_replica(vec![BitLocation::CacheTag { line: 1, bit: 3 }], 0)
+            .is_some());
+        assert!(bm
+            .try_add_replica(vec![REG3_BIT, BitLocation::StoreBufValid], 0)
+            .is_some());
+        // The signature register is vis-covered but not batch-inert, and
+        // the fetch-valid bit and operand latch have no unit at all.
+        assert_eq!(
+            bm.try_add_replica(vec![BitLocation::SigReg { bit: 2 }], 0),
+            None
+        );
+        assert_eq!(bm.try_add_replica(vec![BitLocation::FetchValid], 0), None);
+        assert_eq!(
+            bm.try_add_replica(vec![BitLocation::OperandA { bit: 0 }], 0),
+            None
+        );
+    }
+
+    #[test]
+    fn vis_deltas_resolve_from_the_vis_trace() {
+        const PSR0_BIT: BitLocation = BitLocation::Psr { bit: 0 };
+        let t = AccessTrace::new();
+        // Golden: cmp deposits the flag at 10, a beq consults it at 20.
+        let mut v = VisTrace::new();
+        v.record(VisUnit::Psr(0), 10, AccessKind::Write);
+        v.record(VisUnit::Psr(0), 20, AccessKind::Read);
+        let mut bm = BatchMachine::new(&t, Some(&v), 4);
+        let killed = bm.try_add_replica(vec![PSR0_BIT], 5).unwrap();
+        let split = bm.try_add_replica(vec![PSR0_BIT], 15).unwrap();
+        let latent = bm.try_add_replica(vec![PSR0_BIT], 21).unwrap();
+        bm.run();
+        assert_eq!(bm.fate(killed), ReplicaFate::Converged { killed_at: 10 });
+        assert_eq!(bm.fate(split), ReplicaFate::SplitOff { at: 20 });
+        assert_eq!(bm.fate(latent), ReplicaFate::Latent);
+        assert!(bm.surviving_flips(killed).is_empty());
+        assert_eq!(bm.surviving_flips(split), vec![PSR0_BIT]);
+    }
+
+    #[test]
+    fn mixed_trace_and_vis_delta_requires_both_killed() {
+        const PSR1_BIT: BitLocation = BitLocation::Psr { bit: 1 };
+        // The register flip dies at 10; the PSR flip is consulted at 30.
+        let t = trace_with(&[(REG3, 10, AccessKind::Write)]);
+        let mut v = VisTrace::new();
+        v.record(VisUnit::Psr(1), 30, AccessKind::Read);
+        let mut bm = BatchMachine::new(&t, Some(&v), 4);
+        let id = bm.try_add_replica(vec![REG3_BIT, PSR1_BIT], 5).unwrap();
+        bm.run();
+        assert_eq!(bm.fate(id), ReplicaFate::SplitOff { at: 30 });
+        assert_eq!(bm.delta_units(id), &[DeltaUnit::Vis(VisUnit::Psr(1))]);
+        assert_eq!(bm.surviving_flips(id), vec![PSR1_BIT]);
+    }
+
+    #[test]
+    fn delta_unit_indices_are_dense_and_disjoint() {
+        let trace_max = DeltaUnit::Trace(TraceUnit::Reg(0)).index();
+        assert!(trace_max < TraceUnit::COUNT);
+        let vis_min = DeltaUnit::Vis(VisUnit::Pc).index();
+        assert_eq!(vis_min, TraceUnit::COUNT);
+        let vis_max = DeltaUnit::Vis(VisUnit::CacheDirty(crate::cache::NUM_LINES - 1)).index();
+        assert_eq!(vis_max, DeltaUnit::COUNT - 1);
+    }
+
+    #[test]
     fn width_is_enforced() {
         let t = AccessTrace::new();
-        let mut bm = BatchMachine::new(&t, 1);
+        let mut bm = BatchMachine::new(&t, None, 1);
         assert_eq!(bm.try_add_replica(vec![REG3_BIT], 0), Some(0));
         assert_eq!(bm.try_add_replica(vec![REG3_BIT], 1), None);
         assert_eq!(bm.occupancy(), 1);
@@ -304,7 +444,7 @@ mod tests {
     #[test]
     fn untouched_delta_is_latent() {
         let t = trace_with(&[(REG3, 10, AccessKind::Read)]);
-        let mut bm = BatchMachine::new(&t, 4);
+        let mut bm = BatchMachine::new(&t, None, 4);
         // Injected after the last access: nothing ever observes the flip.
         let id = bm.try_add_replica(vec![REG3_BIT], 11).unwrap();
         bm.run();
@@ -315,7 +455,7 @@ mod tests {
     #[test]
     fn read_splits_off_at_the_access() {
         let t = trace_with(&[(REG3, 10, AccessKind::Write), (REG3, 20, AccessKind::Read)]);
-        let mut bm = BatchMachine::new(&t, 4);
+        let mut bm = BatchMachine::new(&t, None, 4);
         // Injected between the write and the read: the read observes it.
         let id = bm.try_add_replica(vec![REG3_BIT], 15).unwrap();
         bm.run();
@@ -326,7 +466,7 @@ mod tests {
     #[test]
     fn full_write_kills_and_converges() {
         let t = trace_with(&[(REG3, 10, AccessKind::Write), (REG3, 20, AccessKind::Read)]);
-        let mut bm = BatchMachine::new(&t, 4);
+        let mut bm = BatchMachine::new(&t, None, 4);
         // Injected before the write: overwritten before observation.
         let id = bm.try_add_replica(vec![REG3_BIT], 5).unwrap();
         bm.run();
@@ -337,7 +477,7 @@ mod tests {
     #[test]
     fn partial_write_is_conservative() {
         let t = trace_with(&[(REG3, 10, AccessKind::PartialWrite)]);
-        let mut bm = BatchMachine::new(&t, 4);
+        let mut bm = BatchMachine::new(&t, None, 4);
         let id = bm.try_add_replica(vec![REG3_BIT], 5).unwrap();
         bm.run();
         assert_eq!(bm.fate(id), ReplicaFate::SplitOff { at: 10 });
@@ -346,12 +486,12 @@ mod tests {
     #[test]
     fn multi_unit_delta_shrinks_then_splits() {
         let t = trace_with(&[(REG3, 10, AccessKind::Write), (REG4, 30, AccessKind::Read)]);
-        let mut bm = BatchMachine::new(&t, 4);
+        let mut bm = BatchMachine::new(&t, None, 4);
         let id = bm.try_add_replica(vec![REG3_BIT, REG4_BIT], 5).unwrap();
         bm.run();
         assert_eq!(bm.fate(id), ReplicaFate::SplitOff { at: 30 });
         // r3's flip was killed at 10; only r4's survives to the split.
-        assert_eq!(bm.delta_units(id), &[REG4]);
+        assert_eq!(bm.delta_units(id), &[DeltaUnit::Trace(REG4)]);
         assert_eq!(bm.surviving_flips(id), vec![REG4_BIT]);
     }
 
@@ -362,7 +502,7 @@ mod tests {
         let mut t = AccessTrace::new();
         t.record(REG3, 10, AccessKind::Read);
         t.record(REG3, 10, AccessKind::Write);
-        let mut bm = BatchMachine::new(&t, 4);
+        let mut bm = BatchMachine::new(&t, None, 4);
         let id = bm.try_add_replica(vec![REG3_BIT], 5).unwrap();
         bm.run();
         assert_eq!(bm.fate(id), ReplicaFate::SplitOff { at: 10 });
@@ -375,7 +515,7 @@ mod tests {
         let mut t = AccessTrace::new();
         t.record(REG3, 10, AccessKind::Write);
         t.record(REG3, 10, AccessKind::Read);
-        let mut bm = BatchMachine::new(&t, 4);
+        let mut bm = BatchMachine::new(&t, None, 4);
         let id = bm.try_add_replica(vec![REG3_BIT], 5).unwrap();
         bm.run();
         assert_eq!(bm.fate(id), ReplicaFate::Converged { killed_at: 10 });
@@ -386,7 +526,7 @@ mod tests {
         // One instruction fully writes r3 but reads r4: the r4 flip is
         // observed, so the whole replica must leave lockstep.
         let t = trace_with(&[(REG3, 10, AccessKind::Write), (REG4, 10, AccessKind::Read)]);
-        let mut bm = BatchMachine::new(&t, 4);
+        let mut bm = BatchMachine::new(&t, None, 4);
         let id = bm.try_add_replica(vec![REG3_BIT, REG4_BIT], 5).unwrap();
         bm.run();
         assert_eq!(bm.fate(id), ReplicaFate::SplitOff { at: 10 });
@@ -395,7 +535,7 @@ mod tests {
     #[test]
     fn materialize_applies_only_surviving_flips() {
         let t = trace_with(&[(REG3, 10, AccessKind::Write), (REG4, 30, AccessKind::Read)]);
-        let mut bm = BatchMachine::new(&t, 4);
+        let mut bm = BatchMachine::new(&t, None, 4);
         let id = bm.try_add_replica(vec![REG3_BIT, REG4_BIT], 5).unwrap();
         bm.run();
         let base = Machine::new();

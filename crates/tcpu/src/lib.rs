@@ -60,11 +60,13 @@ pub mod machine;
 pub mod mem;
 pub mod scan;
 pub mod trace;
+pub mod vis;
 
 pub use access::{Access, AccessKind, AccessTrace, TraceUnit};
 pub use asm::{assemble, AsmError, Program};
-pub use batch::{BatchMachine, ReplicaFate};
+pub use batch::{BatchMachine, DeltaUnit, ReplicaFate};
 pub use digest::Fnv64;
 pub use edm::ErrorMechanism;
 pub use machine::{Machine, RunExit};
 pub use scan::{BitLocation, CpuPart, ScanSnapshot};
+pub use vis::{VisTrace, VisUnit};

@@ -25,6 +25,7 @@ use crate::cache::{DataCache, LINE_BYTES, WORDS_PER_LINE};
 use crate::edm::{ErrorMechanism as Edm, Trap};
 use crate::isa::{self, Decoded, Opcode};
 use crate::mem::{self, Memory, Region};
+use crate::vis::{VisSlot, VisTrace, VisUnit};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -176,6 +177,8 @@ pub struct Machine {
     shadow: [crate::cache::CacheLine; crate::cache::NUM_LINES],
     /// Optional golden-run access-trace recorder (see [`crate::access`]).
     atrace: TraceSlot,
+    /// Optional golden-run EDM-visibility recorder (see [`crate::vis`]).
+    vtrace: VisSlot,
     /// Validated per-ROM-slot decode memo.
     decode_memo: DecodeMemo,
 }
@@ -215,6 +218,7 @@ impl Machine {
             parity_cache: false,
             shadow: [crate::cache::CacheLine::default(); crate::cache::NUM_LINES],
             atrace: TraceSlot::default(),
+            vtrace: VisSlot::default(),
             decode_memo: DecodeMemo::default(),
         }
     }
@@ -228,6 +232,19 @@ impl Machine {
     /// Stops tracing and returns the recorded trace, if one was started.
     pub fn take_access_trace(&mut self) -> Option<AccessTrace> {
         self.atrace.0.take().map(|b| *b)
+    }
+
+    /// Starts recording an EDM-visibility trace (golden runs only). Any
+    /// previous trace is discarded. Clones taken while tracing do not
+    /// trace.
+    pub fn start_vis_trace(&mut self) {
+        self.vtrace.0 = Some(Box::new(VisTrace::new()));
+    }
+
+    /// Stops visibility tracing and returns the recorded trace, if one
+    /// was started.
+    pub fn take_vis_trace(&mut self) -> Option<VisTrace> {
+        self.vtrace.0.take().map(|b| *b)
     }
 
     /// Records the harness's read of an output port at a `yield` boundary
@@ -246,6 +263,20 @@ impl Machine {
     fn trace(&mut self, unit: TraceUnit, kind: AccessKind) {
         if let Some(t) = self.atrace.0.as_mut() {
             t.record(unit, self.instr_count, kind);
+        }
+    }
+
+    #[inline]
+    fn vis(&mut self, unit: VisUnit, kind: AccessKind) {
+        if let Some(v) = self.vtrace.0.as_mut() {
+            v.record(unit, self.instr_count, kind);
+        }
+    }
+
+    #[inline]
+    fn vis_shift(&mut self) {
+        if let Some(v) = self.vtrace.0.as_mut() {
+            v.record_shift(self.instr_count);
         }
     }
 
@@ -509,10 +540,10 @@ impl Machine {
     /// Executes at most `budget` instructions, returning early on a `yield`
     /// or a trap.
     pub fn run(&mut self, budget: u64) -> RunExit {
-        // Monomorphise the step path on whether an access trace is being
-        // recorded: the untraced interpreter (every experiment) compiles
-        // with the per-access trace hooks removed entirely.
-        if self.atrace.0.is_some() {
+        // Monomorphise the step path on whether a trace (access or
+        // visibility) is being recorded: the untraced interpreter (every
+        // experiment) compiles with all trace hooks removed entirely.
+        if self.tracing() {
             self.run_gen::<true>(budget)
         } else {
             self.run_gen::<false>(budget)
@@ -534,7 +565,7 @@ impl Machine {
     /// returning early on a `yield` or a trap. Used to position the machine
     /// at a fault-injection breakpoint.
     pub fn run_until(&mut self, stop_at: u64) -> RunExit {
-        if self.atrace.0.is_some() {
+        if self.tracing() {
             self.run_until_gen::<true>(stop_at)
         } else {
             self.run_until_gen::<false>(stop_at)
@@ -559,11 +590,16 @@ impl Machine {
     /// Returns the trap when an error detection mechanism fires; the machine
     /// freezes and every subsequent call returns the same trap.
     pub fn step(&mut self) -> Result<StepEvent, Trap> {
-        if self.atrace.0.is_some() {
+        if self.tracing() {
             self.step_gen::<true>()
         } else {
             self.step_gen::<false>()
         }
+    }
+
+    #[inline]
+    fn tracing(&self) -> bool {
+        self.atrace.0.is_some() || self.vtrace.0.is_some()
     }
 
     fn step_gen<const TRACING: bool>(&mut self) -> Result<StepEvent, Trap> {
@@ -582,6 +618,9 @@ impl Machine {
                     at_instruction: idx,
                     pc,
                 };
+                if TRACING {
+                    self.vis(VisUnit::EpcCause, AccessKind::Write);
+                }
                 self.instr_count += 1;
                 self.trapped = Some(trap);
                 self.epc = pc;
@@ -595,7 +634,11 @@ impl Machine {
         // Consume the prefetched instruction (fetch now if the latch was
         // invalidated by a control transfer or a failed prefetch).
         if !self.fetch.valid {
-            self.fill_latch().map_err(|m| (m, self.pc))?;
+            self.fill_latch::<TRACING>().map_err(|m| (m, self.pc))?;
+        }
+        if TRACING {
+            self.vis(VisUnit::FetchWord, AccessKind::Read);
+            self.vis(VisUnit::FetchPc, AccessKind::Read);
         }
         let word = self.fetch.word;
         let ipc = self.fetch.pc;
@@ -620,7 +663,7 @@ impl Machine {
             .map_err(|m| (m, ipc))?;
 
         if !transferred {
-            self.try_prefetch();
+            self.try_prefetch::<TRACING>();
         }
         Ok(event)
     }
@@ -638,8 +681,17 @@ impl Machine {
             Yield => *event = StepEvent::Yield,
             Halt | Setsb => unreachable!("privileged ops rejected in decode"),
             Sig => {
+                // The compare samples the signature register; on success
+                // it is zeroed (a deposit derived from the compare — the
+                // preceding Read keeps a flipped signature live here).
+                if TRACING {
+                    self.vis(VisUnit::Sig, AccessKind::Read);
+                }
                 if self.sig != d.uimm16 as u16 {
                     return Err(Edm::ControlFlowError);
+                }
+                if TRACING {
+                    self.vis(VisUnit::Sig, AccessKind::Write);
                 }
                 self.sig = 0;
             }
@@ -707,14 +759,26 @@ impl Machine {
                 if a.is_nan() || b.is_nan() {
                     return Err(Edm::IllegalOperation);
                 }
-                self.set_flags(a == b, a < b);
+                self.set_flags::<TRACING>(a == b, a < b);
             }
             Cmp => {
                 let a = self.read_reg::<TRACING>(d.ra) as i32;
                 let b = self.read_reg::<TRACING>(d.rb) as i32;
-                self.set_flags(a == b, a < b);
+                self.set_flags::<TRACING>(a == b, a < b);
             }
             Beq | Bne | Blt | Bge | Bgt | Ble => {
+                // Each condition samples exactly the flag bits it
+                // consults: EQ for beq/bne, LT for blt/bge, both for
+                // bgt/ble. A flip in an unconsulted PSR bit stays
+                // invisible to this branch.
+                if TRACING {
+                    if matches!(d.op, Beq | Bne | Bgt | Ble) {
+                        self.vis(VisUnit::Psr(0), AccessKind::Read);
+                    }
+                    if matches!(d.op, Blt | Bge | Bgt | Ble) {
+                        self.vis(VisUnit::Psr(1), AccessKind::Read);
+                    }
+                }
                 let eq = self.psr & PSR_EQ != 0;
                 let lt = self.psr & PSR_LT != 0;
                 let taken = match d.op {
@@ -729,22 +793,22 @@ impl Machine {
                     let target = ipc
                         .wrapping_add(4)
                         .wrapping_add((d.imm16 as u32).wrapping_mul(4));
-                    self.control_transfer(target)?;
+                    self.control_transfer::<TRACING>(target)?;
                     *transferred = true;
                 }
             }
             Jmp => {
-                self.control_transfer(d.imm22.wrapping_mul(4))?;
+                self.control_transfer::<TRACING>(d.imm22.wrapping_mul(4))?;
                 *transferred = true;
             }
             Call => {
                 self.write_reg::<TRACING>(isa::REG_LR, ipc.wrapping_add(4));
-                self.control_transfer(d.imm22.wrapping_mul(4))?;
+                self.control_transfer::<TRACING>(d.imm22.wrapping_mul(4))?;
                 *transferred = true;
             }
             Ret => {
                 let target = self.read_reg::<TRACING>(isa::REG_LR);
-                self.control_transfer(target)?;
+                self.control_transfer::<TRACING>(target)?;
                 *transferred = true;
             }
             In => {
@@ -815,7 +879,13 @@ impl Machine {
         Ok(r)
     }
 
-    fn set_flags(&mut self, eq: bool, lt: bool) {
+    fn set_flags<const TRACING: bool>(&mut self, eq: bool, lt: bool) {
+        // Both condition flags are deposited full-width from clean
+        // compare inputs — the kill event for pending EQ/LT flips.
+        if TRACING {
+            self.vis(VisUnit::Psr(0), AccessKind::Write);
+            self.vis(VisUnit::Psr(1), AccessKind::Write);
+        }
         self.psr &= !(PSR_EQ | PSR_LT);
         if eq {
             self.psr |= PSR_EQ;
@@ -856,6 +926,9 @@ impl Machine {
     fn read_reg<const TRACING: bool>(&mut self, r: u8) -> u32 {
         if TRACING {
             self.trace(TraceUnit::Reg(r & 0xF), AccessKind::Read);
+            // The operand latch shifts (a ← b, b ← value): record the
+            // instant for the planner's value-level migration rule.
+            self.vis_shift();
         }
         let v = self.regs[(r & 0xF) as usize];
         self.idex.a = self.idex.b;
@@ -866,6 +939,9 @@ impl Machine {
     fn write_reg<const TRACING: bool>(&mut self, r: u8, v: u32) {
         if TRACING {
             self.trace(TraceUnit::Reg(r & 0xF), AccessKind::Write);
+            // The whole result latch (value, rd, we) is deposited from
+            // clean inputs.
+            self.vis(VisUnit::Exwb, AccessKind::Write);
         }
         self.exwb = ResultLatch {
             value: v,
@@ -876,9 +952,17 @@ impl Machine {
     }
 
     /// Validates a jump/call/return/branch target and redirects fetch.
-    fn control_transfer(&mut self, target: u32) -> Result<(), Edm> {
+    fn control_transfer<const TRACING: bool>(&mut self, target: u32) -> Result<(), Edm> {
         if mem::region(target) != Region::Rom || !target.is_multiple_of(4) {
             return Err(Edm::JumpError);
+        }
+        if TRACING {
+            // Both deposits are value-independent of the old contents:
+            // the PC is replaced by the (clean-input) target and the
+            // signature register is zeroed unconditionally — the only
+            // sound kill for signature flips.
+            self.vis(VisUnit::Pc, AccessKind::Write);
+            self.vis(VisUnit::Sig, AccessKind::Write);
         }
         self.pc = target;
         self.fetch.valid = false;
@@ -895,9 +979,22 @@ impl Machine {
         }
     }
 
-    fn fill_latch(&mut self) -> Result<(), Edm> {
+    fn fill_latch<const TRACING: bool>(&mut self) -> Result<(), Edm> {
+        if TRACING {
+            // The fetch address samples the PC. The subsequent deposits
+            // (latch refill, PC increment) happen at the same instant and
+            // *after* the read in per-unit order, so a pending PC flip is
+            // observed here, never killed — the increment derives from
+            // the flipped value.
+            self.vis(VisUnit::Pc, AccessKind::Read);
+        }
         match self.mem.fetch(self.pc) {
             Some(word) => {
+                if TRACING {
+                    self.vis(VisUnit::FetchWord, AccessKind::Write);
+                    self.vis(VisUnit::FetchPc, AccessKind::Write);
+                    self.vis(VisUnit::Pc, AccessKind::Write);
+                }
                 self.fetch = FetchLatch {
                     word,
                     pc: self.pc,
@@ -913,8 +1010,8 @@ impl Machine {
     /// Prefetch at the end of a straight-line instruction; on failure the
     /// latch stays invalid and the fault is raised when the instruction is
     /// actually needed.
-    fn try_prefetch(&mut self) {
-        let _ = self.fill_latch();
+    fn try_prefetch<const TRACING: bool>(&mut self) {
+        let _ = self.fill_latch::<TRACING>();
     }
 
     fn data_access<const TRACING: bool>(
@@ -930,6 +1027,11 @@ impl Machine {
             Region::Rom | Region::Unmapped => Err(Edm::AddressError),
             Region::Bus => Err(Edm::BusError),
             Region::Stack => {
+                // The storage-error EDM samples both bound registers.
+                if TRACING {
+                    self.vis(VisUnit::StackLo, AccessKind::Read);
+                    self.vis(VisUnit::StackHi, AccessKind::Read);
+                }
                 if addr < self.stack_lo || addr >= self.stack_hi {
                     return Err(Edm::StorageError);
                 }
@@ -950,7 +1052,27 @@ impl Machine {
                 return Err(Edm::DataError);
             }
         }
+        if TRACING {
+            // The hit check mirrors the consult short-circuit: the valid
+            // flag is sampled on every access, the tag only while the
+            // line is valid. A replica whose valid-flag flip changes the
+            // short-circuit splits off at this very Read, so conditioning
+            // the tag sample on the *golden* flag is sound.
+            let idx = crate::cache::index_of(addr);
+            self.vis(VisUnit::CacheValid(idx), AccessKind::Read);
+            if self.cache.line(idx).valid {
+                self.vis(VisUnit::CacheTag(idx), AccessKind::Read);
+            }
+        }
         if !self.cache.hits(addr) {
+            if TRACING {
+                // The eviction decision samples the dirty flag of a valid
+                // victim (pending_writeback short-circuits on valid).
+                let idx = crate::cache::index_of(addr);
+                if self.cache.line(idx).valid {
+                    self.vis(VisUnit::CacheDirty(idx), AccessKind::Read);
+                }
+            }
             if let Some((wb_addr, data)) = self.cache.pending_writeback(addr) {
                 // Evicting a dirty victim observes its whole line.
                 if TRACING {
@@ -971,6 +1093,14 @@ impl Machine {
             Some(w) => {
                 if TRACING {
                     self.trace(unit, AccessKind::Write);
+                    // A store deposits the whole store buffer and forces
+                    // the line's dirty flag to 1 — both value-independent
+                    // of the previous contents.
+                    self.vis(VisUnit::Sbuf, AccessKind::Write);
+                    self.vis(
+                        VisUnit::CacheDirty(crate::cache::index_of(addr)),
+                        AccessKind::Write,
+                    );
                 }
                 self.sbuf = StoreBuffer {
                     addr,
@@ -1032,10 +1162,16 @@ impl Machine {
                 if let Some(key) = mem::word_key(a) {
                     self.trace(TraceUnit::MemWord(key), AccessKind::Read);
                 }
+                // The EDAC check samples the syndrome register per word;
+                // each word then deposits a whole fill buffer.
+                self.vis(VisUnit::EdacSyndrome, AccessKind::Read);
             }
             let (w, parity_ok) = self.mem.read_word(a).ok_or(Edm::AddressError)?;
             if !parity_ok || self.edac_syndrome != 0 {
                 return Err(Edm::DataError);
+            }
+            if TRACING {
+                self.vis(VisUnit::Fbuf, AccessKind::Write);
             }
             self.fbuf = FillBuffer {
                 addr: a,
@@ -1050,6 +1186,10 @@ impl Machine {
             for word in 0..WORDS_PER_LINE {
                 self.trace(TraceUnit::CacheWord { line, word }, AccessKind::Write);
             }
+            // The fill deposits the line's tag, valid and dirty flags.
+            self.vis(VisUnit::CacheTag(line), AccessKind::Write);
+            self.vis(VisUnit::CacheValid(line), AccessKind::Write);
+            self.vis(VisUnit::CacheDirty(line), AccessKind::Write);
         }
         self.cache.fill(base, data);
         self.update_shadow(base);

@@ -6,7 +6,7 @@
 //!          [--parity-cache] [--checkpoint-stride K]
 //!          [--fault-model single|double|intermittent:N|stuck0|stuck1|burst:W]
 //!          [--deadline SECS] [--unsupervised] [--no-prune] [--paranoid N]
-//!          [--batch-width W] [--no-batch]
+//!          [--batch-width W] [--no-batch] [--no-vis]
 //!          [--json FILE] [--out FILE] [--resume] [--progress]
 //!          [--failpoint id=action[@N]]...
 //! ```
@@ -26,9 +26,12 @@
 //! def/use access trace by default (`DESIGN.md` § 8e): faults whose
 //! target is overwritten before any read, or never accessed again, are
 //! classified analytically, and faults sharing a first-read site run one
-//! representative simulation. `--no-prune` simulates every fault;
-//! `--paranoid N` re-simulates up to N replicated class members per
-//! equivalence class and panics if any disagrees with its representative.
+//! representative simulation. Bits the def/use trace cannot see are
+//! classified from the golden run's EDM-visibility windows and value-level
+//! rules (`DESIGN.md` § 8h) unless `--no-vis` turns that layer off.
+//! `--no-prune` simulates every fault; `--paranoid N` re-simulates up to
+//! N replicated class members per equivalence class and panics if any
+//! disagrees with its representative.
 //!
 //! Builds carrying the `failpoints` feature accept `--failpoint
 //! id=action[@N]` (repeatable) to arm deterministic crash/error/panic/
@@ -68,6 +71,7 @@ struct Args {
     deadline: Option<f64>,
     unsupervised: bool,
     no_prune: bool,
+    no_vis: bool,
     paranoid: usize,
     batch_width: usize,
     json: Option<String>,
@@ -90,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
         deadline: None,
         unsupervised: false,
         no_prune: false,
+        no_vis: false,
         paranoid: 0,
         batch_width: CampaignConfig::paper(1, 0).batch_width,
         json: None,
@@ -154,6 +159,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--unsupervised" => args.unsupervised = true,
             "--no-prune" => args.no_prune = true,
+            "--no-vis" => args.no_vis = true,
             "--paranoid" => {
                 args.paranoid = value("--paranoid")?
                     .parse()
@@ -229,6 +235,9 @@ fn usage() {
          \twindow against the golden access trace (flip models only;\n\
          \toutcomes are bit-identical to the scalar path)\n\
          --no-batch     force the scalar per-fault path (= --batch-width 0)\n\
+         --no-vis       disable EDM-visibility analytic classification of\n\
+         	bits the def/use trace cannot see (they simulate instead;\n\
+         	outcomes are bit-identical either way)\n\
          --out FILE     stream records to a checksummed JSONL result store\n\
          --resume       continue an interrupted store (validates that it\n\
          \tbelongs to this campaign; re-runs only the missing faults)\n\
@@ -291,6 +300,7 @@ fn main() -> ExitCode {
     cfg.threads = args.threads;
     cfg.fault_model = args.fault_model;
     cfg.prune = !args.no_prune;
+    cfg.vis = !args.no_vis;
     cfg.paranoid = args.paranoid;
     cfg.batch_width = args.batch_width;
     cfg.supervisor = if args.unsupervised {

@@ -157,6 +157,26 @@ fn report_telemetry_sidecar(store_path: &str) {
                     snap.mean_lockstep_prefix(),
                 );
             }
+            if snap.vis_analytic() > 0 || snap.vis_replicated > 0 {
+                eprintln!(
+                    "{store_path}: EDM-visibility analysis: {} latent, {} overwritten, \
+                     {} signature write-first, {} value-resolved, {} replicated \
+                     (planned in {} µs)",
+                    snap.vis_latent,
+                    snap.vis_overwritten,
+                    snap.sig_overwritten,
+                    snap.value_resolved,
+                    snap.vis_replicated,
+                    snap.plan_micros,
+                );
+            }
+            if snap.batch_vis_admitted > 0 || snap.batch_untraceable > 0 {
+                eprintln!(
+                    "{store_path}: lockstep admission: {} replicas admitted via \
+                     visibility deltas, {} rejected as untraceable",
+                    snap.batch_vis_admitted, snap.batch_untraceable,
+                );
+            }
         }
         Err(e) => eprintln!("note: {side} is unreadable ({e}); ignoring"),
     }

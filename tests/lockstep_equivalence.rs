@@ -22,11 +22,12 @@
 //! * property tests generalise the fixed seeds over random seeds, both
 //!   algorithms and all models.
 
-use bera_goofi::campaign::{run_scifi_campaign_observed, CampaignConfig};
-use bera_goofi::experiment::{ExperimentRecord, FaultModel, Provenance};
+use bera_goofi::campaign::{run_fault_list, run_scifi_campaign_observed, CampaignConfig};
+use bera_goofi::experiment::{golden_run, ExperimentRecord, FaultModel, FaultSpec, Provenance};
 use bera_goofi::observer::{NullObserver, Telemetry};
 use bera_goofi::planner::records_equivalent;
 use bera_goofi::workload::Workload;
+use bera_tcpu::scan;
 use proptest::prelude::*;
 
 fn run(workload: &Workload, cfg: &CampaignConfig) -> Vec<ExperimentRecord> {
@@ -184,6 +185,81 @@ fn batch_width_is_byte_invariant_and_width_one_matches_scalar() {
         .map(|s| serde_json::from_str(s).expect("parse"))
         .collect();
     assert_equivalent(&width_one, &scalar);
+}
+
+/// A pinned fault list over the state the def/use trace cannot see —
+/// PSR flags, the signature register, cache metadata, the store and fill
+/// buffers — where lockstep admission now rides on visibility deltas.
+/// Under every fault model the batched run must stay record-for-record
+/// equivalent to its scalar twin, and for the multi-bit flip models the
+/// visibility deltas must actually admit some of these replicas (without
+/// them the whole set fell back to scalar simulation).
+#[test]
+fn untraceable_locations_batch_equivalently_across_models() {
+    let workload = Workload::algorithm_one();
+    let base = CampaignConfig::quick(24, 47);
+    let golden = golden_run(&workload, &base.loop_cfg);
+    let faults: Vec<FaultSpec> = scan::catalog()
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| {
+            use scan::BitLocation::*;
+            matches!(
+                l,
+                Psr { .. }
+                    | SigReg { .. }
+                    | CacheTag { .. }
+                    | CacheValid { .. }
+                    | CacheDirty { .. }
+                    | StoreBufAddr { .. }
+                    | StoreBufData { .. }
+                    | StoreBufValid
+                    | FillBufAddr { .. }
+                    | FillBufData { .. }
+                    | FillBufParity
+                    | FillBufValid
+            )
+        })
+        .map(|(i, _)| i)
+        .step_by(7)
+        .flat_map(|location_index| {
+            let total = golden.total_instructions;
+            [total / 4, total / 2].map(|inject_at| FaultSpec {
+                location_index,
+                inject_at,
+            })
+        })
+        .collect();
+    assert!(faults.len() >= 40, "the pinned list must cover the set");
+
+    let models = [
+        FaultModel::SingleBit,
+        FaultModel::AdjacentDoubleBit,
+        FaultModel::Intermittent {
+            reassert_iterations: 2,
+        },
+        FaultModel::StuckAt { value: false },
+        FaultModel::Burst { width: 3 },
+    ];
+    for model in models {
+        let mut cfg = base.clone();
+        cfg.fault_model = model;
+        let batched = run_fault_list(&workload, &cfg, &golden, &faults);
+        cfg.batch_width = 0;
+        let scalar = run_fault_list(&workload, &cfg, &golden, &faults);
+        assert_equivalent(&batched, &scalar);
+
+        if matches!(
+            model,
+            FaultModel::AdjacentDoubleBit | FaultModel::Burst { .. }
+        ) {
+            assert_eq!(analytic_count(&scalar), 0, "{model:?} has no pruner");
+            assert!(
+                analytic_count(&batched) > 0,
+                "{model:?} must resolve some untraceable replicas in lockstep"
+            );
+        }
+    }
 }
 
 #[test]

@@ -18,7 +18,7 @@
 //!   full write narrowed to a partial one) changes the plan.
 
 use bera_goofi::campaign::{
-    prepare_campaign, run_scifi_campaign_observed, CampaignConfig, FaultList,
+    prepare_campaign, run_fault_list, run_scifi_campaign_observed, CampaignConfig, FaultList,
 };
 use bera_goofi::experiment::{
     golden_run, ExperimentRecord, FaultModel, FaultSpec, GoldenRun, Provenance,
@@ -275,7 +275,10 @@ proptest! {
         let Some((member, rep)) = plan.actions().iter().enumerate().find_map(|(i, a)| {
             match a {
                 PlanAction::Replicate { representative }
-                    if faults[i].inject_at != faults[*representative].inject_at =>
+                    if faults[i].inject_at != faults[*representative].inject_at
+                        && scan::catalog()[faults[i].location_index]
+                            .trace_unit()
+                            .is_some() =>
                 {
                     Some((i, *representative))
                 }
@@ -287,7 +290,7 @@ proptest! {
 
         let unit = scan::catalog()[faults[member].location_index]
             .trace_unit()
-            .expect("replicated faults target traceable units");
+            .expect("filtered to traceable units above");
         let lo = faults[member].inject_at.min(faults[rep].inject_at);
         let hi = faults[member].inject_at.max(faults[rep].inject_at);
         // Visible to the earlier injection only: `lo <= at < hi`.
@@ -316,14 +319,15 @@ proptest! {
         let faults = sample_faults(seed);
         let plan = plan_campaign(&faults, cfg, golden);
 
-        let Some(victim) = plan.actions().iter().position(|a| {
+        let Some(victim) = plan.actions().iter().enumerate().position(|(i, a)| {
             matches!(a, PlanAction::Analytic(bera_goofi::Outcome::Overwritten))
+                && scan::catalog()[faults[i].location_index].trace_unit().is_some()
         }) else {
             return Ok(());
         };
         let unit = scan::catalog()[faults[victim].location_index]
             .trace_unit()
-            .expect("analytic faults target traceable units");
+            .expect("filtered to traceable units above");
         // The verdict came from the first access at-or-after injection
         // being a full write; narrow exactly that one.
         let mut perturbed = golden.clone();
@@ -338,6 +342,187 @@ proptest! {
             !matches!(replanned.action(victim), PlanAction::Analytic(_)),
             "a partial write must not keep the analytic verdict"
         );
+    }
+
+    /// EDM-visibility soundness, half one: a `Latent` claim on an
+    /// untraceable bit rests on *no* asynchronous observer sampling its
+    /// unit after injection. Adding one extra EDM sample inside that
+    /// window must defeat the claim and force simulation (or, at most,
+    /// position-keyed replication — never an analytic verdict).
+    #[test]
+    fn an_extra_edm_sample_defeats_the_vis_latent_claim(seed in 0u64..1_000) {
+        let (golden, cfg) = shared_golden();
+        let faults = sample_faults(seed);
+        let plan = plan_campaign(&faults, cfg, golden);
+
+        // A latent verdict earned through the visibility trace: the bit
+        // has no def/use unit but does have a visibility unit. (The
+        // operand latch resolves by shift count, not window accesses, so
+        // its `vis_unit` is `None` and it is excluded here.)
+        let Some(victim) = plan.actions().iter().enumerate().position(|(i, a)| {
+            let bit = scan::catalog()[faults[i].location_index];
+            matches!(a, PlanAction::Analytic(bera_goofi::Outcome::Latent))
+                && bit.trace_unit().is_none()
+                && bit.vis_unit().is_some()
+        }) else {
+            return Ok(());
+        };
+        let unit = scan::catalog()[faults[victim].location_index]
+            .vis_unit()
+            .expect("filtered to visibility units above");
+
+        let mut perturbed = golden.clone();
+        perturbed.vis.insert_for_test(
+            unit,
+            Access { at: faults[victim].inject_at, kind: AccessKind::Read },
+        );
+
+        let replanned = plan_campaign(&faults, cfg, &perturbed);
+        prop_assert!(
+            !matches!(replanned.action(victim), PlanAction::Analytic(_)),
+            "an extra EDM sample must defeat the latent claim"
+        );
+    }
+
+    /// EDM-visibility soundness, half two: an `Overwritten` claim rests on
+    /// the window *closing* with a whole-unit deposit before any sample.
+    /// Shrinking that boundary — demoting the closing write to a partial
+    /// one — must revoke the analytic verdict.
+    #[test]
+    fn shrinking_a_visibility_window_revokes_the_overwritten_claim(seed in 0u64..1_000) {
+        let (golden, cfg) = shared_golden();
+        let faults = sample_faults(seed);
+        let plan = plan_campaign(&faults, cfg, golden);
+
+        let Some(victim) = plan.actions().iter().enumerate().position(|(i, a)| {
+            let bit = scan::catalog()[faults[i].location_index];
+            matches!(a, PlanAction::Analytic(bera_goofi::Outcome::Overwritten))
+                && bit.trace_unit().is_none()
+                && bit.vis_unit().is_some()
+        }) else {
+            return Ok(());
+        };
+        let unit = scan::catalog()[faults[victim].location_index]
+            .vis_unit()
+            .expect("filtered to visibility units above");
+
+        // The verdict came from the first window event at-or-after
+        // injection being a whole-unit deposit; demote exactly that one.
+        let mut perturbed = golden.clone();
+        let first = perturbed
+            .vis
+            .accesses(unit)
+            .partition_point(|a| a.at < faults[victim].inject_at);
+        perturbed.vis.set_kind_for_test(unit, first, AccessKind::PartialWrite);
+
+        let replanned = plan_campaign(&faults, cfg, &perturbed);
+        prop_assert!(
+            !matches!(replanned.action(victim), PlanAction::Analytic(_)),
+            "a shrunk visibility window must revoke the overwritten claim"
+        );
+    }
+}
+
+/// A pinned fault list over the architectural state the def/use trace
+/// cannot see — PSR flags, the signature register, cache tag/valid/dirty
+/// metadata, the store and fill buffers — with injection times spread
+/// across the run. Classification here comes from the EDM-visibility
+/// layer, so these locations are exactly where its soundness is at stake.
+fn pinned_untraceable_faults(golden: &GoldenRun) -> Vec<FaultSpec> {
+    let locations: Vec<usize> = scan::catalog()
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| {
+            use scan::BitLocation::*;
+            matches!(
+                l,
+                Psr { .. }
+                    | SigReg { .. }
+                    | CacheTag { .. }
+                    | CacheValid { .. }
+                    | CacheDirty { .. }
+                    | StoreBufAddr { .. }
+                    | StoreBufData { .. }
+                    | StoreBufValid
+                    | FillBufAddr { .. }
+                    | FillBufData { .. }
+                    | FillBufParity
+                    | FillBufValid
+            )
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let total = golden.total_instructions;
+    locations
+        .iter()
+        .step_by(locations.len().div_ceil(40).max(1))
+        .flat_map(|&location_index| {
+            [1, total / 3, 2 * total / 3, total - 1].map(|inject_at| FaultSpec {
+                location_index,
+                inject_at,
+            })
+        })
+        .collect()
+}
+
+/// The EDM-visibility layer's end-to-end equivalence claim over the
+/// untraceable set: under every fault model, the pinned list classifies
+/// record-for-record identically whether the campaign runs with the
+/// default layers, without the pruner, or without the visibility layer —
+/// only provenance metadata may differ.
+#[test]
+fn untraceable_locations_are_equivalent_across_models_and_layers() {
+    let workload = Workload::algorithm_one();
+    let (golden, base) = shared_golden();
+    let faults = pinned_untraceable_faults(golden);
+    assert!(faults.len() >= 100, "the pinned list must cover the set");
+    let models = [
+        FaultModel::SingleBit,
+        FaultModel::AdjacentDoubleBit,
+        FaultModel::Intermittent {
+            reassert_iterations: 2,
+        },
+        FaultModel::StuckAt { value: true },
+        FaultModel::Burst { width: 3 },
+    ];
+    for model in models {
+        let mut cfg = base.clone();
+        cfg.fault_model = model;
+        let default_run = run_fault_list(&workload, &cfg, golden, &faults);
+
+        let mut no_prune = cfg.clone();
+        no_prune.prune = false;
+        let unpruned = run_fault_list(&workload, &no_prune, golden, &faults);
+
+        let mut no_vis = cfg.clone();
+        no_vis.vis = false;
+        let unvis = run_fault_list(&workload, &no_vis, golden, &faults);
+
+        for (i, d) in default_run.iter().enumerate() {
+            assert!(
+                records_equivalent(d, &unpruned[i]),
+                "{model:?} fault {i} diverges without the pruner\n\
+                 default:  {d:?}\nunpruned: {:?}",
+                unpruned[i]
+            );
+            assert!(
+                records_equivalent(d, &unvis[i]),
+                "{model:?} fault {i} diverges without the visibility layer\n\
+                 default: {d:?}\nunvis:   {:?}",
+                unvis[i]
+            );
+        }
+        if model == FaultModel::SingleBit {
+            // The pinned set is invisible to the def/use trace, so any
+            // analytic record here was earned by the visibility layer.
+            let (_, analytic, _) = provenance_counts(&default_run);
+            assert!(analytic > 0, "the visibility layer must carry this set");
+            assert_eq!(
+                provenance_counts(&unvis).1,
+                0,
+                "without it nothing on this set is analytic"
+            );
+        }
     }
 }
 

@@ -392,6 +392,20 @@ fn resume_rejects_mismatched_workload() {
 }
 
 #[test]
+fn resume_rejects_mismatched_vis() {
+    // The visibility layer changes which faults carry analytic or
+    // replicated provenance, so the two halves of a resumed campaign
+    // must agree on it.
+    let stored = config(FaultModel::SingleBit);
+    let mut other = stored.clone();
+    other.vis = false;
+    assert_eq!(
+        mismatch_field(&stored, &current_header(&other), "vis"),
+        "vis"
+    );
+}
+
+#[test]
 fn resume_rejects_mismatched_golden_digest() {
     // Same flags, but the golden run itself differs (e.g. a changed plant
     // model): simulate by tampering with the digest alone.
