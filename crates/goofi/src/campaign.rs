@@ -224,6 +224,62 @@ impl PreparedCampaign<'_> {
         self.run_resumed(Vec::new(), observer)
     }
 
+    /// Runs only the fault indices in `shard` (a farm worker's slice of
+    /// the campaign), producing records **byte-identical** to what a full
+    /// single-process run would produce for those indices — including
+    /// their provenance tags.
+    ///
+    /// The plan is computed over the *full* fault list (it is a pure
+    /// function of the campaign, so every worker recomputes the identical
+    /// plan), and the lockstep batch pass walks the full candidate set so
+    /// split-off equivalence classes match a fresh single-process run
+    /// exactly. Only in-shard indices are executed, emitted to `observer`
+    /// and returned; an in-shard class member whose representative lives
+    /// in another shard derives its record from a locally re-simulated
+    /// *shadow* of that representative (deterministic, observer-silent,
+    /// never stored).
+    ///
+    /// `completed` follows the [`PreparedCampaign::run_resumed`] contract
+    /// (empty, or one slot per fault of the whole campaign); out-of-shard
+    /// slots must be `None`. The returned vector has one slot per fault of
+    /// the whole campaign with `Some` exactly at the shard's indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of bounds for the fault list or
+    /// `completed` has the wrong length.
+    #[must_use]
+    pub fn run_shard(
+        &self,
+        shard: std::ops::Range<usize>,
+        completed: Vec<Option<ExperimentRecord>>,
+        observer: &dyn CampaignObserver,
+    ) -> Vec<Option<ExperimentRecord>> {
+        assert!(
+            shard.start <= shard.end && shard.end <= self.list.faults.len(),
+            "shard {}..{} out of bounds for a {}-fault campaign",
+            shard.start,
+            shard.end,
+            self.list.faults.len()
+        );
+        assert!(
+            completed.is_empty() || completed.len() == self.list.faults.len(),
+            "resume state covers {} faults but the campaign has {}",
+            completed.len(),
+            self.list.faults.len()
+        );
+        observer.fault_list_sampled(&self.list.faults);
+        run_fault_list_scoped(
+            self.workload,
+            &self.cfg,
+            &self.golden,
+            &self.list.faults,
+            shard,
+            completed,
+            observer,
+        )
+    }
+
     /// Like [`PreparedCampaign::run`], but skipping fault indices whose
     /// records were already completed by an interrupted run. `completed`
     /// must be empty (fresh campaign) or hold exactly one slot per fault;
@@ -368,6 +424,96 @@ fn run_fault_list_resumed(
     completed: Vec<Option<ExperimentRecord>>,
     observer: &dyn CampaignObserver,
 ) -> Vec<ExperimentRecord> {
+    let scope = 0..faults.len();
+    run_fault_list_scoped(workload, cfg, golden, faults, scope, completed, observer)
+        .into_iter()
+        .map(|slot| slot.expect("every fault index was run or preloaded"))
+        .collect()
+}
+
+/// Observer-silently derives the record the full campaign would have
+/// produced for out-of-shard fault `i` — the *shadow* of a representative
+/// another shard owns. Everything here is deterministic (split resumption,
+/// scalar replay, replication), so the shadow is byte-identical to the
+/// record the owning shard stores; it is memoized but never emitted.
+#[allow(clippy::too_many_arguments)]
+fn shadow_record(
+    i: usize,
+    workload: &Workload,
+    cfg: &CampaignConfig,
+    golden: &GoldenRun,
+    faults: &[FaultSpec],
+    split_specs: &HashMap<usize, SplitSpec>,
+    split_rep_of: &HashMap<usize, usize>,
+    slots: &[Option<ExperimentRecord>],
+    shadow: &mut HashMap<usize, ExperimentRecord>,
+) -> ExperimentRecord {
+    if let Some(r) = shadow.get(&i) {
+        return r.clone();
+    }
+    let record = if let Some(&rep) = split_rep_of.get(&i) {
+        // `i` is a split-dedup member: replicate from its class
+        // representative (which may itself need shadowing).
+        let rep_record = match slots.get(rep).and_then(Option::as_ref) {
+            Some(r) => r.clone(),
+            None => shadow_record(
+                rep,
+                workload,
+                cfg,
+                golden,
+                faults,
+                split_specs,
+                split_rep_of,
+                slots,
+                shadow,
+            ),
+        };
+        if matches!(rep_record.outcome, Outcome::HarnessFailure(_)) {
+            run_one(workload, cfg, golden, faults[i], i, &NullObserver)
+        } else {
+            replicated_record(faults[i], &rep_record)
+        }
+    } else if let Some(spec) = split_specs.get(&i) {
+        let split = || {
+            run_split_experiment(
+                &cfg.loop_cfg,
+                golden,
+                faults[i],
+                &spec.flips,
+                spec.at,
+                cfg.detail,
+                i,
+                &NullObserver,
+            )
+        };
+        let record = if cfg.supervisor.is_some() {
+            catch_unwind(AssertUnwindSafe(split)).ok().flatten()
+        } else {
+            split()
+        };
+        record.unwrap_or_else(|| run_one(workload, cfg, golden, faults[i], i, &NullObserver))
+    } else {
+        run_one(workload, cfg, golden, faults[i], i, &NullObserver)
+    };
+    shadow.insert(i, record.clone());
+    record
+}
+
+/// The scoped engine behind [`run_fault_list_resumed`] (full scope) and
+/// [`PreparedCampaign::run_shard`] (a farm worker's slice). The plan and
+/// the lockstep batch pass always cover the *full* fault list so that
+/// equivalence classes, split-off dedup and therefore record provenance
+/// are identical whichever process runs which slice; only in-scope
+/// indices execute experiments, emit observer events and fill slots.
+fn run_fault_list_scoped(
+    workload: &Workload,
+    cfg: &CampaignConfig,
+    golden: &GoldenRun,
+    faults: &[FaultSpec],
+    scope: std::ops::Range<usize>,
+    completed: Vec<Option<ExperimentRecord>>,
+    observer: &dyn CampaignObserver,
+) -> Vec<Option<ExperimentRecord>> {
     let mut slots: Vec<Option<ExperimentRecord>> = if completed.is_empty() {
         let mut v = Vec::new();
         v.resize_with(faults.len(), || None);
@@ -375,13 +521,28 @@ fn run_fault_list_resumed(
     } else {
         completed
     };
+    let in_scope = |i: usize| scope.contains(&i);
     let plan = plan_campaign(faults, cfg, golden);
     observer.plan_computed(&plan.stats());
+
+    // Out-of-scope representatives that in-scope members will replicate
+    // from: the batch pass stashes their latent/converged records as
+    // shadows instead of discarding them. Empty for a full-scope run.
+    let needed_shadow: std::collections::HashSet<usize> = scope
+        .clone()
+        .filter_map(|i| match plan.action(i) {
+            PlanAction::Replicate { representative } if !in_scope(representative) => {
+                Some(representative)
+            }
+            _ => None,
+        })
+        .collect();
+    let mut shadow: HashMap<usize, ExperimentRecord> = HashMap::new();
 
     // Analytic records first: they cost nothing and keep the simulation
     // scheduler's claim loop dense in real work.
     for (i, action) in plan.actions().iter().enumerate() {
-        if slots[i].is_some() {
+        if !in_scope(i) || slots[i].is_some() {
             continue;
         }
         if let PlanAction::Analytic(outcome) = *action {
@@ -404,10 +565,15 @@ fn run_fault_list_resumed(
     let mut split_members: Vec<(usize, usize)> = Vec::new(); // (member, rep)
     if batch_eligible(cfg) {
         let catalog = scan::catalog();
+        // Candidates are *every* plan-`Simulate` fault — including
+        // preloaded and out-of-scope indices. Split-off dedup picks class
+        // representatives in candidate order, so the candidate set must
+        // match a fresh full-scope run exactly or resumed/sharded runs
+        // would assign different representatives (and therefore different
+        // provenance bytes) than a single-process campaign.
         let candidates: Vec<usize> = (0..faults.len())
             .filter(|&i| {
-                slots[i].is_none()
-                    && matches!(plan.action(i), PlanAction::Simulate)
+                matches!(plan.action(i), PlanAction::Simulate)
                     // A fault scheduled at or past the end of the run is
                     // never injected; the trace proves nothing about it.
                     && faults[i].inject_at < golden.total_instructions
@@ -442,42 +608,68 @@ fn run_fault_list_resumed(
                 // only the signature register, the fetch-valid bit and
                 // the operand latch.
                 let needs_vis = flips.iter().any(|b| b.trace_unit().is_none());
+                // Telemetry counts only work this process owns; preloaded
+                // and out-of-scope candidates ride along for dedup only.
+                let live = in_scope(i) && slots[i].is_none();
                 if let Some(r) = bm.try_add_replica(flips, faults[i].inject_at) {
                     members.push((i, r));
-                    if needs_vis {
+                    if needs_vis && live {
                         vis_admitted += 1;
                     }
-                } else {
+                } else if live {
                     rejected_untraceable += 1;
                 }
             }
             if members.is_empty() {
                 continue;
             }
-            observer.batch_group_started(window, members.len(), cfg.batch_width);
+            let live_members = members
+                .iter()
+                .filter(|&&(i, _)| in_scope(i) && slots[i].is_none())
+                .count();
+            if live_members > 0 {
+                observer.batch_group_started(window, live_members, cfg.batch_width);
+            }
             bm.run();
             for (i, r) in members {
                 let prefix = bm.lockstep_instructions(r, golden.total_instructions);
+                let live = in_scope(i) && slots[i].is_none();
                 match bm.fate(r) {
                     ReplicaFate::Latent => {
-                        observer.replica_resolved(i, prefix);
-                        let record =
-                            analytic_record(faults[i], Outcome::Latent, golden, cfg.detail);
-                        observer.experiment_classified(i, &record);
-                        slots[i] = Some(record);
+                        if live {
+                            observer.replica_resolved(i, prefix);
+                            let record =
+                                analytic_record(faults[i], Outcome::Latent, golden, cfg.detail);
+                            observer.experiment_classified(i, &record);
+                            slots[i] = Some(record);
+                        } else if needed_shadow.contains(&i) {
+                            shadow.insert(
+                                i,
+                                analytic_record(faults[i], Outcome::Latent, golden, cfg.detail),
+                            );
+                        }
                     }
                     ReplicaFate::Converged { killed_at } => {
-                        observer.replica_resolved(i, prefix);
-                        let record =
-                            lockstep_converged_record(faults[i], killed_at, golden, cfg.detail);
-                        if let Some(iteration) = record.pruned_at {
-                            observer.convergence_spliced(i, iteration);
+                        if live {
+                            observer.replica_resolved(i, prefix);
+                            let record =
+                                lockstep_converged_record(faults[i], killed_at, golden, cfg.detail);
+                            if let Some(iteration) = record.pruned_at {
+                                observer.convergence_spliced(i, iteration);
+                            }
+                            observer.experiment_classified(i, &record);
+                            slots[i] = Some(record);
+                        } else if needed_shadow.contains(&i) {
+                            shadow.insert(
+                                i,
+                                lockstep_converged_record(faults[i], killed_at, golden, cfg.detail),
+                            );
                         }
-                        observer.experiment_classified(i, &record);
-                        slots[i] = Some(record);
                     }
                     ReplicaFate::SplitOff { at } => {
-                        observer.replica_split_off(i, at, prefix);
+                        if live {
+                            observer.replica_split_off(i, at, prefix);
+                        }
                         let units: Vec<usize> =
                             bm.delta_units(r).iter().map(|u| u.index()).collect();
                         match split_classes.entry((faults[i].location_index, at, units)) {
@@ -504,15 +696,17 @@ fn run_fault_list_resumed(
     }
     let split_rep_of: HashMap<usize, usize> = split_members.iter().copied().collect();
 
-    // The simulation pass skips preloaded indices and everything the plan
-    // (or the batch pass) resolves without the simulator: analytic records
-    // above, replicated members filled in below.
+    // The simulation pass skips out-of-scope indices, preloaded indices
+    // and everything the plan (or the batch pass) resolves without the
+    // simulator: analytic records above, replicated members filled in
+    // below.
     let done: Vec<bool> = slots
         .iter()
         .zip(plan.actions())
         .enumerate()
         .map(|(i, (slot, action))| {
-            slot.is_some()
+            !in_scope(i)
+                || slot.is_some()
                 || !matches!(action, PlanAction::Simulate)
                 || split_rep_of.contains_key(&i)
         })
@@ -633,14 +827,30 @@ fn run_fault_list_resumed(
     // representative's materialized state bit-for-bit, so its record
     // transfers (latency rebased to the member's injection instant). Runs
     // before the plan replication pass because plan-level members may name
-    // a split-dedup member as their representative.
+    // a split-dedup member as their representative. A representative owned
+    // by another shard is shadow-simulated locally (observer-silent).
     for &(m, rep) in &split_members {
-        if slots[m].is_some() {
+        if !in_scope(m) || slots[m].is_some() {
             continue;
         }
-        let rep_record = slots[rep]
-            .as_ref()
-            .expect("split representatives run in the simulation pass");
+        let fetched;
+        let rep_record = match slots[rep].as_ref() {
+            Some(r) => r,
+            None => {
+                fetched = shadow_record(
+                    rep,
+                    workload,
+                    cfg,
+                    golden,
+                    faults,
+                    &split_specs,
+                    &split_rep_of,
+                    &slots,
+                    &mut shadow,
+                );
+                &fetched
+            }
+        };
         let record = if matches!(rep_record.outcome, Outcome::HarnessFailure(_)) {
             // A quarantined representative proves nothing about its class:
             // fall back to simulating the member itself.
@@ -653,16 +863,33 @@ fn run_fault_list_resumed(
         slots[m] = Some(record);
     }
 
-    // Replication pass: every representative has a record by now (reps are
-    // plan-`Simulate` and always precede their members in the fault list).
-    for (i, action) in plan.actions().iter().enumerate() {
+    // Replication pass: every in-scope representative has a record by now
+    // (reps are plan-`Simulate` and always precede their members in the
+    // fault list); out-of-scope representatives resolve through the batch
+    // shadows stashed above or a local shadow simulation.
+    for i in scope.clone() {
         if slots[i].is_some() {
             continue;
         }
-        if let PlanAction::Replicate { representative } = *action {
-            let rep = slots[representative]
-                .as_ref()
-                .expect("representatives precede members and were simulated");
+        if let PlanAction::Replicate { representative } = plan.action(i) {
+            let fetched;
+            let rep = match slots[representative].as_ref() {
+                Some(r) => r,
+                None => {
+                    fetched = shadow_record(
+                        representative,
+                        workload,
+                        cfg,
+                        golden,
+                        faults,
+                        &split_specs,
+                        &split_rep_of,
+                        &slots,
+                        &mut shadow,
+                    );
+                    &fetched
+                }
+            };
             let record = if matches!(rep.outcome, Outcome::HarnessFailure(_)) {
                 // A quarantined representative proves nothing about its
                 // class: fall back to simulating the member itself.
@@ -684,7 +911,9 @@ fn run_fault_list_resumed(
         for (rep, members) in plan.classes() {
             for m in paranoid_members(&members, cfg.paranoid, cfg.seed, golden_digest, faults[rep])
             {
-                let replicated = slots[m].as_ref().expect("all slots filled");
+                let Some(replicated) = slots[m].as_ref() else {
+                    continue; // another shard's member: not ours to audit
+                };
                 if replicated.provenance != Provenance::Replicated {
                     continue; // preloaded or fallback-simulated: nothing to audit
                 }
@@ -707,9 +936,6 @@ fn run_fault_list_resumed(
     }
 
     slots
-        .into_iter()
-        .map(|slot| slot.expect("every fault index was run or preloaded"))
-        .collect()
 }
 
 #[cfg(test)]

@@ -139,6 +139,36 @@ pub const CATALOG: &[FailpointDef] = &[
         site: "fault-list scheduler, workers joined but lost claims not yet re-run",
         can_return_error: false,
     },
+    FailpointDef {
+        id: "farm.lease.claim",
+        site: "farm worker, lease file created exclusively but the shard not yet started",
+        can_return_error: true,
+    },
+    FailpointDef {
+        id: "farm.lease.heartbeat",
+        site: "farm worker heartbeat, before the lease mtime refresh is written",
+        can_return_error: true,
+    },
+    FailpointDef {
+        id: "farm.lease.reclaim",
+        site: "farm reclaim, expired lease renamed aside but not yet deleted",
+        can_return_error: true,
+    },
+    FailpointDef {
+        id: "farm.segment.finalize",
+        site: "farm worker, segment complete and flushed but the done marker not yet durable",
+        can_return_error: true,
+    },
+    FailpointDef {
+        id: "farm.merge.segment",
+        site: "farm merge, next segment validated but its records not yet folded in",
+        can_return_error: true,
+    },
+    FailpointDef {
+        id: "farm.merge.publish",
+        site: "farm merge, canonical store written to a temp file but not yet renamed into place",
+        can_return_error: true,
+    },
 ];
 
 /// Looks an ID up in [`CATALOG`].

@@ -49,6 +49,7 @@ pub mod campaign;
 pub mod classify;
 pub mod experiment;
 pub mod failpoints;
+pub mod farm;
 pub mod observer;
 pub mod planner;
 pub mod propagation;
@@ -66,6 +67,10 @@ pub use classify::{Classifier, HarnessCause, Outcome, Severity};
 pub use experiment::{
     golden_run, instruction_cap, run_experiment, Checkpoint, ExperimentRecord, FaultModel,
     FaultSpec, GoldenRun, LoopConfig, Provenance,
+};
+pub use farm::{
+    assemble_farm, init_farm, merge_farm, read_manifest, run_worker, FarmError, FarmManifest,
+    LeasePolicy, ShardSpec,
 };
 pub use observer::{CampaignObserver, NullObserver, ObserverSet, Telemetry, TelemetrySnapshot};
 pub use planner::{plan_campaign, records_equivalent, CampaignPlan, PlanAction};

@@ -606,6 +606,54 @@ impl TelemetrySnapshot {
     pub fn vis_analytic(&self) -> usize {
         self.vis_latent + self.vis_overwritten + self.sig_overwritten + self.value_resolved
     }
+
+    /// Folds another worker's snapshot into this one — the farm-level
+    /// aggregation: every count is summed, wall-clock is the maximum (the
+    /// workers ran concurrently), and the overall throughput is re-derived
+    /// from the summed completions. The rate estimators that only make
+    /// sense for a single live process (smoothed throughput, ETA) are
+    /// cleared rather than invented.
+    ///
+    /// Each shard's *final* sidecar is written by the worker that finished
+    /// it, so summing one sidecar per shard counts every fault exactly
+    /// once: records a crashed worker persisted before dying appear in the
+    /// finishing worker's `preloaded` tally. Per-worker planning counters
+    /// (`plan_micros`, the `vis_*` rules) sum to the total planning work
+    /// the farm performed — every worker plans the full list.
+    pub fn accumulate(&mut self, other: &TelemetrySnapshot) {
+        self.total += other.total;
+        self.preloaded += other.preloaded;
+        self.completed += other.completed;
+        self.elapsed_seconds = self.elapsed_seconds.max(other.elapsed_seconds);
+        self.throughput = self.completed as f64 / self.elapsed_seconds.max(1e-9);
+        self.smoothed_throughput = None;
+        self.eta_seconds = None;
+        self.detected += other.detected;
+        self.hangs += other.hangs;
+        self.severe += other.severe;
+        self.minor += other.minor;
+        self.latent += other.latent;
+        self.overwritten += other.overwritten;
+        self.harness_failures += other.harness_failures;
+        self.retried += other.retried;
+        self.pruned += other.pruned;
+        self.fast_forwarded += other.fast_forwarded;
+        self.analytic += other.analytic;
+        self.replicated += other.replicated;
+        self.batch_groups += other.batch_groups;
+        self.batch_members += other.batch_members;
+        self.batch_capacity += other.batch_capacity;
+        self.split_offs += other.split_offs;
+        self.lockstep_instructions += other.lockstep_instructions;
+        self.plan_micros += other.plan_micros;
+        self.vis_latent += other.vis_latent;
+        self.vis_overwritten += other.vis_overwritten;
+        self.sig_overwritten += other.sig_overwritten;
+        self.value_resolved += other.value_resolved;
+        self.vis_replicated += other.vis_replicated;
+        self.batch_untraceable += other.batch_untraceable;
+        self.batch_vis_admitted += other.batch_vis_admitted;
+    }
 }
 
 impl fmt::Display for TelemetrySnapshot {

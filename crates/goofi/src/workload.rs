@@ -177,6 +177,21 @@ impl Workload {
         }
     }
 
+    /// Resolves a CLI workload key (`alg1`, `alg2`, `alg2-colocated`,
+    /// `alg2-assert-after`, `alg3`) to its workload. Returns `None` for an
+    /// unknown key so callers can print their own usage message.
+    #[must_use]
+    pub fn by_key(key: &str) -> Option<Workload> {
+        match key {
+            "alg1" => Some(Workload::algorithm_one()),
+            "alg2" => Some(Workload::algorithm_two()),
+            "alg2-colocated" => Some(Workload::algorithm_two_colocated_backup()),
+            "alg2-assert-after" => Some(Workload::algorithm_two_assert_after_backup()),
+            "alg3" => Some(Workload::algorithm_three()),
+            _ => None,
+        }
+    }
+
     /// All workloads in report order.
     #[must_use]
     pub fn all() -> Vec<Workload> {

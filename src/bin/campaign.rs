@@ -9,6 +9,11 @@
 //!          [--batch-width W] [--no-batch] [--no-vis]
 //!          [--json FILE] [--out FILE] [--resume] [--progress]
 //!          [--failpoint id=action[@N]]...
+//! campaign --farm-init DIR [--shards N] [--lease-heartbeat-ms MS]
+//!          [--lease-expiry-ms MS] [campaign flags...]
+//! campaign --worker DIR [--worker-id ID] [--threads T]
+//! campaign --farm-tend DIR
+//! campaign --farm-merge DIR
 //! ```
 //!
 //! `--out` streams every record to a checksummed JSONL store as it
@@ -50,6 +55,7 @@
 use bera::goofi::campaign::{prepare_campaign, CampaignConfig};
 use bera::goofi::experiment::{ExperimentRecord, FaultModel, LoopConfig};
 use bera::goofi::failpoints;
+use bera::goofi::farm;
 use bera::goofi::observer::{CampaignObserver, ObserverSet, Telemetry};
 use bera::goofi::store::{headerless_remnant, write_telemetry_sidecar, JsonlStore, StoreHeader};
 use bera::goofi::table::tabulate;
@@ -79,6 +85,15 @@ struct Args {
     resume: bool,
     progress: bool,
     failpoints: Vec<String>,
+    farm_init: Option<String>,
+    shards: usize,
+    lease_heartbeat_ms: u64,
+    lease_expiry_ms: u64,
+    worker: Option<String>,
+    worker_id: Option<String>,
+    farm_merge: Option<String>,
+    farm_tend: Option<String>,
+    workload_key: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -102,20 +117,25 @@ fn parse_args() -> Result<Args, String> {
         resume: false,
         progress: false,
         failpoints: Vec::new(),
+        farm_init: None,
+        shards: 4,
+        lease_heartbeat_ms: farm::LeasePolicy::default().heartbeat_ms,
+        lease_expiry_ms: farm::LeasePolicy::default().expiry_ms,
+        worker: None,
+        worker_id: None,
+        farm_merge: None,
+        farm_tend: None,
+        workload_key: "alg1".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
         match flag.as_str() {
             "--workload" => {
-                args.workload = match value("--workload")?.as_str() {
-                    "alg1" => Workload::algorithm_one(),
-                    "alg2" => Workload::algorithm_two(),
-                    "alg2-colocated" => Workload::algorithm_two_colocated_backup(),
-                    "alg2-assert-after" => Workload::algorithm_two_assert_after_backup(),
-                    "alg3" => Workload::algorithm_three(),
-                    other => return Err(format!("unknown workload `{other}`")),
-                };
+                let key = value("--workload")?;
+                args.workload =
+                    Workload::by_key(&key).ok_or_else(|| format!("unknown workload `{key}`"))?;
+                args.workload_key = key;
             }
             "--faults" => {
                 args.faults = value("--faults")?
@@ -176,11 +196,57 @@ fn parse_args() -> Result<Args, String> {
             "--resume" => args.resume = true,
             "--progress" => args.progress = true,
             "--failpoint" => args.failpoints.push(value("--failpoint")?),
+            "--farm-init" => args.farm_init = Some(value("--farm-init")?),
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--lease-heartbeat-ms" => {
+                args.lease_heartbeat_ms = value("--lease-heartbeat-ms")?
+                    .parse()
+                    .map_err(|e| format!("--lease-heartbeat-ms: {e}"))?;
+            }
+            "--lease-expiry-ms" => {
+                args.lease_expiry_ms = value("--lease-expiry-ms")?
+                    .parse()
+                    .map_err(|e| format!("--lease-expiry-ms: {e}"))?;
+            }
+            "--worker" => args.worker = Some(value("--worker")?),
+            "--worker-id" => args.worker_id = Some(value("--worker-id")?),
+            "--farm-merge" => args.farm_merge = Some(value("--farm-merge")?),
+            "--farm-tend" => args.farm_tend = Some(value("--farm-tend")?),
             "--help" | "-h" => {
                 return Err(String::new()); // triggers usage
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
+    }
+    let farm_modes = [
+        args.farm_init.is_some(),
+        args.worker.is_some(),
+        args.farm_merge.is_some(),
+        args.farm_tend.is_some(),
+    ]
+    .iter()
+    .filter(|&&m| m)
+    .count();
+    if farm_modes > 1 {
+        return Err(
+            "--farm-init, --worker, --farm-merge and --farm-tend are distinct \
+             modes; pick one per invocation"
+                .to_string(),
+        );
+    }
+    if farm_modes > 0 && (args.out.is_some() || args.resume || args.json.is_some()) {
+        return Err(
+            "farm modes manage their own stores inside the farm directory; \
+             drop --out/--resume/--json"
+                .to_string(),
+        );
+    }
+    if args.worker_id.is_some() && args.worker.is_none() {
+        return Err("--worker-id only makes sense with --worker DIR".to_string());
     }
     if args.resume && args.out.is_none() {
         return Err("--resume requires --out FILE (the store to resume from)".to_string());
@@ -246,7 +312,20 @@ fn usage() {
          \t`failpoints` feature only): deterministic crash/error/panic/\n\
          \tdelay injection at the store/supervisor/claim boundaries, for\n\
          \tcrash-recovery testing and manual repro (see ASSURANCE.md);\n\
-         \t@N fires from the Nth hit; repeat the flag to arm several"
+         \t@N fires from the Nth hit; repeat the flag to arm several\n\
+         \n\
+         multi-process farm modes (DESIGN.md \u{a7} 8i; one per invocation):\n\
+         --farm-init DIR  split this campaign into --shards N lease-claimed\n\
+         \tshards and publish the farm manifest under DIR\n\
+         --shards N       shard count for --farm-init (default 4)\n\
+         --lease-heartbeat-ms MS / --lease-expiry-ms MS  lease timing for\n\
+         \t--farm-init (defaults 1000/10000; expiry must be \u{2265} 2\u{d7} heartbeat)\n\
+         --worker DIR     claim and run shards of the farm at DIR until\n\
+         \tevery shard is done ([--worker-id ID] names this worker)\n\
+         --farm-tend DIR  coordinator loop: reclaim expired leases, report\n\
+         \tprogress, and merge + print tables when all shards finish\n\
+         --farm-merge DIR fold completed segments into DIR/merged.jsonl\n\
+         \t(byte-identical to a single-process run) and print the tables"
     );
 }
 
@@ -311,6 +390,19 @@ fn main() -> ExitCode {
             ..Default::default()
         })
     };
+
+    if let Some(dir) = args.farm_init.clone() {
+        return farm_init_main(&args, &cfg, Path::new(&dir));
+    }
+    if let Some(dir) = args.worker.clone() {
+        return farm_worker_main(&args, Path::new(&dir));
+    }
+    if let Some(dir) = args.farm_merge.clone() {
+        return farm_merge_main(Path::new(&dir));
+    }
+    if let Some(dir) = args.farm_tend.clone() {
+        return farm_tend_main(Path::new(&dir));
+    }
 
     eprintln!(
         "running {} faults into `{}` ({} iterations, seed {}, checkpoint stride {})...",
@@ -462,4 +554,132 @@ fn finish(
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `--farm-init DIR`: publish a farm manifest for this campaign.
+fn farm_init_main(args: &Args, cfg: &CampaignConfig, root: &Path) -> ExitCode {
+    let lease = farm::LeasePolicy {
+        heartbeat_ms: args.lease_heartbeat_ms,
+        expiry_ms: args.lease_expiry_ms,
+        ..farm::LeasePolicy::default()
+    };
+    match farm::init_farm(root, &args.workload_key, cfg, args.shards, lease) {
+        Ok(manifest) => {
+            eprintln!(
+                "farm initialized at {}: {} faults across {} shard(s), \
+                 heartbeat {} ms / expiry {} ms",
+                root.display(),
+                manifest.faults,
+                manifest.shards.len(),
+                manifest.lease.heartbeat_ms,
+                manifest.lease.expiry_ms,
+            );
+            eprintln!(
+                "start workers with: campaign --worker {} [--threads T]",
+                root.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `--worker DIR`: claim and run shards until the farm is finished.
+fn farm_worker_main(args: &Args, root: &Path) -> ExitCode {
+    let worker_id = args
+        .worker_id
+        .clone()
+        .unwrap_or_else(|| format!("worker-{}", std::process::id()));
+    match farm::run_worker(root, &worker_id, args.threads, &mut |line| {
+        eprintln!("{line}");
+    }) {
+        Ok(summary) => {
+            eprintln!(
+                "worker {worker_id} done: {} shard(s) completed, {} lease(s) lost",
+                summary.completed.len(),
+                summary.lost.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: worker {worker_id}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `--farm-merge DIR`: fold completed segments into the canonical store
+/// and print the paper tables from it.
+fn farm_merge_main(root: &Path) -> ExitCode {
+    let report = match farm::merge_farm(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "merged {} records into {}",
+        report.records,
+        report.path.display()
+    );
+    match bera::goofi::store::load_store(&report.path)
+        .map_err(farm::FarmError::Store)
+        .and_then(|loaded| loaded.into_result().map_err(farm::FarmError::Store))
+    {
+        Ok(result) => {
+            println!("{}", tabulate(&result).render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: merged store does not read back: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `--farm-tend DIR`: the coordinator loop — reclaim expired leases and
+/// report progress until every shard is done, then merge.
+fn farm_tend_main(root: &Path) -> ExitCode {
+    let manifest = match farm::read_manifest(root) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sweep = Duration::from_millis(manifest.lease.heartbeat_ms.max(100));
+    loop {
+        match farm::tend_once(root, &manifest) {
+            Ok(n) if n > 0 => eprintln!("tend: reclaimed {n} expired lease(s)"),
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("error: tend sweep failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let assembly = match farm::assemble_farm(root) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let done_shards = assembly.shards.iter().filter(|s| s.done).count();
+        eprintln!(
+            "tend: {}/{} shards done, {}/{} records",
+            done_shards,
+            assembly.shards.len(),
+            assembly.done(),
+            assembly.manifest.faults
+        );
+        if assembly.shards.iter().all(|s| s.done) {
+            break;
+        }
+        std::thread::sleep(sweep);
+    }
+    farm_merge_main(root)
 }

@@ -18,8 +18,16 @@
 //! The store's per-line checksums and header are validated on load, so a
 //! truncated or corrupted database is reported rather than silently
 //! mis-tabulated.
+//!
+//! Any FILE may also be a campaign-farm directory (one holding a
+//! `manifest.json`, see `campaign --farm-init`): per-shard progress and
+//! telemetry are printed to stderr, and the tables come from the merged
+//! store when the farm is complete, or from the segments assembled in
+//! place (use `--partial` mid-flight). Segment/manifest header mismatches
+//! and cross-shard duplicates are refused with a precise error.
 
 use bera::goofi::campaign::CampaignResult;
+use bera::goofi::farm;
 use bera::goofi::observer::TelemetrySnapshot;
 use bera::goofi::store::load_store;
 use bera::goofi::table::{tabulate, ComparisonTable, ModelBreakdown};
@@ -83,7 +91,12 @@ fn usage() {
          --by-model groups any number of stores by the fault model in their\n\
          headers and renders one breakdown column per model.\n\
          --csv exports any of the three layouts as CSV.\n\
-         --partial tabulates an incomplete store instead of refusing it."
+         --partial tabulates an incomplete store instead of refusing it.\n\
+         \n\
+         A FILE may also be a campaign-farm directory (campaign --farm-init):\n\
+         per-shard progress/telemetry print to stderr and the tables come\n\
+         from the merged store, or from the assembled segments mid-flight\n\
+         (with --partial)."
     );
 }
 
@@ -118,6 +131,9 @@ fn render_by_model(args: &Args) -> Result<String, String> {
 }
 
 fn load(path: &str, partial: bool) -> Result<CampaignResult, String> {
+    if farm::is_farm_dir(Path::new(path)) {
+        return load_farm(Path::new(path), partial);
+    }
     let loaded = load_store(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
     if loaded.torn_tail {
         eprintln!("note: {path} has a torn final line; that record is ignored");
@@ -131,6 +147,81 @@ fn load(path: &str, partial: bool) -> Result<CampaignResult, String> {
         Ok(loaded.into_partial_result())
     } else {
         loaded.into_result().map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+/// Loads a campaign-farm directory (DESIGN.md § 8i): per-shard progress
+/// and telemetry go to stderr, and the records come from the canonical
+/// merged store when the farm is complete and merged, otherwise from the
+/// segments assembled in place (cross-validated against the manifest —
+/// a header mismatch, foreign index or duplicate index is refused, never
+/// papered over).
+fn load_farm(root: &Path, partial: bool) -> Result<CampaignResult, String> {
+    let label = root.display();
+    let assembly = farm::assemble_farm(root).map_err(|e| format!("{label}: {e}"))?;
+    for s in &assembly.shards {
+        let lease = match &s.lease {
+            farm::LeaseState::Unclaimed => "unclaimed".to_string(),
+            farm::LeaseState::Held { worker, age } => {
+                format!(
+                    "held by {worker} ({:.1} s since heartbeat)",
+                    age.as_secs_f64()
+                )
+            }
+            farm::LeaseState::Expired { worker, age } => {
+                format!(
+                    "EXPIRED lease of {worker} ({:.1} s stale)",
+                    age.as_secs_f64()
+                )
+            }
+        };
+        eprintln!(
+            "{label}: shard {} [{}..{}): {}/{} records, {}{}{}",
+            s.spec.index,
+            s.spec.start,
+            s.spec.end,
+            s.records,
+            s.spec.len(),
+            if s.done { "done, " } else { "" },
+            lease,
+            if s.torn { ", torn tail" } else { "" },
+        );
+        if let Some(t) = &s.telemetry {
+            eprintln!("{label}: shard {} telemetry: {t}", s.spec.index);
+        }
+    }
+    let merged = farm::merged_path(root);
+    if merged.exists() && assembly.is_complete() {
+        let loaded = load_store(&merged).map_err(|e| format!("{}: {e}", merged.display()))?;
+        loaded
+            .header
+            .validate_against(&assembly.manifest.header)
+            .map_err(|e| format!("{}: {e}", merged.display()))?;
+        eprintln!("{label}: farm complete; reading the canonical merged store");
+        return loaded
+            .into_result()
+            .map_err(|e| format!("{}: {e}", merged.display()));
+    }
+    let done = assembly.done();
+    let total = assembly.manifest.faults;
+    if assembly.is_complete() {
+        eprintln!(
+            "{label}: all shards complete but unmerged; tabulating assembled \
+             segments (fold them with `campaign --farm-merge {label}`)"
+        );
+        return assembly
+            .into_loaded()
+            .into_result()
+            .map_err(|e| format!("{label}: {e}"));
+    }
+    eprintln!("{label}: farm mid-flight ({done}/{total} records)");
+    if partial {
+        Ok(assembly.into_loaded().into_partial_result())
+    } else {
+        assembly
+            .into_loaded()
+            .into_result()
+            .map_err(|e| format!("{label}: {e}"))
     }
 }
 
@@ -241,7 +332,13 @@ fn main() -> ExitCode {
 
     println!("{rendered}");
     for path in &args.files {
-        report_telemetry_sidecar(path);
+        if farm::is_farm_dir(Path::new(path)) {
+            // A farm's campaign-level sidecar sits next to the merged
+            // store (the per-shard ones were already printed above).
+            report_telemetry_sidecar(&farm::merged_path(Path::new(path)).display().to_string());
+        } else {
+            report_telemetry_sidecar(path);
+        }
     }
     if let Some(name) = &args.artifact {
         repro::write_artifact(name, &rendered);

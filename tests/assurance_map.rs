@@ -103,7 +103,10 @@ fn assurance_invariants_are_the_declared_ones() {
     for row in parse_rows(&markdown) {
         for inv in &row.invariants {
             assert!(
-                matches!(inv.as_str(), "I1" | "I2" | "I3" | "I4" | "I5" | "I6"),
+                matches!(
+                    inv.as_str(),
+                    "I1" | "I2" | "I3" | "I4" | "I5" | "I6" | "I7" | "I8"
+                ),
                 "row `{}` cites unknown invariant `{inv}`",
                 row.failpoint
             );

@@ -20,6 +20,17 @@
 //! * **I6 — sidecar atomicity**: the `<store>.telemetry.json` sidecar is
 //!   never present-but-truncated, whatever instant the crash hit.
 //!
+//! The multi-process farm (DESIGN.md § 8i) extends the same discipline
+//! across process boundaries: its scenarios crash a *worker* or the
+//! *merge* at each farm failpoint, recover with a clean worker plus
+//! `--farm-merge`, and assert two further invariants on top of I1–I6:
+//!
+//! * **I7 — single ownership**: no fault index is ever recorded by two
+//!   shards' segments (the lease claim/reclaim/fencing protocol held);
+//! * **I8 — merge fidelity**: the merged store is byte-identical —
+//!   header, records, and rendered tables — to a single-process run of
+//!   the identical configuration.
+//!
 //! Scenario scratch space lives under `CARGO_TARGET_TMPDIR` (CI uploads
 //! it when this suite fails), and `tests/assurance_map.rs` checks — with
 //! or without the feature — that this file covers every catalog ID and
@@ -495,6 +506,254 @@ fn crash_before_self_heal_recovers() {
         &["campaign.claim=panic@6", "campaign.self-heal=crash"],
         false,
     );
+}
+
+// ---------------------------------------------------------------------------
+// Farm crash scenarios: a worker (or the merge) dies at each farm
+// failpoint; a clean worker + merge must converge to the single-process
+// baseline (invariants I7 and I8 on top of I1–I6).
+// ---------------------------------------------------------------------------
+
+use bera::goofi::farm::{assemble_farm, done_path, lease_path, merged_path};
+
+/// Fast lease timing so expiry-driven recovery lands in test time:
+/// heartbeat 25 ms, expiry 100 ms (the enforced 2× floor comfortably met).
+const FARM_ARGS: &[&str] = &[
+    "--shards",
+    "3",
+    "--lease-heartbeat-ms",
+    "25",
+    "--lease-expiry-ms",
+    "100",
+];
+
+fn farm_scratch(tag: &str) -> PathBuf {
+    static UNIQUE: AtomicU32 = AtomicU32::new(0);
+    let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+    scratch_root().join(format!("{}-farm-{tag}-{n}", std::process::id()))
+}
+
+/// Initializes a farm of the scenario campaign (same config as
+/// `BASE_ARGS`, so the single-process `baseline` is its identity
+/// reference).
+fn farm_init(root: &Path) {
+    let out = Command::new(env!("CARGO_BIN_EXE_campaign"))
+        .args(BASE_ARGS)
+        .args(FARM_ARGS)
+        .args(["--farm-init", root.to_str().expect("utf-8 scratch path")])
+        .output()
+        .expect("spawn campaign binary");
+    assert!(
+        out.status.success(),
+        "farm init failed:\n{}",
+        stderr_of(&out)
+    );
+}
+
+/// Spawns a worker on the farm, optionally with armed failpoints.
+fn farm_worker(root: &Path, id: &str, failpoint_specs: &[&str]) -> std::process::Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_campaign"));
+    cmd.args(["--worker", root.to_str().expect("utf-8 scratch path")])
+        .args(["--worker-id", id, "--threads", "1"]);
+    for spec in failpoint_specs {
+        cmd.args(["--failpoint", spec]);
+    }
+    cmd.output().expect("spawn campaign binary")
+}
+
+/// Spawns the merge step, optionally with armed failpoints.
+fn farm_merge(root: &Path, failpoint_specs: &[&str]) -> std::process::Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_campaign"));
+    cmd.args(["--farm-merge", root.to_str().expect("utf-8 scratch path")]);
+    for spec in failpoint_specs {
+        cmd.args(["--failpoint", spec]);
+    }
+    cmd.output().expect("spawn campaign binary")
+}
+
+/// Recovery + invariants for every farm scenario: a clean worker drains
+/// the remaining shards (reclaiming expired leases as needed), the merge
+/// folds the segments, and the result must satisfy I7 (assembly clean of
+/// duplicates, no leases left behind, every shard done) and I8 (the
+/// merged store bit-identical to the single-process baseline, checked via
+/// the shared I1–I5 assertions).
+fn assert_farm_converges(root: &Path) {
+    let recovered = farm_worker(root, "recovery", &[]);
+    assert!(
+        recovered.status.success(),
+        "recovery worker failed:\n{}",
+        stderr_of(&recovered)
+    );
+    let merged_run = farm_merge(root, &[]);
+    assert!(
+        merged_run.status.success(),
+        "merge failed:\n{}",
+        stderr_of(&merged_run)
+    );
+    // I7: the assembly cross-checks every segment against the manifest —
+    // a double-claimed shard would surface as a duplicate or foreign
+    // index — and a finished farm holds no leases.
+    let assembly = assemble_farm(root).expect("recovered farm assembles cleanly");
+    assert!(assembly.is_complete(), "recovered farm must have no gaps");
+    for status in &assembly.shards {
+        assert!(
+            status.done,
+            "shard {} missing its done marker",
+            status.spec.index
+        );
+        assert!(
+            !lease_path(root, status.spec.index).exists(),
+            "shard {} still holds a lease after convergence",
+            status.spec.index
+        );
+        assert!(done_path(root, status.spec.index).exists());
+    }
+    // I8 (via I1–I5): the merged store against the uncrashed baseline.
+    let merged = merged_path(root);
+    assert_recovered_identical(&merged, Flags::Default);
+    assert_sidecar_atomic(&merged);
+}
+
+#[test]
+fn farm_crash_after_lease_claim_recovers_by_expiry() {
+    // farm.lease.claim=crash: the worker dies the instant its first lease
+    // file exists — maximum ambiguity (a lease with no progress behind
+    // it). The recovery worker must wait out the expiry, reclaim, and run
+    // the whole farm.
+    let root = farm_scratch("lease-claim");
+    farm_init(&root);
+    let crashed = farm_worker(&root, "victim", &["farm.lease.claim=crash"]);
+    assert!(
+        !crashed.status.success(),
+        "claim crash must kill the worker:\n{}",
+        stderr_of(&crashed)
+    );
+    assert!(
+        lease_path(&root, 0).exists(),
+        "the crashed worker's lease must survive it"
+    );
+    assert_farm_converges(&root);
+}
+
+#[test]
+fn farm_crash_at_heartbeat_recovers() {
+    // farm.lease.heartbeat=crash: the worker dies on its heartbeat
+    // thread's first refresh, mid-shard. Appends are slowed
+    // (store.append.after-flush=delay:20) so the 25 ms heartbeat fires
+    // while records are still streaming — the canonical
+    // died-holding-a-half-segment state. The reclaiming worker resumes
+    // the torn segment, re-runs only the gap, and converges.
+    let root = farm_scratch("heartbeat");
+    farm_init(&root);
+    let crashed = farm_worker(
+        &root,
+        "victim",
+        &[
+            "farm.lease.heartbeat=crash",
+            "store.append.after-flush=delay:20",
+        ],
+    );
+    assert!(
+        !crashed.status.success(),
+        "heartbeat crash must kill the worker:\n{}",
+        stderr_of(&crashed)
+    );
+    assert_farm_converges(&root);
+}
+
+#[test]
+fn farm_crash_mid_reclaim_recovers() {
+    // Stage an expired lease (claim-crash victim + sleep past expiry),
+    // then crash a second worker at farm.lease.reclaim=crash — after the
+    // rename-aside, before the stale file is deleted. The live lease path
+    // is already free (the takeover is the rename), so the recovery
+    // worker sweeps the stale remnant and claims normally.
+    let root = farm_scratch("reclaim");
+    farm_init(&root);
+    let victim = farm_worker(&root, "victim", &["farm.lease.claim=crash"]);
+    assert!(!victim.status.success(), "{}", stderr_of(&victim));
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    let reclaimer = farm_worker(&root, "reclaimer", &["farm.lease.reclaim=crash"]);
+    assert!(
+        !reclaimer.status.success(),
+        "reclaim crash must kill the worker:\n{}",
+        stderr_of(&reclaimer)
+    );
+    assert!(
+        !lease_path(&root, 0).exists(),
+        "the rename-aside already freed the live lease path"
+    );
+    assert_farm_converges(&root);
+}
+
+#[test]
+fn farm_crash_before_done_marker_recovers() {
+    // farm.segment.finalize=crash: the segment is complete and flushed,
+    // the telemetry sidecar written, but the done marker never became
+    // durable. The reclaiming worker finds a full segment, re-runs
+    // nothing, and commits the marker.
+    let root = farm_scratch("finalize");
+    farm_init(&root);
+    let crashed = farm_worker(&root, "victim", &["farm.segment.finalize=crash"]);
+    assert!(
+        !crashed.status.success(),
+        "finalize crash must kill the worker:\n{}",
+        stderr_of(&crashed)
+    );
+    assert!(
+        !done_path(&root, 0).exists(),
+        "the crash hit before the done marker"
+    );
+    assert_farm_converges(&root);
+}
+
+#[test]
+fn farm_crash_mid_merge_segment_scan_recovers() {
+    // farm.merge.segment=crash@2: the merge dies between validating
+    // segments. Nothing was published (the canonical store appears only
+    // via the final rename), so re-running the merge is a pure retry.
+    let root = farm_scratch("merge-segment");
+    farm_init(&root);
+    let worker = farm_worker(&root, "w0", &[]);
+    assert!(worker.status.success(), "{}", stderr_of(&worker));
+    let crashed = farm_merge(&root, &["farm.merge.segment=crash@2"]);
+    assert!(
+        !crashed.status.success(),
+        "merge crash must kill the process:\n{}",
+        stderr_of(&crashed)
+    );
+    assert!(
+        !merged_path(&root).exists(),
+        "a crashed merge must not have published a canonical store"
+    );
+    assert_farm_converges(&root);
+}
+
+#[test]
+fn farm_crash_before_merge_publish_recovers() {
+    // farm.merge.publish=crash: the merged store is fully written to the
+    // temp path but the rename never happened. The published path stays
+    // absent (never torn), and the re-run merge overwrites the temp file
+    // from scratch.
+    let root = farm_scratch("merge-publish");
+    farm_init(&root);
+    let worker = farm_worker(&root, "w0", &[]);
+    assert!(worker.status.success(), "{}", stderr_of(&worker));
+    let crashed = farm_merge(&root, &["farm.merge.publish=crash"]);
+    assert!(
+        !crashed.status.success(),
+        "publish crash must kill the process:\n{}",
+        stderr_of(&crashed)
+    );
+    assert!(
+        !merged_path(&root).exists(),
+        "the canonical store must not exist until the rename"
+    );
+    assert!(
+        root.join("merged.jsonl.tmp").exists(),
+        "the crash hit after the temp store was written"
+    );
+    assert_farm_converges(&root);
 }
 
 // ---------------------------------------------------------------------------

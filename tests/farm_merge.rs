@@ -1,0 +1,219 @@
+//! Property tests for the farm's segment merge (DESIGN.md § 8i).
+//!
+//! Three claims are exercised against a real (small) campaign:
+//!
+//! 1. **Order invariance** — the canonical merged store is byte-identical
+//!    no matter in which order segments were completed or in which order
+//!    records landed inside each segment (workers race; the merge
+//!    canonicalizes);
+//! 2. **Duplicate detection** — a fault index recorded by a second
+//!    shard's segment fails the merge loudly, naming the index and both
+//!    shards, never silently picking a winner;
+//! 3. **Torn-tail recovery** — a segment truncated mid final line loses
+//!    exactly that one record, and a resuming worker re-runs exactly the
+//!    gap, converging to the identical canonical merge.
+
+use bera_goofi::campaign::{run_scifi_campaign, CampaignConfig};
+use bera_goofi::experiment::ExperimentRecord;
+use bera_goofi::farm::{
+    done_path, init_farm, manifest_path, merge_farm, merged_path, read_manifest, run_worker,
+    segment_path, FarmError, FarmManifest, LeasePolicy,
+};
+use bera_goofi::store::{encode_record, load_store, JsonlStore};
+use bera_goofi::workload::Workload;
+use proptest::prelude::*;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+
+const FAULTS: usize = 12;
+const SHARDS: usize = 3;
+
+fn scratch(tag: &str) -> PathBuf {
+    static UNIQUE: AtomicU32 = AtomicU32::new(0);
+    let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR"))
+        .join("farm-merge")
+        .join(format!("{}-{tag}-{n}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    root
+}
+
+/// The expensive shared setup, run once: a canonical farm completed by a
+/// single worker, its merged bytes, and the single-process reference
+/// records of the identical campaign.
+struct Fixture {
+    root: PathBuf,
+    manifest: FarmManifest,
+    records: Vec<ExperimentRecord>,
+    canonical_merged: Vec<u8>,
+}
+
+fn fixture() -> &'static Fixture {
+    static CELL: OnceLock<Fixture> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let root = scratch("canonical");
+        let cfg = CampaignConfig::quick(FAULTS, 7);
+        init_farm(&root, "alg1", &cfg, SHARDS, LeasePolicy::default()).expect("init farm");
+        run_worker(&root, "fixture", 1, &mut |_| {}).expect("worker completes");
+        merge_farm(&root).expect("merge completes");
+        let manifest = read_manifest(&root).expect("manifest reads back");
+        let canonical_merged = fs::read(merged_path(&root)).expect("read merged store");
+        let records = run_scifi_campaign(&Workload::algorithm_one(), &cfg).records;
+        assert_eq!(records.len(), FAULTS);
+        Fixture {
+            root,
+            manifest,
+            records,
+            canonical_merged,
+        }
+    })
+}
+
+/// Forges a completed farm from the reference records without running any
+/// campaign: segments are written by appending the records in the given
+/// global order (each to its owning shard), then marked done. `order`
+/// controls both which segment fills first and the line order within each
+/// segment — exactly the degrees of freedom racing workers have.
+fn forge_farm(tag: &str, order: &[usize]) -> PathBuf {
+    let fx = fixture();
+    let root = scratch(tag);
+    fs::create_dir_all(root.join("shards")).expect("create shards dir");
+    fs::copy(manifest_path(&fx.root), manifest_path(&root)).expect("copy manifest");
+    let stores: Vec<JsonlStore> = fx
+        .manifest
+        .shards
+        .iter()
+        .map(|s| {
+            JsonlStore::create(&segment_path(&root, s.index), &fx.manifest.header)
+                .expect("create segment")
+        })
+        .collect();
+    for &i in order {
+        let shard = fx.manifest.shard_of(i).expect("index has an owner");
+        stores[shard.index]
+            .append(i, &fx.records[i])
+            .expect("append record");
+    }
+    for (spec, store) in fx.manifest.shards.iter().zip(stores) {
+        store.finish().expect("finish segment");
+        fs::write(done_path(&root, spec.index), "forged\n").expect("done marker");
+    }
+    root
+}
+
+/// Deterministic Fisher–Yates permutation of `0..n` from a drawn seed
+/// (the vendored proptest has no shuffle combinator).
+fn permutation(seed: u64, n: usize) -> Vec<usize> {
+    let mut v: Vec<usize> = (0..n).collect();
+    let mut state = seed | 1;
+    for i in (1..n).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        v.swap(i, j);
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Claim 1: any completion order merges to the identical bytes.
+    #[test]
+    fn merge_is_byte_identical_for_any_segment_order(seed in any::<u64>()) {
+        let order = permutation(seed, FAULTS);
+        let root = forge_farm("perm", &order);
+        let report = merge_farm(&root).expect("forged farm merges");
+        let merged = fs::read(&report.path).expect("read merged store");
+        prop_assert_eq!(
+            merged,
+            fixture().canonical_merged.clone(),
+            "merged bytes must not depend on segment completion order"
+        );
+    }
+
+    /// Claim 2: a duplicated fault index across segments is refused with
+    /// an error naming the index and both shards involved.
+    #[test]
+    fn duplicate_index_across_segments_is_loud(
+        index in 0..FAULTS,
+        stranger_offset in 1..SHARDS,
+    ) {
+        let fx = fixture();
+        let order: Vec<usize> = (0..FAULTS).collect();
+        let root = forge_farm("dup", &order);
+        let owner = fx.manifest.shard_of(index).expect("owner exists").index;
+        let stranger = (owner + stranger_offset) % SHARDS;
+        let seg = segment_path(&root, stranger);
+        let mut file = fs::OpenOptions::new().append(true).open(&seg).expect("open segment");
+        let line = encode_record(index, &fx.records[index]);
+        file.write_all(line.as_bytes()).expect("append duplicate");
+        file.write_all(b"\n").expect("append newline");
+        drop(file);
+        match merge_farm(&root) {
+            Err(e @ (FarmError::ForeignIndex { .. } | FarmError::DuplicateIndex { .. })) => {
+                let msg = e.to_string();
+                prop_assert!(msg.contains(&format!("{index}")), "error names the index: {msg}");
+                prop_assert!(
+                    msg.contains(&format!("{owner}")) && msg.contains(&format!("{stranger}")),
+                    "error names both shards: {msg}"
+                );
+            }
+            other => prop_assert!(false, "duplicate must fail the merge, got {other:?}"),
+        }
+        prop_assert!(
+            !merged_path(&root).exists(),
+            "a refused merge must publish nothing"
+        );
+    }
+
+    /// Claim 3: tearing the final line of one segment drops exactly that
+    /// record, and a resuming worker converges to the canonical merge.
+    #[test]
+    fn torn_segment_tail_drops_one_record_then_resumes(
+        shard in 0..SHARDS,
+        cut in 1usize..20,
+    ) {
+        let fx = fixture();
+        let order: Vec<usize> = (0..FAULTS).collect();
+        let root = forge_farm("torn", &order);
+        let seg = segment_path(&root, shard);
+        let bytes = fs::read(&seg).expect("read segment");
+        let spec = fx.manifest.shards[shard];
+        // Cut strictly inside the final line: past its newline-stripped
+        // start, short of swallowing the whole line (which would be a
+        // clean boundary, not a tear).
+        let last_line_start = bytes[..bytes.len() - 1]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .expect("segment has multiple lines") + 1;
+        let last_line_len = bytes.len() - last_line_start;
+        // At least the newline plus one byte must go (cutting the newline
+        // alone leaves a complete, decodable line — a clean boundary, not
+        // a tear), and at least one byte of the line must stay.
+        let cut = 2 + cut % (last_line_len - 2);
+        fs::write(&seg, &bytes[..bytes.len() - cut]).expect("tear segment");
+        fs::remove_file(done_path(&root, shard)).expect("undo done marker");
+
+        let loaded = load_store(&seg).expect("torn segment loads");
+        prop_assert!(loaded.torn_tail, "the cut must read as a torn tail");
+        prop_assert_eq!(
+            loaded.done(),
+            spec.len() - 1,
+            "exactly one record is lost to the tear"
+        );
+
+        run_worker(&root, "resumer", 1, &mut |_| {}).expect("resume worker");
+        let report = merge_farm(&root).expect("resumed farm merges");
+        let merged = fs::read(&report.path).expect("read merged store");
+        prop_assert_eq!(
+            merged,
+            fixture().canonical_merged.clone(),
+            "resumed merge must be byte-identical to the canonical merge"
+        );
+    }
+}
