@@ -20,6 +20,7 @@ pub fn bench_loop_config(iterations: usize) -> LoopConfig {
         engine: Engine::paper(),
         parity_cache: false,
         checkpoint_stride: 0,
+        fast_replay: true,
     }
 }
 

@@ -10,7 +10,9 @@ use bera_tcpu::machine::{Machine, RunExit, PORT_R, PORT_U, PORT_Y};
 use bera_tcpu::scan::{self, BitLocation, CpuPart, ScanSnapshot};
 use bera_tcpu::vis::VisTrace;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// The closed-loop configuration an experiment runs under.
@@ -35,6 +37,13 @@ pub struct LoopConfig {
     /// either way; the stride only trades checkpoint memory for campaign
     /// speed.
     pub checkpoint_stride: usize,
+    /// Execute experiments through the predecoded fast-replay block engine
+    /// (see `Machine::set_fast_replay` and DESIGN.md §8j). Outcomes are
+    /// bit-identical with it on or off — the block engine falls back to the
+    /// scalar step on any state a scan flip or ROM change could have
+    /// perturbed — so this switch exists for the equivalence suite and for
+    /// perf A/B runs, not for correctness.
+    pub fast_replay: bool,
 }
 
 impl LoopConfig {
@@ -49,6 +58,7 @@ impl LoopConfig {
             engine: Engine::paper(),
             parity_cache: false,
             checkpoint_stride: 4,
+            fast_replay: true,
         }
     }
 
@@ -262,6 +272,20 @@ pub struct GoldenRun {
     /// shift instants. Extends analytic classification and lockstep
     /// batching to the PC/PSR/tag/buffer fault population.
     pub vis: VisTrace,
+    /// Process-unique token identifying this golden run to the per-worker
+    /// machine arenas (DESIGN.md §8j). A worker's resident machine is only
+    /// delta-restored when its token matches; otherwise the arena falls
+    /// back to a full checkpoint clone. The supervisor's stride-0 retry
+    /// golden keeps the token but has no checkpoints, so it never reaches
+    /// the arena at all.
+    pub arena_token: u64,
+    /// For each pair of consecutive checkpoints, the dense data-memory
+    /// word keys (see `Memory::data_diff_keys`) at which the two images
+    /// differ: `ckpt_data_deltas[j]` covers `checkpoints[j]` →
+    /// `checkpoints[j + 1]`. Lets the arena restore a machine across
+    /// checkpoints by copying only words the golden run itself touched,
+    /// and lets `drive_from`'s convergence check compare memory sparsely.
+    pub ckpt_data_deltas: Vec<Vec<u32>>,
 }
 
 impl GoldenRun {
@@ -275,6 +299,15 @@ impl GoldenRun {
             .iter()
             .rev()
             .find(|c| c.machine.instr_count() <= inject_at)
+    }
+
+    /// Index of [`GoldenRun::checkpoint_before`]'s result within
+    /// `checkpoints`, for arena bookkeeping.
+    #[must_use]
+    pub fn checkpoint_index_before(&self, inject_at: u64) -> Option<usize> {
+        self.checkpoints
+            .iter()
+            .rposition(|c| c.machine.instr_count() <= inject_at)
     }
 
     /// Digest identifying this golden run across processes: outputs,
@@ -563,8 +596,14 @@ enum DriveMode<'a> {
     Capture(&'a mut Vec<Checkpoint>),
     /// Experiment: once the fault has been injected, test for convergence
     /// against the golden checkpoint of the same iteration and stop early
-    /// on a proven match.
-    Prune(&'a GoldenRun),
+    /// on a proven match. `resident` is the index of the checkpoint the
+    /// machine's dirty-word log was started from, so the convergence
+    /// compare can walk only the words the experiment or the golden run
+    /// touched since (see [`converged`]).
+    Prune {
+        golden: &'a GoldenRun,
+        resident: usize,
+    },
 }
 
 /// Worst-case dynamic instructions one control iteration may execute; used
@@ -612,14 +651,35 @@ fn actuate(u: f32) -> f64 {
 /// diverged path), while hashing the faulty state costs a full pass over
 /// memory every checked boundary. The stored digest still identifies the
 /// checkpoint across runs; here it only cross-checks a positive match.
+///
+/// When the machine carries a dirty-word log (the arena path), memory is
+/// compared sparsely: outside `delta_keys` — the golden run's own writes
+/// between the machine's resident checkpoint and `ckpt` — plus the
+/// experiment's dirty set, both images provably still equal the resident
+/// checkpoint, so only the union of the two key sets needs a look.
 fn converged(
     machine: &Machine,
     engine: &Engine,
     ckpt: &Checkpoint,
     golden: &GoldenRun,
     instr_cap: u64,
+    delta_keys: &[u32],
 ) -> bool {
-    if *engine != ckpt.engine || !machine.state_equals(&ckpt.machine) {
+    if *engine != ckpt.engine {
+        return false;
+    }
+    let state_eq = match machine.state_equals_sparse(&ckpt.machine, delta_keys) {
+        Some(eq) => {
+            debug_assert_eq!(
+                eq,
+                machine.state_equals(&ckpt.machine),
+                "sparse convergence equality must agree with the full walk"
+            );
+            eq
+        }
+        None => machine.state_equals(&ckpt.machine),
+    };
+    if !state_eq {
         return false;
     }
     debug_assert_eq!(
@@ -661,6 +721,20 @@ fn drive_from(
     on_inject: &mut dyn FnMut(),
 ) -> DriveResult {
     let stride = cfg.checkpoint_stride;
+    // Accumulated golden data-memory write keys from the machine's resident
+    // checkpoint up to the boundary under test, extended lazily from
+    // `GoldenRun::ckpt_data_deltas` as the drive advances. Only the Prune
+    // mode uses these (see `converged`). The same hot words repeat in
+    // window after window, so a membership bitmap (lazily sized to the
+    // data-word universe) keeps the key list duplicate-free: the sparse
+    // convergence compare then walks each distinct word once and the list
+    // stays bounded by the universe instead of growing per window.
+    let mut golden_delta_keys: Vec<u32> = Vec::new();
+    let mut delta_seen: Vec<u64> = Vec::new();
+    let mut delta_cursor = match &mode {
+        DriveMode::Prune { resident, .. } => *resident,
+        _ => 0,
+    };
     // Set when execution sits at the start of iteration `k` (function entry
     // and after every completed iteration); cleared once the boundary has
     // been processed so mid-iteration injection resumes don't repeat it.
@@ -688,21 +762,48 @@ fn drive_from(
                     DriveMode::Capture(into) => {
                         into.push(Checkpoint::capture(k, machine, &engine));
                     }
-                    DriveMode::Prune(golden) => {
+                    DriveMode::Prune { golden, .. } => {
                         // Convergence is only meaningful once the fault has
                         // been delivered in full: before injection the run
                         // *is* the golden run, and while re-assertions are
                         // pending the state can still diverge again.
                         if injector.as_ref().is_some_and(FaultInjector::quiescent) {
                             if let Some(ckpt) = golden.checkpoints.get(k / stride) {
-                                if ckpt.iteration == k
-                                    && converged(machine, &engine, ckpt, golden, instr_cap)
-                                {
-                                    return DriveResult {
-                                        outputs,
-                                        speeds,
-                                        end: DriveEnd::Converged { iteration: k },
-                                    };
+                                if ckpt.iteration == k {
+                                    while delta_cursor < k / stride {
+                                        if let Some(w) = golden.ckpt_data_deltas.get(delta_cursor) {
+                                            if delta_seen.is_empty() {
+                                                delta_seen = vec![
+                                                    0u64;
+                                                    bera_tcpu::mem::NUM_DATA_WORDS
+                                                        .div_ceil(64)
+                                                ];
+                                            }
+                                            for &key in w {
+                                                let slot = key as usize / 64;
+                                                let bit = 1u64 << (key % 64);
+                                                if delta_seen[slot] & bit == 0 {
+                                                    delta_seen[slot] |= bit;
+                                                    golden_delta_keys.push(key);
+                                                }
+                                            }
+                                        }
+                                        delta_cursor += 1;
+                                    }
+                                    if converged(
+                                        machine,
+                                        &engine,
+                                        ckpt,
+                                        golden,
+                                        instr_cap,
+                                        &golden_delta_keys,
+                                    ) {
+                                        return DriveResult {
+                                            outputs,
+                                            speeds,
+                                            end: DriveEnd::Converged { iteration: k },
+                                        };
+                                    }
                                 }
                             }
                         }
@@ -808,6 +909,15 @@ pub fn golden_run(workload: &Workload, cfg: &LoopConfig) -> GoldenRun {
     let vis = machine
         .take_vis_trace()
         .expect("the golden machine was vis-tracing");
+    let ckpt_data_deltas = checkpoints
+        .windows(2)
+        .map(|pair| {
+            pair[0]
+                .machine
+                .memory()
+                .data_diff_keys(pair[1].machine.memory())
+        })
+        .collect();
     GoldenRun {
         outputs: result.outputs,
         speeds: result.speeds,
@@ -817,7 +927,73 @@ pub fn golden_run(workload: &Workload, cfg: &LoopConfig) -> GoldenRun {
         checkpoints,
         trace,
         vis,
+        arena_token: NEXT_ARENA_TOKEN.fetch_add(1, Ordering::Relaxed),
+        ckpt_data_deltas,
     }
+}
+
+/// Source of [`GoldenRun::arena_token`] values. Starts at 1 so 0 can act as
+/// "no golden" in arena slots.
+static NEXT_ARENA_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+/// A worker thread's reusable experiment machine (DESIGN.md §8j): the
+/// machine left over from the thread's previous experiment, plus where it
+/// was left. Checking out restores it to the next experiment's checkpoint
+/// by copying only the words either run touched since the two states last
+/// coincided, replacing the per-experiment deep clone with an O(touched)
+/// delta restore.
+struct ArenaSlot {
+    machine: Machine,
+    /// [`GoldenRun::arena_token`] of the run the machine belongs to.
+    token: u64,
+    /// Checkpoint index the machine's dirty-word log was started from.
+    resident: usize,
+}
+
+thread_local! {
+    static ARENA: RefCell<Option<ArenaSlot>> = const { RefCell::new(None) };
+}
+
+/// Checks a machine out of this worker's arena, positioned exactly at
+/// `golden.checkpoints[ckpt_index]` with a fresh dirty-word log. Returns
+/// the machine, the number of data words copied, and whether the arena
+/// missed (full checkpoint clone). The slot is left empty while the
+/// experiment runs: if classification panics, the machine unwinds with the
+/// stack and the next checkout starts from a clean clone, so a poisoned
+/// intermediate state can never leak into a later record.
+fn arena_checkout(golden: &GoldenRun, ckpt_index: usize) -> (Machine, usize, bool) {
+    let ckpt = &golden.checkpoints[ckpt_index];
+    let slot = ARENA.with(|a| a.borrow_mut().take());
+    match slot {
+        Some(slot) if slot.token == golden.arena_token => {
+            let mut machine = slot.machine;
+            // The resident machine's memory differs from the target
+            // checkpoint by its own dirty set (logged) plus whatever the
+            // golden run wrote between the two checkpoints (precomputed).
+            let lo = slot.resident.min(ckpt_index);
+            let hi = slot.resident.max(ckpt_index);
+            let copied =
+                machine.restore_delta_from(&ckpt.machine, &golden.ckpt_data_deltas[lo..hi]);
+            (machine, copied, false)
+        }
+        _ => {
+            let mut machine = ckpt.machine.clone();
+            machine.begin_dirty_log();
+            (machine, 0, true)
+        }
+    }
+}
+
+/// Returns an experiment's machine to this worker's arena for the next
+/// checkout, recording which checkpoint its dirty log is relative to.
+fn arena_release(machine: Machine, golden: &GoldenRun, ckpt_index: usize) {
+    ARENA.with(|a| {
+        *a.borrow_mut() = Some(ArenaSlot {
+            machine,
+            token: golden.arena_token,
+            resident: ckpt_index,
+        });
+    });
 }
 
 /// Runs one fault-injection experiment against a previously logged golden
@@ -921,40 +1097,57 @@ pub(crate) fn run_experiment_watchdog(
 
     // Fast-forward: resume from the nearest golden checkpoint at or before
     // the injection point instead of re-executing the fault-free prefix
-    // (which is bit-identical to the golden run by determinism). With
-    // checkpointing disabled this falls back to a from-reset run.
-    let (mut machine, engine, start_k, prefix_outputs, prefix_speeds) =
-        match golden.checkpoint_before(fault.inject_at) {
-            Some(ckpt) => (
-                ckpt.machine.clone(),
+    // (which is bit-identical to the golden run by determinism). The
+    // checkpoint state comes out of this worker's machine arena — a delta
+    // restore when the previous experiment ran against the same golden, a
+    // full clone otherwise. With checkpointing disabled this falls back to
+    // a from-reset run that never touches the arena.
+    let ckpt_index = golden.checkpoint_index_before(fault.inject_at);
+    let (mut machine, engine, start_k, prefix_outputs, prefix_speeds) = match ckpt_index {
+        Some(ci) => {
+            let ckpt = &golden.checkpoints[ci];
+            let (machine, copied, full_clone) = arena_checkout(golden, ci);
+            observer.arena_restored(copied, full_clone);
+            // Size the logs for the whole drive up front so the per-
+            // iteration pushes never reallocate.
+            let mut prefix_outputs = Vec::with_capacity(cfg.iterations);
+            prefix_outputs.extend_from_slice(&golden.outputs[..ckpt.iteration]);
+            let mut prefix_speeds = Vec::with_capacity(cfg.iterations + 1);
+            prefix_speeds.extend_from_slice(&golden.speeds[..=ckpt.iteration]);
+            (
+                machine,
                 ckpt.engine.clone(),
                 ckpt.iteration,
-                golden.outputs[..ckpt.iteration].to_vec(),
-                golden.speeds[..=ckpt.iteration].to_vec(),
-            ),
-            None => {
-                let mut machine = Machine::new();
-                machine.load_program(workload.program());
-                machine.set_cache_parity(cfg.parity_cache);
-                let engine = cfg.engine.clone();
-                let speeds = vec![engine.speed_rpm()];
-                set_ports(&mut machine, cfg, 0, &engine);
-                (
-                    machine,
-                    engine,
-                    0,
-                    Vec::with_capacity(cfg.iterations),
-                    speeds,
-                )
-            }
-        };
+                prefix_outputs,
+                prefix_speeds,
+            )
+        }
+        None => {
+            let mut machine = Machine::new();
+            machine.load_program(workload.program());
+            machine.set_cache_parity(cfg.parity_cache);
+            let engine = cfg.engine.clone();
+            let speeds = vec![engine.speed_rpm()];
+            set_ports(&mut machine, cfg, 0, &engine);
+            (
+                machine,
+                engine,
+                0,
+                Vec::with_capacity(cfg.iterations),
+                speeds,
+            )
+        }
+    };
+    if !cfg.fast_replay {
+        machine.set_fast_replay(false);
+    }
     observer.experiment_started(
         index,
         fault,
-        golden
-            .checkpoint_before(fault.inject_at)
-            .map(|c| c.iteration),
+        ckpt_index.map(|ci| golden.checkpoints[ci].iteration),
     );
+    let start_instructions = machine.instr_count();
+    let start_block_instructions = machine.block_instructions();
     let result = drive_from(
         &mut machine,
         cfg,
@@ -965,12 +1158,26 @@ pub(crate) fn run_experiment_watchdog(
         Some(injector),
         cap,
         deadline,
-        DriveMode::Prune(golden),
+        DriveMode::Prune {
+            golden,
+            resident: ckpt_index.unwrap_or(0),
+        },
         &mut || observer.fault_injected(index, fault),
     );
-    classify_drive(
+    observer.experiment_executed(
+        index,
+        machine.instr_count().saturating_sub(start_instructions),
+        machine
+            .block_instructions()
+            .saturating_sub(start_block_instructions),
+    );
+    let record = classify_drive(
         result, &machine, golden, fault, location, detail, index, observer,
-    )
+    );
+    if let Some(ci) = ckpt_index {
+        arena_release(machine, golden, ci);
+    }
+    record
 }
 
 /// Classifies a finished drive into the final [`ExperimentRecord`] and
@@ -1086,39 +1293,62 @@ pub(crate) fn run_split_experiment(
 ) -> Option<ExperimentRecord> {
     let location = scan::catalog()[fault.location_index];
     let cap = instruction_cap(golden.total_instructions);
-    let ckpt = golden.checkpoint_before(split_at)?;
+    let ci = golden.checkpoint_index_before(split_at)?;
+    let ckpt = &golden.checkpoints[ci];
     if ckpt.machine.instr_count() < fault.inject_at {
         // The nearest checkpoint predates the injection: flips deposited
         // there would amount to injecting early. No prefix is skipped by
         // splitting here anyway, so let the scalar path run it.
         return None;
     }
-    let mut machine = ckpt.machine.clone();
+    let (mut machine, copied, full_clone) = arena_checkout(golden, ci);
+    observer.arena_restored(copied, full_clone);
+    if !cfg.fast_replay {
+        machine.set_fast_replay(false);
+    }
     for &bit in flips {
         machine.scan_flip(bit);
     }
     let injector = FaultInjector::pre_injected(fault);
     observer.experiment_started(index, fault, Some(ckpt.iteration));
     observer.fault_injected(index, fault);
+    let start_instructions = machine.instr_count();
+    let start_block_instructions = machine.block_instructions();
+    let mut prefix_outputs = Vec::with_capacity(cfg.iterations);
+    prefix_outputs.extend_from_slice(&golden.outputs[..ckpt.iteration]);
+    let mut prefix_speeds = Vec::with_capacity(cfg.iterations + 1);
+    prefix_speeds.extend_from_slice(&golden.speeds[..=ckpt.iteration]);
     let result = drive_from(
         &mut machine,
         cfg,
         ckpt.engine.clone(),
         ckpt.iteration,
-        golden.outputs[..ckpt.iteration].to_vec(),
-        golden.speeds[..=ckpt.iteration].to_vec(),
+        prefix_outputs,
+        prefix_speeds,
         Some(injector),
         cap,
         None,
-        DriveMode::Prune(golden),
+        DriveMode::Prune {
+            golden,
+            resident: ci,
+        },
         &mut || {},
     );
-    match classify_drive(
+    observer.experiment_executed(
+        index,
+        machine.instr_count().saturating_sub(start_instructions),
+        machine
+            .block_instructions()
+            .saturating_sub(start_block_instructions),
+    );
+    let record = match classify_drive(
         result, &machine, golden, fault, location, detail, index, observer,
     ) {
         Ok(record) => Some(record),
         Err(WatchdogExpired) => unreachable!("no deadline was set"),
-    }
+    };
+    arena_release(machine, golden, ci);
+    record
 }
 
 fn deviation_stats(golden: &[u32], observed: &[u32], threshold: f64) -> (f64, Option<usize>) {

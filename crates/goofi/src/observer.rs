@@ -63,6 +63,24 @@ pub trait CampaignObserver: Sync {
         let _ = (index, fault);
     }
 
+    /// An experiment's machine came out of the per-worker arena
+    /// (DESIGN.md §8j): `copied_words` data words were rewritten by the
+    /// dirty-delta restore, or the arena missed and fell back to a full
+    /// checkpoint clone (`full_clone`, with `copied_words == 0`).
+    fn arena_restored(&self, copied_words: usize, full_clone: bool) {
+        let _ = (copied_words, full_clone);
+    }
+
+    /// An experiment's drive finished executing: it ran `instructions`
+    /// dynamic instructions in this process, of which `block_instructions`
+    /// went through the predecoded fast-replay block engine rather than
+    /// the scalar fetch–decode–execute step. Fires before
+    /// [`experiment_classified`](CampaignObserver::experiment_classified),
+    /// only for experiments that actually simulated here.
+    fn experiment_executed(&self, index: usize, instructions: u64, block_instructions: u64) {
+        let _ = (index, instructions, block_instructions);
+    }
+
     /// A hardware error detection mechanism fired `latency` dynamic
     /// instructions after injection.
     fn error_detected(&self, index: usize, mechanism: ErrorMechanism, latency: u64) {
@@ -170,6 +188,18 @@ impl CampaignObserver for ObserverSet<'_> {
         }
     }
 
+    fn arena_restored(&self, copied_words: usize, full_clone: bool) {
+        for o in &self.observers {
+            o.arena_restored(copied_words, full_clone);
+        }
+    }
+
+    fn experiment_executed(&self, index: usize, instructions: u64, block_instructions: u64) {
+        for o in &self.observers {
+            o.experiment_executed(index, instructions, block_instructions);
+        }
+    }
+
     fn error_detected(&self, index: usize, mechanism: ErrorMechanism, latency: u64) {
         for o in &self.observers {
             o.error_detected(index, mechanism, latency);
@@ -261,6 +291,11 @@ pub struct Telemetry {
     vis_replicated: AtomicUsize,
     batch_untraceable: AtomicUsize,
     batch_vis_admitted: AtomicUsize,
+    sim_instructions: AtomicUsize,
+    block_instructions: AtomicUsize,
+    arena_restores: AtomicUsize,
+    arena_dirty_words: AtomicUsize,
+    arena_full_clones: AtomicUsize,
     rate: Mutex<RateState>,
 }
 
@@ -298,6 +333,11 @@ impl Telemetry {
             vis_replicated: AtomicUsize::new(0),
             batch_untraceable: AtomicUsize::new(0),
             batch_vis_admitted: AtomicUsize::new(0),
+            sim_instructions: AtomicUsize::new(0),
+            block_instructions: AtomicUsize::new(0),
+            arena_restores: AtomicUsize::new(0),
+            arena_dirty_words: AtomicUsize::new(0),
+            arena_full_clones: AtomicUsize::new(0),
             rate: Mutex::new(RateState {
                 last_completion: Instant::now(),
                 // Smooth over roughly the last ~40 completions.
@@ -370,6 +410,11 @@ impl Telemetry {
             vis_replicated: load(&self.vis_replicated),
             batch_untraceable: load(&self.batch_untraceable),
             batch_vis_admitted: load(&self.batch_vis_admitted),
+            sim_instructions: load(&self.sim_instructions) as u64,
+            block_instructions: load(&self.block_instructions) as u64,
+            arena_restores: load(&self.arena_restores),
+            arena_dirty_words: load(&self.arena_dirty_words) as u64,
+            arena_full_clones: load(&self.arena_full_clones),
         }
     }
 }
@@ -412,6 +457,23 @@ impl CampaignObserver for Telemetry {
             .fetch_add(rejected_untraceable, Ordering::Relaxed);
         self.batch_vis_admitted
             .fetch_add(vis_admitted, Ordering::Relaxed);
+    }
+
+    fn arena_restored(&self, copied_words: usize, full_clone: bool) {
+        if full_clone {
+            self.arena_full_clones.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.arena_restores.fetch_add(1, Ordering::Relaxed);
+            self.arena_dirty_words
+                .fetch_add(copied_words, Ordering::Relaxed);
+        }
+    }
+
+    fn experiment_executed(&self, _index: usize, instructions: u64, block_instructions: u64) {
+        self.sim_instructions
+            .fetch_add(instructions as usize, Ordering::Relaxed);
+        self.block_instructions
+            .fetch_add(block_instructions as usize, Ordering::Relaxed);
     }
 
     fn batch_group_started(&self, _window: usize, members: usize, width: usize) {
@@ -540,6 +602,22 @@ pub struct TelemetrySnapshot {
     pub batch_untraceable: usize,
     /// Replicas admitted to lockstep only thanks to the visibility trace.
     pub batch_vis_admitted: usize,
+    /// Dynamic instructions executed by scalar experiment drives in this
+    /// process (prefix fast-forward and lockstep riding excluded — this is
+    /// the simulated residue the fast-replay engine attacks).
+    pub sim_instructions: u64,
+    /// Of [`sim_instructions`](Self::sim_instructions), how many were
+    /// executed by the predecoded block engine instead of the scalar
+    /// fetch–decode–execute step.
+    pub block_instructions: u64,
+    /// Experiment machines obtained by dirty-delta restore from the
+    /// per-worker arena (the checkpoint-clone fast path).
+    pub arena_restores: usize,
+    /// Data words copied by those dirty-delta restores, summed.
+    pub arena_dirty_words: u64,
+    /// Experiment machines obtained by a full checkpoint clone (arena
+    /// empty, golden changed, or a poisoned slot after a panic).
+    pub arena_full_clones: usize,
 }
 
 impl TelemetrySnapshot {
@@ -607,6 +685,19 @@ impl TelemetrySnapshot {
         self.vis_latent + self.vis_overwritten + self.sig_overwritten + self.value_resolved
     }
 
+    /// Fraction of simulated-residue instructions executed by the
+    /// predecoded block engine (the block-cache hit rate).
+    #[must_use]
+    pub fn block_hit_rate(&self) -> f64 {
+        self.block_instructions as f64 / (self.sim_instructions.max(1)) as f64
+    }
+
+    /// Mean data words copied per dirty-delta arena restore.
+    #[must_use]
+    pub fn mean_dirty_words(&self) -> f64 {
+        self.arena_dirty_words as f64 / (self.arena_restores.max(1)) as f64
+    }
+
     /// Folds another worker's snapshot into this one — the farm-level
     /// aggregation: every count is summed, wall-clock is the maximum (the
     /// workers ran concurrently), and the overall throughput is re-derived
@@ -617,9 +708,15 @@ impl TelemetrySnapshot {
     /// Each shard's *final* sidecar is written by the worker that finished
     /// it, so summing one sidecar per shard counts every fault exactly
     /// once: records a crashed worker persisted before dying appear in the
-    /// finishing worker's `preloaded` tally. Per-worker planning counters
-    /// (`plan_micros`, the `vis_*` rules) sum to the total planning work
-    /// the farm performed — every worker plans the full list.
+    /// finishing worker's `preloaded` tally.
+    ///
+    /// Planning-rule counters (`vis_latent`, `vis_overwritten`,
+    /// `sig_overwritten`, `value_resolved`, `vis_replicated`) are **not**
+    /// summed: every worker plans the same full fault list
+    /// deterministically, so each shard's counters already equal the exact
+    /// global counts and the merge takes the maximum instead (shards that
+    /// resumed fully-preloaded report zeros). `plan_micros` stays a sum —
+    /// it measures real aggregate planning CPU, which every worker spends.
     pub fn accumulate(&mut self, other: &TelemetrySnapshot) {
         self.total += other.total;
         self.preloaded += other.preloaded;
@@ -646,13 +743,18 @@ impl TelemetrySnapshot {
         self.split_offs += other.split_offs;
         self.lockstep_instructions += other.lockstep_instructions;
         self.plan_micros += other.plan_micros;
-        self.vis_latent += other.vis_latent;
-        self.vis_overwritten += other.vis_overwritten;
-        self.sig_overwritten += other.sig_overwritten;
-        self.value_resolved += other.value_resolved;
-        self.vis_replicated += other.vis_replicated;
+        self.vis_latent = self.vis_latent.max(other.vis_latent);
+        self.vis_overwritten = self.vis_overwritten.max(other.vis_overwritten);
+        self.sig_overwritten = self.sig_overwritten.max(other.sig_overwritten);
+        self.value_resolved = self.value_resolved.max(other.value_resolved);
+        self.vis_replicated = self.vis_replicated.max(other.vis_replicated);
         self.batch_untraceable += other.batch_untraceable;
         self.batch_vis_admitted += other.batch_vis_admitted;
+        self.sim_instructions += other.sim_instructions;
+        self.block_instructions += other.block_instructions;
+        self.arena_restores += other.arena_restores;
+        self.arena_dirty_words += other.arena_dirty_words;
+        self.arena_full_clones += other.arena_full_clones;
     }
 }
 
@@ -710,6 +812,16 @@ impl fmt::Display for TelemetrySnapshot {
                 self.vis_replicated,
                 self.batch_vis_admitted,
                 self.batch_untraceable
+            )?;
+        }
+        if self.sim_instructions > 0 {
+            write!(
+                f,
+                " | blk {:.0}% dirty {:.0}w/{} full {}",
+                100.0 * self.block_hit_rate(),
+                self.mean_dirty_words(),
+                self.arena_restores,
+                self.arena_full_clones
             )?;
         }
         if self.plan_micros > 0 {

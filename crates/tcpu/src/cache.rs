@@ -125,14 +125,11 @@ impl DataCache {
         };
     }
 
-    /// Reads the aligned 32-bit word containing `addr`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the address misses — the machine must fill first.
+    /// Reads the aligned 32-bit word containing `addr`. The address must
+    /// hit — the machine fills first; debug builds panic on a miss.
     #[must_use]
     pub fn read_word(&self, addr: u32) -> u32 {
-        assert!(self.hits(addr), "read_word on a cache miss");
+        debug_assert!(self.hits(addr), "read_word on a cache miss");
         let line = &self.lines[index_of(addr)];
         let off = (addr & 0xC) as usize;
         u32::from_le_bytes([
@@ -144,17 +141,40 @@ impl DataCache {
     }
 
     /// Writes the aligned 32-bit word containing `addr` and marks the line
-    /// dirty.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the address misses — write-allocate fills first.
+    /// dirty. The address must hit — write-allocate fills first; debug
+    /// builds panic on a miss.
     pub fn write_word(&mut self, addr: u32, word: u32) {
-        assert!(self.hits(addr), "write_word on a cache miss");
+        debug_assert!(self.hits(addr), "write_word on a cache miss");
         let line = &mut self.lines[index_of(addr)];
         let off = (addr & 0xC) as usize;
         line.data[off..off + 4].copy_from_slice(&word.to_le_bytes());
         line.dirty = true;
+    }
+
+    /// Combined hit-check and word access for the untraced hot path: if
+    /// `addr` hits, performs the read (`write == None`) or write (marking
+    /// the line dirty) with a single index/tag resolution and returns the
+    /// word; `None` on a miss (the caller fills and retries). Equivalent
+    /// to `hits` + `read_word`/`write_word`.
+    pub fn access_hit(&mut self, addr: u32, write: Option<u32>) -> Option<u32> {
+        let line = &mut self.lines[index_of(addr)];
+        if !line.valid || line.tag != tag_of(addr) {
+            return None;
+        }
+        let off = (addr & 0xC) as usize;
+        match write {
+            Some(w) => {
+                line.data[off..off + 4].copy_from_slice(&w.to_le_bytes());
+                line.dirty = true;
+                Some(w)
+            }
+            None => Some(u32::from_le_bytes([
+                line.data[off],
+                line.data[off + 1],
+                line.data[off + 2],
+                line.data[off + 3],
+            ])),
+        }
     }
 
     /// Direct access to a line (scan chain, diagnostics).

@@ -179,6 +179,21 @@ impl Opcode {
         )
     }
 
+    /// `true` for instructions the predecoded block engine may execute
+    /// back-to-back: they never transfer control, never end an iteration
+    /// (`yield`), never consult or reset the signature register (`sig`),
+    /// and are legal in user mode. Everything else terminates a
+    /// straight-line run and is executed by the scalar step path.
+    #[must_use]
+    pub fn is_straight_line(&self) -> bool {
+        !self.is_branch()
+            && !self.is_privileged()
+            && !matches!(
+                self,
+                Opcode::Yield | Opcode::Sig | Opcode::Jmp | Opcode::Call | Opcode::Ret
+            )
+    }
+
     /// The assembler mnemonic.
     #[must_use]
     pub fn mnemonic(&self) -> &'static str {
@@ -398,6 +413,23 @@ mod tests {
         assert!(Opcode::Beq.is_branch());
         assert!(Opcode::Ble.is_branch());
         assert!(!Opcode::Jmp.is_branch());
+    }
+
+    #[test]
+    fn straight_line_set() {
+        use Opcode::*;
+        // Exactly the run terminators are excluded: control transfers,
+        // yield, the signature check, and privileged ops.
+        let terminators = [
+            Beq, Bne, Blt, Bge, Bgt, Ble, Jmp, Call, Ret, Yield, Sig, Halt, Setsb,
+        ];
+        for op in [
+            Nop, Halt, Yield, Sig, Lui, Ori, Addi, Ld, St, Add, Sub, Mul, Div, And, Or, Xor, Shl,
+            Shr, Fadd, Fsub, Fmul, Fdiv, Fcmp, Cmp, Beq, Bne, Blt, Bge, Bgt, Ble, Jmp, Call, Ret,
+            In, Out, Chk, Itof, Ftoi, Mov, Setsb,
+        ] {
+            assert_eq!(op.is_straight_line(), !terminators.contains(&op), "{op:?}");
+        }
     }
 
     #[test]

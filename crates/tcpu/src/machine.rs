@@ -62,6 +62,158 @@ impl serde::Deserialize for DecodeMemo {
     }
 }
 
+/// Predecoded straight-line runs of the ROM image, the fast-replay engine's
+/// working set. `words` mirrors the ROM word-for-word, `decoded` holds the
+/// predecoded form of every decodable word, and `run_len[s]` is the number
+/// of consecutive straight-line instructions starting at slot `s` (zero when
+/// slot `s` itself is not straight-line; a run never includes the last ROM
+/// slot, so the slot after a run is always a valid fetch address). Built
+/// once per program load and shared between clones through an `Arc`, like
+/// [`DecodeMemo`]. Staleness is detected by two O(1) checks at replay
+/// entry: the fetched word must match the predecoded image (catches a
+/// scan-flipped latch) and the memory's host ROM-write counter must still
+/// equal the one recorded at build time (any later `load_rom_word`
+/// invalidates every block — coarse, but runtime stores cannot reach ROM,
+/// so only host pokes ever move it). A mismatch just falls back to the
+/// scalar path.
+#[derive(Debug, Default)]
+struct BlockTable {
+    words: Vec<u32>,
+    decoded: Vec<Option<Decoded>>,
+    run_len: Vec<u32>,
+    rom_version: u64,
+}
+
+impl BlockTable {
+    fn build(memory: &Memory) -> BlockTable {
+        let words: Vec<u32> = memory.rom_words().to_vec();
+        let n = words.len();
+        let decoded: Vec<Option<Decoded>> = words.iter().map(|&w| isa::decode(w)).collect();
+        let mut run_len = vec![0u32; n];
+        for s in (0..n.saturating_sub(1)).rev() {
+            if decoded[s].is_some_and(|d| d.op.is_straight_line()) {
+                run_len[s] = run_len[s + 1] + 1;
+            }
+        }
+        BlockTable {
+            words,
+            decoded,
+            run_len,
+            rom_version: memory.rom_version(),
+        }
+    }
+}
+
+/// Behaviourally inert [`BlockTable`] handle (same contract as
+/// [`DecodeMemo`]): equality ignores it, it serializes as `null` and
+/// deserializes as `None` (no table means every replay attempt falls back,
+/// so a deserialized machine runs scalar until re-enabled). The `Option`
+/// lets the replay entry point move the table out and back with plain
+/// pointer writes instead of an `Arc` refcount round-trip — that entry
+/// point runs at every untraced instruction boundary, where two atomic
+/// RMWs per attempt dominate the whole campaign.
+#[derive(Debug, Default, Clone)]
+struct BlockCache(Option<Arc<BlockTable>>);
+
+impl PartialEq for BlockCache {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl serde::Serialize for BlockCache {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl serde::Deserialize for BlockCache {
+    fn from_value(_v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(BlockCache::default())
+    }
+}
+
+/// Lifetime telemetry counters for the fast-replay engine. Behaviourally
+/// inert: equality ignores them and they serialize as `null`.
+#[derive(Debug, Default, Clone, Copy)]
+struct FastStats {
+    block_instructions: u64,
+}
+
+impl PartialEq for FastStats {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl serde::Serialize for FastStats {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl serde::Deserialize for FastStats {
+    fn from_value(_v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(FastStats::default())
+    }
+}
+
+/// Dense-key log of every data-memory word written since
+/// [`Machine::begin_dirty_log`] — the dirty set that makes the O(touched)
+/// checkpoint restore of [`Machine::restore_delta_from`] sound. The bitmap
+/// deduplicates; `keys` preserves insertion for a cheap sparse walk.
+#[derive(Debug, Default)]
+struct DirtyLog {
+    bitmap: [u64; mem::NUM_DATA_WORDS / 64],
+    keys: Vec<u32>,
+}
+
+impl DirtyLog {
+    #[inline]
+    fn insert(&mut self, key: usize) {
+        let (w, b) = (key / 64, key % 64);
+        if self.bitmap[w] & (1 << b) == 0 {
+            self.bitmap[w] |= 1 << b;
+            self.keys.push(key as u32);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.bitmap = [0; mem::NUM_DATA_WORDS / 64];
+        self.keys.clear();
+    }
+}
+
+/// Behaviourally inert [`DirtyLog`] slot. Clones do not inherit the log
+/// (mirrors [`TraceSlot`]): a clone's memory matches its source, so its
+/// dirty set starts undefined until the owner calls `begin_dirty_log`.
+#[derive(Debug, Default)]
+struct DirtySlot(Option<Box<DirtyLog>>);
+
+impl Clone for DirtySlot {
+    fn clone(&self) -> Self {
+        DirtySlot(None)
+    }
+}
+
+impl PartialEq for DirtySlot {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl serde::Serialize for DirtySlot {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl serde::Deserialize for DirtySlot {
+    fn from_value(_v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(DirtySlot::default())
+    }
+}
+
 /// Number of host-writable input ports.
 pub const NUM_IN_PORTS: usize = 4;
 /// Number of host-readable output ports.
@@ -134,6 +286,19 @@ pub enum StepEvent {
     Yield,
 }
 
+/// How a fast-replay block attempt ended (see `Machine::run_block`).
+enum BlockExit {
+    /// At least one instruction retired; re-evaluate from the new state.
+    Progress,
+    /// Preconditions not met — execute the scalar step instead.
+    Fallback,
+    /// An EDM fired mid-run; the machine froze exactly as scalar would.
+    Trapped(Trap),
+    /// A `yield` retired (with the next instruction prefetched, as the
+    /// scalar path leaves it); the run returns to the harness.
+    Yielded,
+}
+
 /// Why [`Machine::run`] returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunExit {
@@ -181,6 +346,12 @@ pub struct Machine {
     vtrace: VisSlot,
     /// Validated per-ROM-slot decode memo.
     decode_memo: DecodeMemo,
+    /// Predecoded straight-line runs for the fast-replay engine.
+    block_cache: BlockCache,
+    /// Fast-replay telemetry counters.
+    fast_stats: FastStats,
+    /// Dirty-word log backing the delta checkpoint restore.
+    dirty: DirtySlot,
 }
 
 impl Default for Machine {
@@ -220,6 +391,9 @@ impl Machine {
             atrace: TraceSlot::default(),
             vtrace: VisSlot::default(),
             decode_memo: DecodeMemo::default(),
+            block_cache: BlockCache::default(),
+            fast_stats: FastStats::default(),
+            dirty: DirtySlot::default(),
         }
     }
 
@@ -312,6 +486,27 @@ impl Machine {
             table[slot] = isa::decode(word).map(|d| (word, d));
         }
         self.decode_memo = DecodeMemo(Arc::new(table));
+        self.block_cache = BlockCache(Some(Arc::new(BlockTable::build(&self.mem))));
+    }
+
+    /// Enables or disables the predecoded fast-replay engine. Disabling
+    /// clears the block table, so every instruction takes the scalar step
+    /// path (the reference behaviour for the equivalence suite); enabling
+    /// rebuilds the table from the current ROM image.
+    pub fn set_fast_replay(&mut self, enabled: bool) {
+        self.block_cache = if enabled {
+            BlockCache(Some(Arc::new(BlockTable::build(&self.mem))))
+        } else {
+            BlockCache::default()
+        };
+    }
+
+    /// Instructions retired through the predecoded block engine over this
+    /// machine's lifetime (telemetry; clones inherit their source's count,
+    /// so callers measure deltas around a run).
+    #[must_use]
+    pub fn block_instructions(&self) -> u64 {
+        self.fast_stats.block_instructions
     }
 
     /// Sets an input port to a raw word.
@@ -383,7 +578,164 @@ impl Machine {
     /// recomputed, so this models a *value* fault, not an EDAC-detectable
     /// one. Returns `false` when `addr` is not a writable data word.
     pub fn poke_word(&mut self, addr: u32, word: u32) -> bool {
-        self.mem.poke(addr, word)
+        let ok = self.mem.poke(addr, word);
+        if ok {
+            self.note_data_write(addr);
+        }
+        ok
+    }
+
+    /// Host-side patch of one ROM word (program loading, test harness).
+    /// Forwards to [`Memory::load_rom_word`], which bumps the ROM version
+    /// counter — any predecoded block table goes stale and fast replay
+    /// falls back to the scalar path until the program is reloaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside ROM or unaligned.
+    pub fn poke_rom_word(&mut self, addr: u32, word: u32) {
+        self.mem.load_rom_word(addr, word);
+    }
+
+    /// Starts (or restarts) the dirty-word log: every subsequent write to
+    /// data memory — cache write-backs and host pokes — records its dense
+    /// word key, enabling [`Machine::restore_delta_from`] and
+    /// [`Machine::state_equals_sparse`].
+    pub fn begin_dirty_log(&mut self) {
+        match self.dirty.0.as_mut() {
+            Some(log) => log.clear(),
+            None => self.dirty.0 = Some(Box::new(DirtyLog::default())),
+        }
+    }
+
+    /// The dense data-word keys written since [`Machine::begin_dirty_log`],
+    /// or `None` when no log is active.
+    #[must_use]
+    pub fn dirty_words(&self) -> Option<&[u32]> {
+        self.dirty.0.as_deref().map(|l| l.keys.as_slice())
+    }
+
+    #[inline]
+    fn note_data_write(&mut self, addr: u32) {
+        if let Some(log) = self.dirty.0.as_mut() {
+            if let Some(key) = mem::word_key(addr) {
+                log.insert(key);
+            }
+        }
+    }
+
+    /// Dirty-delta checkpoint restore: makes `self` architecturally
+    /// identical to `src` without a deep clone. The fixed-size CPU state
+    /// (registers, latches, cache, shadow, ports) is copied wholesale;
+    /// data memory is copied only where the two images can differ — the
+    /// words `self` dirtied since its own [`Machine::begin_dirty_log`]
+    /// plus `extra` (the golden run's write sets between the checkpoint
+    /// `self` was last restored from and `src`, supplied by the caller who
+    /// knows the checkpoint schedule). Without an active log, or when the
+    /// combined set reaches the size of data memory, the whole data image
+    /// is copied instead. The log restarts empty; traces are cleared (as
+    /// on clone). Returns the number of data words copied.
+    pub fn restore_delta_from(&mut self, src: &Machine, extra: &[Vec<u32>]) -> usize {
+        let copied = match self.dirty.0.take() {
+            Some(mut log) => {
+                let total = log.keys.len() + extra.iter().map(Vec::len).sum::<usize>();
+                let copied = if total >= mem::NUM_DATA_WORDS {
+                    self.mem.copy_data_from(&src.mem);
+                    mem::NUM_DATA_WORDS
+                } else {
+                    for &k in log.keys.iter().chain(extra.iter().flatten()) {
+                        self.mem.copy_data_word_from(&src.mem, k as usize);
+                    }
+                    total
+                };
+                log.clear();
+                self.dirty.0 = Some(log);
+                copied
+            }
+            None => {
+                self.mem.copy_data_from(&src.mem);
+                self.begin_dirty_log();
+                mem::NUM_DATA_WORDS
+            }
+        };
+        self.regs = src.regs;
+        self.pc = src.pc;
+        self.psr = src.psr;
+        self.sig = src.sig;
+        self.stack_lo = src.stack_lo;
+        self.stack_hi = src.stack_hi;
+        self.epc = src.epc;
+        self.cause = src.cause;
+        self.save = src.save;
+        self.fetch = src.fetch;
+        self.idex = src.idex;
+        self.exwb = src.exwb;
+        self.cache = src.cache.clone();
+        self.sbuf = src.sbuf;
+        self.fbuf = src.fbuf;
+        self.edac_syndrome = src.edac_syndrome;
+        self.ports_out = src.ports_out;
+        self.ports_in = src.ports_in;
+        self.instr_count = src.instr_count;
+        self.trapped = src.trapped;
+        self.parity_cache = src.parity_cache;
+        self.shadow = src.shadow;
+        self.atrace = TraceSlot::default();
+        self.vtrace = VisSlot::default();
+        self.decode_memo = src.decode_memo.clone();
+        self.block_cache = src.block_cache.clone();
+        debug_assert!(
+            self.state_equals(src),
+            "dirty-delta restore must reproduce the checkpoint exactly"
+        );
+        copied
+    }
+
+    /// Sparse architectural equality for the convergence check: compares
+    /// every CPU field exactly as [`Machine::state_equals`] does, but walks
+    /// data memory only over this machine's dirty-log keys plus `extra`
+    /// (the golden run's writes since the checkpoint this machine was
+    /// restored from) instead of the full image — sound because ROM is
+    /// immutable at run time and RAM/stack can differ only where one side
+    /// wrote. Returns `None` when no dirty log is active — and also once
+    /// the combined key set covers more than half of data memory, where a
+    /// random-access key walk loses to the full comparison's sequential
+    /// sweep; the caller must then fall back to the full comparison.
+    #[must_use]
+    pub fn state_equals_sparse(&self, other: &Machine, extra: &[u32]) -> Option<bool> {
+        let log = self.dirty.0.as_deref()?;
+        if log.keys.len() + extra.len() > mem::NUM_DATA_WORDS / 2 {
+            return None;
+        }
+        let cpu = self.regs == other.regs
+            && self.pc == other.pc
+            && self.psr == other.psr
+            && self.sig == other.sig
+            && self.stack_lo == other.stack_lo
+            && self.stack_hi == other.stack_hi
+            && self.epc == other.epc
+            && self.cause == other.cause
+            && self.save == other.save
+            && self.fetch == other.fetch
+            && self.idex == other.idex
+            && self.exwb == other.exwb
+            && self.cache == other.cache
+            && self.sbuf == other.sbuf
+            && self.fbuf == other.fbuf
+            && self.edac_syndrome == other.edac_syndrome
+            && self.ports_out == other.ports_out
+            && self.ports_in == other.ports_in
+            && self.parity_cache == other.parity_cache
+            && self.shadow == other.shadow;
+        if !cpu {
+            return Some(false);
+        }
+        Some(
+            log.keys
+                .iter()
+                .chain(extra)
+                .all(|&k| self.mem.data_word(k as usize) == other.mem.data_word(k as usize)),
+        )
     }
 
     /// FNV-1a 64 digest of the architectural state: everything that
@@ -492,7 +844,11 @@ impl Machine {
 
     /// Host-side write of a data word (campaign initialisation).
     pub fn poke_data(&mut self, addr: u32, word: u32) -> bool {
-        self.mem.poke(addr, word)
+        let ok = self.mem.poke(addr, word);
+        if ok {
+            self.note_data_write(addr);
+        }
+        ok
     }
 
     /// The address and word of the instruction about to execute (from the
@@ -551,14 +907,11 @@ impl Machine {
     }
 
     fn run_gen<const TRACING: bool>(&mut self, budget: u64) -> RunExit {
-        for _ in 0..budget {
-            match self.step_gen::<TRACING>() {
-                Ok(StepEvent::Normal) => {}
-                Ok(StepEvent::Yield) => return RunExit::Yield,
-                Err(trap) => return RunExit::Trap(trap),
-            }
-        }
-        RunExit::Budget
+        // Every successful scalar step and every replayed block advance
+        // `instr_count` by exactly the number of instructions retired, so
+        // a budget is just a stop position.
+        let stop_at = self.instr_count.saturating_add(budget);
+        self.run_until_gen::<TRACING>(stop_at)
     }
 
     /// Executes instructions until `instr_count` reaches `stop_at`,
@@ -574,6 +927,19 @@ impl Machine {
 
     fn run_until_gen<const TRACING: bool>(&mut self, stop_at: u64) -> RunExit {
         while self.instr_count < stop_at {
+            if !TRACING {
+                // Fast replay: retire a whole predecoded straight-line run
+                // without per-instruction fetch/decode/latch bookkeeping.
+                // Any precondition failure — trap pending, latch not
+                // primed, scan-corrupted PC/latch, changed ROM, tracing —
+                // falls through to the bit-identical scalar step.
+                match self.run_block(stop_at) {
+                    BlockExit::Progress => continue,
+                    BlockExit::Trapped(trap) => return RunExit::Trap(trap),
+                    BlockExit::Yielded => return RunExit::Yield,
+                    BlockExit::Fallback => {}
+                }
+            }
             match self.step_gen::<TRACING>() {
                 Ok(StepEvent::Normal) => {}
                 Ok(StepEvent::Yield) => return RunExit::Yield,
@@ -581,6 +947,211 @@ impl Machine {
             }
         }
         RunExit::Budget
+    }
+
+    /// Replays predecoded instructions, stopping at `stop_at`. Everything
+    /// the table cannot prove equivalent to a scalar step — a
+    /// scan-corrupted latch or PC, a fetch outside ROM, an undecodable or
+    /// privileged word, a stale table — stops the replay where a scalar
+    /// step can take over; any state this function leaves behind is one
+    /// the scalar path would have produced at the same instruction
+    /// boundary.
+    fn run_block(&mut self, stop_at: u64) -> BlockExit {
+        if self.trapped.is_some() {
+            return BlockExit::Fallback;
+        }
+        // Move the table out for the duration of the replay — a pointer
+        // move, not an `Arc` refcount round-trip, because this point is
+        // reached at every untraced `run_until` — and put it back on every
+        // exit.
+        let Some(table) = self.block_cache.0.take() else {
+            return BlockExit::Fallback;
+        };
+        let exit = self.run_block_inner(&table, stop_at);
+        self.block_cache.0 = Some(table);
+        exit
+    }
+
+    /// The table-driven interpreter loop: replays whole straight-line runs
+    /// with the per-instruction fetch/decode/latch bookkeeping hoisted
+    /// out, then executes each run's decodable terminator (branch, jump,
+    /// call, return, `sig`, `yield`) from the same predecoded image,
+    /// chaining across control transfers without returning to the scalar
+    /// loop. Latch refills after a transfer reproduce `fill_latch`
+    /// bit-for-bit (the ROM-version guard proves the table mirrors live
+    /// ROM), so every intermediate state equals the scalar path's.
+    fn run_block_inner(&mut self, table: &BlockTable, stop_at: u64) -> BlockExit {
+        // Staleness guard: any host ROM write since the table was built
+        // invalidates every block (see [`BlockTable`]). Runtime stores
+        // cannot reach ROM, so this is a never-taken branch mid-campaign.
+        if table.rom_version != self.mem.rom_version() {
+            return BlockExit::Fallback;
+        }
+        let mut progressed = false;
+        loop {
+            // Establish a primed latch the table can vouch for. An invalid
+            // latch (after a control transfer) is refilled exactly as the
+            // next scalar step's `fill_latch` would; a primed latch must
+            // hold the predecoded word with `pc` one word ahead — anything
+            // else (a scan flip landed) is the scalar path's business.
+            let ipc = if self.fetch.valid {
+                self.fetch.pc
+            } else {
+                self.pc
+            };
+            if !(mem::ROM_BASE..mem::ROM_BASE + mem::ROM_SIZE).contains(&ipc)
+                || !ipc.is_multiple_of(4)
+            {
+                break;
+            }
+            let mut slot = ((ipc - mem::ROM_BASE) >> 2) as usize;
+            if self.fetch.valid {
+                if self.pc != ipc.wrapping_add(4) || table.words.get(slot) != Some(&self.fetch.word)
+                {
+                    break;
+                }
+            } else {
+                let Some(&word) = table.words.get(slot) else {
+                    break;
+                };
+                self.fetch = FetchLatch {
+                    word,
+                    pc: ipc,
+                    valid: true,
+                };
+                self.pc = ipc.wrapping_add(4);
+            }
+            let mut ipc0 = ipc;
+            // Replay the straight-line run starting here, if any. Mirrors
+            // `step_inner` with the latch bookkeeping hoisted out of the
+            // loop: the signature accumulates before execution (a trapping
+            // word still hashes in), and straight-line ops never transfer
+            // control or yield.
+            let len = u64::from(table.run_len[slot]);
+            if len > 0 {
+                let n = len.min(stop_at - self.instr_count) as usize;
+                let base = self.instr_count;
+                let run = table.words[slot..slot + n]
+                    .iter()
+                    .zip(&table.decoded[slot..slot + n]);
+                for (i, (&word, d)) in run.enumerate() {
+                    let d = d.as_ref().expect("straight-line runs are fully decoded");
+                    let ipc = ipc0 + (i as u32) * 4;
+                    self.sig = isa::signature_step(self.sig, word);
+                    let mut event = StepEvent::Normal;
+                    let mut transferred = false;
+                    if let Err(mechanism) =
+                        self.execute::<false>(d, ipc, &mut event, &mut transferred)
+                    {
+                        // Re-materialise the latch state the scalar path
+                        // would hold at this instruction, then freeze as
+                        // `step_gen` does.
+                        self.fetch = FetchLatch {
+                            word,
+                            pc: ipc,
+                            valid: false,
+                        };
+                        self.pc = ipc.wrapping_add(4);
+                        let trap = Trap {
+                            mechanism,
+                            at_instruction: base + i as u64,
+                            pc: ipc,
+                        };
+                        self.instr_count = base + i as u64 + 1;
+                        self.trapped = Some(trap);
+                        self.epc = ipc;
+                        self.cause =
+                            Edm::ALL.iter().position(|m| *m == mechanism).unwrap_or(0) as u8;
+                        self.fast_stats.block_instructions += i as u64 + 1;
+                        return BlockExit::Trapped(trap);
+                    }
+                    debug_assert!(
+                        !transferred && event == StepEvent::Normal,
+                        "straight-line ops never transfer or yield"
+                    );
+                }
+                // The run exits with the next instruction prefetched,
+                // exactly as the scalar path's end-of-step prefetch would
+                // leave it (a run never includes the last ROM slot, so
+                // `slot + n` is in range).
+                self.fetch = FetchLatch {
+                    word: table.words[slot + n],
+                    pc: ipc0 + (n as u32) * 4,
+                    valid: true,
+                };
+                self.pc = self.fetch.pc.wrapping_add(4);
+                self.instr_count = base + n as u64;
+                self.fast_stats.block_instructions += n as u64;
+                progressed = true;
+                if (n as u64) < len || self.instr_count >= stop_at {
+                    return BlockExit::Progress;
+                }
+                slot += n;
+                ipc0 = ipc0.wrapping_add((n as u32) * 4);
+            }
+            // The latch now holds this run's terminator (`run_len == 0`
+            // here): execute it from the predecoded image, mirroring
+            // `step_inner` — consume the latch, accumulate the signature
+            // (except for `sig`, which samples it), execute, prefetch when
+            // control did not transfer.
+            let Some(d) = table.decoded[slot] else {
+                break; // undecodable word: the scalar step raises the EDM
+            };
+            if d.op.is_privileged() {
+                break; // ditto — rejected before execute on the scalar path
+            }
+            let word = table.words[slot];
+            self.fetch.valid = false;
+            if d.op != Opcode::Sig {
+                self.sig = isa::signature_step(self.sig, word);
+            }
+            let mut event = StepEvent::Normal;
+            let mut transferred = false;
+            if let Err(mechanism) = self.execute::<false>(&d, ipc0, &mut event, &mut transferred) {
+                // The latch was consumed and `execute` errors before
+                // mutating the PC, so the state already matches the scalar
+                // error path; freeze as `step_gen` does.
+                let trap = Trap {
+                    mechanism,
+                    at_instruction: self.instr_count,
+                    pc: ipc0,
+                };
+                self.instr_count += 1;
+                self.trapped = Some(trap);
+                self.epc = ipc0;
+                self.cause = Edm::ALL.iter().position(|m| *m == mechanism).unwrap_or(0) as u8;
+                self.fast_stats.block_instructions += 1;
+                return BlockExit::Trapped(trap);
+            }
+            self.instr_count += 1;
+            self.fast_stats.block_instructions += 1;
+            progressed = true;
+            if !transferred {
+                // `try_prefetch` equivalent: prime the latch from the
+                // table when the next slot exists; past the end of ROM the
+                // scalar prefetch fails silently and leaves the latch
+                // invalid, which is already our state.
+                if let Some(&w) = table.words.get(slot + 1) {
+                    self.fetch = FetchLatch {
+                        word: w,
+                        pc: self.pc,
+                        valid: true,
+                    };
+                    self.pc = self.pc.wrapping_add(4);
+                }
+            }
+            if event == StepEvent::Yield {
+                return BlockExit::Yielded;
+            }
+            if self.instr_count >= stop_at {
+                return BlockExit::Progress;
+            }
+        }
+        if progressed {
+            BlockExit::Progress
+        } else {
+            BlockExit::Fallback
+        }
     }
 
     /// Executes one instruction.
@@ -668,6 +1239,7 @@ impl Machine {
         Ok(event)
     }
 
+    #[inline(always)]
     fn execute<const TRACING: bool>(
         &mut self,
         d: &Decoded,
@@ -857,7 +1429,9 @@ impl Machine {
     }
 
     fn float_binop(&mut self, op: Opcode, a: f32, b: f32) -> Result<f32, Edm> {
-        if a.is_nan() || b.is_nan() || a.is_infinite() || b.is_infinite() {
+        // NaN and infinity both raise ILLEGAL OPERATION, so the two
+        // classifications fuse into one finiteness test per operand.
+        if !a.is_finite() || !b.is_finite() {
             return Err(Edm::IllegalOperation);
         }
         if op == Opcode::Fdiv && b == 0.0 {
@@ -870,10 +1444,14 @@ impl Machine {
             Opcode::Fdiv => a / b,
             _ => unreachable!("not a float binop"),
         };
-        if r.is_infinite() || r.is_nan() {
+        // Non-finite results (overflow to ±inf; NaN is impossible from
+        // finite operands with the zero-divisor case already rejected)
+        // raise OVERFLOW CHECK; subnormals — nonzero by definition —
+        // raise UNDERFLOW CHECK.
+        if !r.is_finite() {
             return Err(Edm::OverflowCheck);
         }
-        if r != 0.0 && r.is_subnormal() {
+        if r.is_subnormal() {
             return Err(Edm::UnderflowCheck);
         }
         Ok(r)
@@ -912,13 +1490,17 @@ impl Machine {
         let d = isa::decode(word)?;
         if let Some(s) = slot {
             // Miss on a ROM slot: the image changed after load (host poke,
-            // deserialized machine). Copy-on-write keeps sharing clones
-            // correct while re-warming this machine's table.
-            let table = Arc::make_mut(&mut self.decode_memo.0);
-            if table.is_empty() {
-                *table = vec![None; (mem::ROM_SIZE / 4) as usize];
+            // deserialized machine) or a scan flip corrupted the fetched
+            // word. Re-warm only a table this machine owns outright — a
+            // shared table would need a full copy-on-write clone per miss,
+            // and the memo is a pure cache, so skipping the store is
+            // always sound (the next miss just decodes again).
+            if let Some(table) = Arc::get_mut(&mut self.decode_memo.0) {
+                if table.is_empty() {
+                    *table = vec![None; (mem::ROM_SIZE / 4) as usize];
+                }
+                table[s] = Some((word, d));
             }
-            table[s] = Some((word, d));
         }
         Some(d)
     }
@@ -1052,6 +1634,40 @@ impl Machine {
                 return Err(Edm::DataError);
             }
         }
+        if !TRACING {
+            // Untraced hot path: one combined tag-check-and-access per
+            // hit; a miss takes the ordinary write-back/fill route and
+            // retries (the fill guarantees the second attempt hits). End
+            // state is identical to the traced path below minus traces.
+            if let Some(w) = self.cache.access_hit(addr, write) {
+                if write.is_some() {
+                    self.sbuf = StoreBuffer {
+                        addr,
+                        data: w,
+                        valid: true,
+                    };
+                    self.update_shadow(addr);
+                }
+                return Ok(w);
+            }
+            if let Some((wb_addr, data)) = self.cache.pending_writeback(addr) {
+                self.write_back::<TRACING>(wb_addr, &data)?;
+            }
+            self.fill_line::<TRACING>(addr)?;
+            let w = self
+                .cache
+                .access_hit(addr, write)
+                .expect("line just filled");
+            if write.is_some() {
+                self.sbuf = StoreBuffer {
+                    addr,
+                    data: w,
+                    valid: true,
+                };
+                self.update_shadow(addr);
+            }
+            return Ok(w);
+        }
         if TRACING {
             // The hit check mirrors the consult short-circuit: the valid
             // flag is sampled on every access, the tag only while the
@@ -1133,8 +1749,31 @@ impl Machine {
         wb_addr: u32,
         data: &[u8; LINE_BYTES],
     ) -> Result<(), Edm> {
+        if !TRACING {
+            // Untraced: one region resolution (inside `write_line` — a
+            // line never straddles regions) and one contiguous key range
+            // for the dirty log; the error cases fall through to the
+            // region match below.
+            let words = [
+                u32::from_le_bytes(data[0..4].try_into().unwrap()),
+                u32::from_le_bytes(data[4..8].try_into().unwrap()),
+                u32::from_le_bytes(data[8..12].try_into().unwrap()),
+                u32::from_le_bytes(data[12..16].try_into().unwrap()),
+            ];
+            if self.mem.write_line(wb_addr, &words) {
+                if let Some(log) = self.dirty.0.as_mut() {
+                    if let Some(key) = mem::word_key(wb_addr) {
+                        for i in 0..4 {
+                            log.insert(key + i);
+                        }
+                    }
+                }
+                return Ok(());
+            }
+        }
         match mem::region(wb_addr) {
             Region::Ram | Region::Stack => {
+                debug_assert!(TRACING, "write_line covers untraced RAM/stack lines");
                 for i in 0..4 {
                     let a = wb_addr + (i as u32) * 4;
                     let w = u32::from_le_bytes(data[i * 4..i * 4 + 4].try_into().unwrap());
@@ -1144,6 +1783,7 @@ impl Machine {
                         }
                     }
                     self.mem.write_word(a, w);
+                    self.note_data_write(a);
                 }
                 Ok(())
             }
@@ -1155,6 +1795,9 @@ impl Machine {
 
     fn fill_line<const TRACING: bool>(&mut self, addr: u32) -> Result<(), Edm> {
         let base = addr & !0xF;
+        if !TRACING {
+            return self.fill_line_untraced(base);
+        }
         let mut data = [0u8; LINE_BYTES];
         for i in 0..4 {
             let a = base + (i as u32) * 4;
@@ -1190,6 +1833,49 @@ impl Machine {
             self.vis(VisUnit::CacheTag(line), AccessKind::Write);
             self.vis(VisUnit::CacheValid(line), AccessKind::Write);
             self.vis(VisUnit::CacheDirty(line), AccessKind::Write);
+        }
+        self.cache.fill(base, data);
+        self.update_shadow(base);
+        Ok(())
+    }
+
+    /// Untraced line fill: reads the whole line with one region
+    /// resolution, then reproduces the traced path's observable effects
+    /// bit-for-bit. The per-word fill-buffer deposits of the traced loop
+    /// collapse to the last one that would have happened before returning:
+    /// on success the buffer holds word 3; on a parity failure at word `i`
+    /// it holds word `i - 1` (words before the failure each deposited);
+    /// a nonzero EDAC syndrome fails at word 0 with the buffer untouched.
+    fn fill_line_untraced(&mut self, base: u32) -> Result<(), Edm> {
+        let Some((words, parity_ok)) = self.mem.read_line(base) else {
+            return Err(Edm::AddressError);
+        };
+        if self.edac_syndrome != 0 {
+            return Err(Edm::DataError);
+        }
+        for i in 0..4 {
+            if !parity_ok[i] {
+                if i > 0 {
+                    let w = words[i - 1];
+                    self.fbuf = FillBuffer {
+                        addr: base + (i as u32 - 1) * 4,
+                        data: w,
+                        parity: mem::parity(w),
+                        valid: true,
+                    };
+                }
+                return Err(Edm::DataError);
+            }
+        }
+        self.fbuf = FillBuffer {
+            addr: base + 12,
+            data: words[3],
+            parity: mem::parity(words[3]),
+            valid: true,
+        };
+        let mut data = [0u8; LINE_BYTES];
+        for (i, w) in words.iter().enumerate() {
+            data[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
         }
         self.cache.fill(base, data);
         self.update_shadow(base);
@@ -1721,6 +2407,180 @@ mod tests {
             b.run(1000);
         }
         assert_eq!(a, b);
+    }
+
+    /// A workload with straight-line runs, branches, calls, loads/stores
+    /// and yields, used by the fast-replay equivalence tests.
+    const REPLAY_SRC: &str = r#"
+        .data 0x10000
+        acc: .word 1
+        .text
+        start:
+            li r1, 0x10000
+            li r2, 0
+            li r3, 25
+        loop:
+            ld r4, [r1+0]
+            addi r4, r4, 3
+            mul r5, r4, r4
+            and r5, r5, r4
+            st r4, [r1+0]
+            call bump
+            cmp r2, r3
+            blt loop
+            yield
+            li r2, 0
+            jmp loop
+        bump:
+            addi r2, r2, 1
+            ret
+    "#;
+
+    #[test]
+    fn fast_replay_matches_scalar_step() {
+        let mut fast = machine_with(REPLAY_SRC);
+        let mut scalar = machine_with(REPLAY_SRC);
+        scalar.set_fast_replay(false);
+        for _ in 0..5 {
+            assert_eq!(fast.run(1000), scalar.run(1000));
+            assert!(fast.state_equals(&scalar));
+            assert_eq!(fast.instr_count(), scalar.instr_count());
+        }
+        assert!(
+            fast.block_instructions() > 0,
+            "the block engine must actually engage"
+        );
+        assert_eq!(scalar.block_instructions(), 0);
+    }
+
+    #[test]
+    fn fast_replay_trap_matches_scalar_step() {
+        // An overflow fires in the middle of a straight-line run.
+        let src = r#"
+            .text
+            start:
+                li r1, 0x7FFFFFF0
+                li r2, 7
+            loop:
+                add r1, r1, r2
+                add r1, r1, r2
+                add r1, r1, r2
+                jmp loop
+        "#;
+        let mut fast = machine_with(src);
+        let mut scalar = machine_with(src);
+        scalar.set_fast_replay(false);
+        let a = fast.run(1000);
+        let b = scalar.run(1000);
+        assert_eq!(a, b);
+        assert!(matches!(a, RunExit::Trap(t) if t.mechanism == Edm::OverflowCheck));
+        assert!(fast.state_equals(&scalar));
+        assert_eq!(fast.instr_count(), scalar.instr_count());
+        assert_eq!(fast.trap(), scalar.trap());
+    }
+
+    #[test]
+    fn fast_replay_stops_exactly_at_run_until_position() {
+        let mut fast = machine_with(REPLAY_SRC);
+        let mut scalar = machine_with(REPLAY_SRC);
+        scalar.set_fast_replay(false);
+        for stop in [3, 7, 50, 51, 52, 200] {
+            assert_eq!(fast.run_until(stop), scalar.run_until(stop));
+            assert_eq!(fast.instr_count(), scalar.instr_count());
+            assert!(fast.state_equals(&scalar));
+        }
+    }
+
+    #[test]
+    fn rom_change_invalidates_affected_block() {
+        // Mutating program text after load must fall the affected run back
+        // to the scalar path with identical outcomes (the scalar decode
+        // memo re-validates per word, so it re-decodes fresh).
+        let program =
+            assemble(".text\nstart:\n nop\n nop\n nop\n nop\n yield\nloop:\n jmp loop\n").unwrap();
+        let mut fast = Machine::new();
+        fast.load_program(&program);
+        let mut scalar = Machine::new();
+        scalar.load_program(&program);
+        scalar.set_fast_replay(false);
+        // Overwrite the third nop with an illegal opcode in both images.
+        fast.mem.load_rom_word(program.entry + 8, 0xFC00_0000);
+        scalar.mem.load_rom_word(program.entry + 8, 0xFC00_0000);
+        let a = fast.run(100);
+        let b = scalar.run(100);
+        assert_eq!(a, b);
+        assert!(matches!(a, RunExit::Trap(t) if t.mechanism == Edm::InstructionError));
+        assert!(fast.state_equals(&scalar));
+        assert_eq!(fast.instr_count(), scalar.instr_count());
+        assert_eq!(
+            fast.block_instructions(),
+            0,
+            "the stale block must not replay"
+        );
+    }
+
+    #[test]
+    fn dirty_delta_restore_equals_deep_clone() {
+        let mut golden = machine_with(REPLAY_SRC);
+        assert_eq!(golden.run(10_000), RunExit::Yield);
+        let checkpoint = golden.clone();
+        let mut arena = checkpoint.clone();
+        arena.begin_dirty_log();
+        // Diverge: run on, then poke extra damage.
+        assert_eq!(arena.run(10_000), RunExit::Yield);
+        assert!(arena.poke_word(mem::RAM_BASE + 0x40, 0xDEAD_BEEF));
+        assert!(!arena.state_equals(&checkpoint));
+        let dirty = arena.dirty_words().unwrap().len();
+        assert!(dirty > 0, "the run must have dirtied memory");
+        let copied = arena.restore_delta_from(&checkpoint, &[]);
+        assert_eq!(copied, dirty);
+        assert!(arena.state_equals(&checkpoint));
+        assert_eq!(arena.instr_count(), checkpoint.instr_count());
+        // And the restored machine replays bit-identically to a clone.
+        let mut cloned = checkpoint.clone();
+        assert_eq!(arena.run(5_000), cloned.run(5_000));
+        assert!(arena.state_equals(&cloned));
+    }
+
+    #[test]
+    fn restore_applies_extra_golden_windows() {
+        let mut golden = machine_with(REPLAY_SRC);
+        assert_eq!(golden.run(10_000), RunExit::Yield);
+        let early = golden.clone();
+        assert_eq!(golden.run(10_000), RunExit::Yield);
+        let late = golden.clone();
+        // The words golden wrote between the two checkpoints.
+        let window: Vec<u32> = (0..mem::NUM_DATA_WORDS as u32)
+            .filter(|&k| {
+                early.memory().data_word(k as usize) != late.memory().data_word(k as usize)
+            })
+            .collect();
+        let mut arena = early.clone();
+        arena.begin_dirty_log();
+        // Diverge from the golden trajectory, then run on.
+        assert!(arena.poke_word(mem::RAM_BASE, 9));
+        assert_eq!(arena.run(10_000), RunExit::Yield);
+        // Hop forward to the later checkpoint: dirty set + golden window.
+        arena.restore_delta_from(&late, &[window]);
+        assert!(arena.state_equals(&late));
+    }
+
+    #[test]
+    fn sparse_equality_agrees_with_full_equality() {
+        let mut golden = machine_with(REPLAY_SRC);
+        assert_eq!(golden.run(10_000), RunExit::Yield);
+        let checkpoint = golden.clone();
+        let mut m = checkpoint.clone();
+        assert!(m.state_equals_sparse(&checkpoint, &[]).is_none(), "no log");
+        m.begin_dirty_log();
+        assert_eq!(m.state_equals_sparse(&checkpoint, &[]), Some(true));
+        // Diverge in memory only via a logged poke.
+        assert!(m.poke_word(mem::RAM_BASE + 0x40, 0x1234_5678));
+        assert_eq!(
+            m.state_equals_sparse(&checkpoint, &[]),
+            Some(m.state_equals(&checkpoint))
+        );
+        assert_eq!(m.state_equals_sparse(&checkpoint, &[]), Some(false));
     }
 }
 

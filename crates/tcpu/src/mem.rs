@@ -100,13 +100,30 @@ pub fn key_addr(key: usize) -> Option<u32> {
 }
 
 /// Main memory: ROM plus EDAC-protected RAM and stack.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Memory {
     rom: Vec<u32>,
     ram: Vec<u32>,
     ram_parity: Vec<bool>,
     stack: Vec<u32>,
     stack_parity: Vec<bool>,
+    /// Count of host-level ROM writes since construction. Lets the
+    /// fast-replay engine detect a stale predecoded image with one integer
+    /// compare instead of re-reading the run it is about to replay.
+    rom_version: u64,
+}
+
+impl PartialEq for Memory {
+    fn eq(&self, other: &Self) -> bool {
+        // `rom_version` is a cache-coherence counter, not architectural
+        // state: two memories holding identical images are equal no matter
+        // how many ROM loads produced them.
+        self.rom == other.rom
+            && self.ram == other.ram
+            && self.ram_parity == other.ram_parity
+            && self.stack == other.stack
+            && self.stack_parity == other.stack_parity
+    }
 }
 
 impl Default for Memory {
@@ -130,6 +147,7 @@ impl Memory {
             ram_parity: vec![parity(0); ram_words],
             stack: vec![0; stack_words],
             stack_parity: vec![parity(0); stack_words],
+            rom_version: 0,
         }
     }
 
@@ -142,6 +160,14 @@ impl Memory {
         assert_eq!(region(addr), Region::Rom, "load_rom_word outside ROM");
         assert_eq!(addr % 4, 0, "unaligned ROM load");
         self.rom[((addr - ROM_BASE) / 4) as usize] = word;
+        self.rom_version += 1;
+    }
+
+    /// The host ROM-write counter — see the field doc. Predecoded block
+    /// tables record it at build time and refuse to replay once it moves.
+    #[must_use]
+    pub fn rom_version(&self) -> u64 {
+        self.rom_version
     }
 
     /// Fetches an instruction word from ROM; `None` if `addr` is outside
@@ -183,6 +209,52 @@ impl Memory {
         Some((w, parity(w) == par[idx]))
     }
 
+    /// Reads the four words of the aligned 16-byte line at `base` together
+    /// with their EDAC verdicts, resolving the backing region once. All
+    /// regions are 16-byte aligned with 16-byte-multiple sizes, so a line
+    /// never straddles two regions — the per-word result is exactly what
+    /// four [`Memory::read_word`] calls would return. `None` if the line
+    /// is not backed by RAM/stack.
+    #[must_use]
+    pub fn read_line(&self, base: u32) -> Option<([u32; 4], [bool; 4])> {
+        debug_assert!(base.is_multiple_of(16), "read_line on unaligned base");
+        let (mem, par, idx) = self.backing(base)?;
+        let words: [u32; 4] = mem[idx..idx + 4].try_into().expect("line-sized slice");
+        let pars: [bool; 4] = par[idx..idx + 4].try_into().expect("line-sized slice");
+        let mut ok = [false; 4];
+        for i in 0..4 {
+            ok[i] = parity(words[i]) == pars[i];
+        }
+        Some((words, ok))
+    }
+
+    /// Writes the four words of the aligned 16-byte line at `base`,
+    /// recomputing parity bits — the batched equivalent of four
+    /// [`Memory::write_word`] calls (see [`Memory::read_line`] for why one
+    /// region resolution is enough). Returns `false` if the line is not
+    /// backed by writable data memory.
+    pub fn write_line(&mut self, base: u32, words: &[u32; 4]) -> bool {
+        debug_assert!(base.is_multiple_of(16), "write_line on unaligned base");
+        let (mem, par, idx) = match region(base) {
+            Region::Ram => (
+                &mut self.ram,
+                &mut self.ram_parity,
+                ((base - RAM_BASE) / 4) as usize,
+            ),
+            Region::Stack => (
+                &mut self.stack,
+                &mut self.stack_parity,
+                ((base - STACK_BASE) / 4) as usize,
+            ),
+            _ => return false,
+        };
+        mem[idx..idx + 4].copy_from_slice(words);
+        for i in 0..4 {
+            par[idx + i] = parity(words[i]);
+        }
+        true
+    }
+
     /// Writes a data word, recomputing its parity bit. Returns `false` if
     /// the address is not writable data memory.
     pub fn write_word(&mut self, addr: u32, word: u32) -> bool {
@@ -218,6 +290,81 @@ impl Memory {
     #[must_use]
     pub fn data_equals(&self, other: &Memory) -> bool {
         self.ram == other.ram && self.stack == other.stack
+    }
+
+    /// The full ROM image as a word slice, indexed by `(addr - ROM_BASE) / 4`.
+    /// Used by the predecoded block engine to verify that the text it is
+    /// about to replay still matches the image it was decoded from.
+    #[must_use]
+    pub(crate) fn rom_words(&self) -> &[u32] {
+        &self.rom
+    }
+
+    /// The data word at dense index `key` (see [`word_key`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key >= NUM_DATA_WORDS`.
+    #[must_use]
+    pub(crate) fn data_word(&self, key: usize) -> u32 {
+        let ram_words = (RAM_SIZE / 4) as usize;
+        if key < ram_words {
+            self.ram[key]
+        } else {
+            self.stack[key - ram_words]
+        }
+    }
+
+    /// Copies one data word (and its stored parity bit) from `other`,
+    /// addressed by dense index `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key >= NUM_DATA_WORDS`.
+    pub(crate) fn copy_data_word_from(&mut self, other: &Memory, key: usize) {
+        let ram_words = (RAM_SIZE / 4) as usize;
+        if key < ram_words {
+            self.ram[key] = other.ram[key];
+            self.ram_parity[key] = other.ram_parity[key];
+        } else {
+            let k = key - ram_words;
+            self.stack[k] = other.stack[k];
+            self.stack_parity[k] = other.stack_parity[k];
+        }
+    }
+
+    /// Dense word keys (see [`word_key`]) at which the data state of `self`
+    /// and `other` differ. ROM and parity are excluded — parity is a pure
+    /// function of the data words. The campaign layer uses this to
+    /// precompute per-checkpoint write windows for the arena restore and
+    /// the sparse convergence compare.
+    #[must_use]
+    pub fn data_diff_keys(&self, other: &Memory) -> Vec<u32> {
+        let ram_words = self.ram.len();
+        let ram = self
+            .ram
+            .iter()
+            .zip(&other.ram)
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(k, _)| k as u32);
+        let stack = self
+            .stack
+            .iter()
+            .zip(&other.stack)
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(k, _)| (k + ram_words) as u32);
+        ram.chain(stack).collect()
+    }
+
+    /// Bulk-copies the entire data state (RAM + stack + parity) from
+    /// `other` without reallocating. ROM is untouched.
+    pub(crate) fn copy_data_from(&mut self, other: &Memory) {
+        self.ram.copy_from_slice(&other.ram);
+        self.ram_parity.copy_from_slice(&other.ram_parity);
+        self.stack.copy_from_slice(&other.stack);
+        self.stack_parity.copy_from_slice(&other.stack_parity);
     }
 
     /// Absorbs the mutable data state (RAM and stack) into `h`. ROM is

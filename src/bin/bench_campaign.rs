@@ -32,10 +32,16 @@
 //! resolved from visibility windows and value rules. `BERA_FAULTS` scales
 //! the section down for smoke runs.
 //!
+//! Each paper-scale model also records two absolute throughput columns —
+//! `experiments_per_sec` and `simulated_instructions_per_sec` on the
+//! default leg — tracking the fast-replay block engine and arena restore
+//! (DESIGN.md §8j) directly.
+//!
 //! `--baseline PATH` compares the freshly measured speedup ratios against
 //! a committed report and exits non-zero if any regressed by more than
 //! 20% — ratios, not milliseconds, so the gate is portable across
-//! machines. The JSON also records the planner's and batch engine's
+//! machines. The throughput columns are gated the same way (they are
+//! machine-dependent, but CI runners are homogeneous). The JSON also records the planner's and batch engine's
 //! classification splits from live telemetry, so a regression in coverage
 //! shows up as data rather than as an unexplained slowdown.
 
@@ -92,6 +98,15 @@ struct ModelBench {
     vis_speedup: f64,
     /// scalar / batched — the combined per-model win.
     end_to_end_speedup: f64,
+    /// Faults classified per wall-clock second on the default batched
+    /// leg. Machine-dependent, unlike the speedup ratios, but CI runs on
+    /// homogeneous runners and the fast-replay engine's win shows up here
+    /// directly.
+    experiments_per_sec: f64,
+    /// Dynamic instructions the simulated residue executed per wall-clock
+    /// second on the default batched leg — the throughput of the
+    /// fast-replay block engine plus arena restore.
+    simulated_instructions_per_sec: f64,
     simulated: usize,
     analytic: usize,
     replicated: usize,
@@ -238,6 +253,8 @@ fn bench_paper_model(model: FaultModel, faults: usize) -> ModelBench {
         batching_speedup: scalar_ms / batched_no_vis_ms,
         vis_speedup: batched_no_vis_ms / batched_ms,
         end_to_end_speedup: scalar_ms / batched_ms,
+        experiments_per_sec: faults as f64 / (batched_ms / 1000.0),
+        simulated_instructions_per_sec: snap.sim_instructions as f64 / (batched_ms / 1000.0),
         simulated: snap.simulated(),
         analytic: snap.analytic,
         replicated: snap.replicated,
@@ -298,6 +315,20 @@ fn regressions(fresh: &BenchReport, baseline: &BenchReport) -> Vec<(String, f64,
                 format!("paper-scale {} untraceable reduction", m.model),
                 b.untraceable_reduction(),
                 m.untraceable_reduction(),
+            );
+            // Absolute throughput of the fast-replay residue. These are
+            // machine-dependent, but CI runners are homogeneous enough
+            // that a >20% drop means the block engine or arena restore
+            // regressed, not the hardware.
+            check(
+                format!("paper-scale {} experiments/s", m.model),
+                b.experiments_per_sec,
+                m.experiments_per_sec,
+            );
+            check(
+                format!("paper-scale {} simulated instructions/s", m.model),
+                b.simulated_instructions_per_sec,
+                m.simulated_instructions_per_sec,
             );
         }
     }
@@ -374,6 +405,7 @@ fn main() {
         eprintln!(
             "paper scale {} ({} faults): scalar {:.0} ms, batched no-vis {:.0} ms \
              ({:.2}x), batched {:.0} ms ({:.2}x further, {:.2}x end-to-end; \
+             {:.0} exp/s, {:.2}M sim instr/s; \
              sim {} analytic {} replicated {}, {} batched {} split off; \
              untraceable {} -> {} ({:.0}% removed), {} admitted via vis, \
              {} planner vis-analytic)",
@@ -385,6 +417,8 @@ fn main() {
             m.batched_ms,
             m.vis_speedup,
             m.end_to_end_speedup,
+            m.experiments_per_sec,
+            m.simulated_instructions_per_sec / 1e6,
             m.simulated,
             m.analytic,
             m.replicated,

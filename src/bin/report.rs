@@ -261,6 +261,18 @@ fn report_telemetry_sidecar(store_path: &str) {
                     snap.plan_micros,
                 );
             }
+            if snap.sim_instructions > 0 {
+                eprintln!(
+                    "{store_path}: fast replay: {:.0}% of {} simulated instructions \
+                     via predecoded blocks; {} arena restores, mean {:.0} dirty words \
+                     ({} full clones)",
+                    100.0 * snap.block_hit_rate(),
+                    snap.sim_instructions,
+                    snap.arena_restores,
+                    snap.mean_dirty_words(),
+                    snap.arena_full_clones,
+                );
+            }
             if snap.batch_vis_admitted > 0 || snap.batch_untraceable > 0 {
                 eprintln!(
                     "{store_path}: lockstep admission: {} replicas admitted via \

@@ -13,12 +13,13 @@
 //!    exactly that one record, and a resuming worker re-runs exactly the
 //!    gap, converging to the identical canonical merge.
 
-use bera_goofi::campaign::{run_scifi_campaign, CampaignConfig};
+use bera_goofi::campaign::{run_scifi_campaign, run_scifi_campaign_observed, CampaignConfig};
 use bera_goofi::experiment::ExperimentRecord;
 use bera_goofi::farm::{
     done_path, init_farm, manifest_path, merge_farm, merged_path, read_manifest, run_worker,
     segment_path, FarmError, FarmManifest, LeasePolicy,
 };
+use bera_goofi::observer::Telemetry;
 use bera_goofi::store::{encode_record, load_store, JsonlStore};
 use bera_goofi::workload::Workload;
 use proptest::prelude::*;
@@ -117,6 +118,47 @@ fn permutation(seed: u64, n: usize) -> Vec<usize> {
         v.swap(i, j);
     }
     v
+}
+
+/// The merged farm telemetry reports planning-rule counters **exactly** —
+/// not multiplied by the shard count. Every worker plans the identical
+/// full fault list, so each shard sidecar already carries the global
+/// counts; the merge must deduplicate (take the maximum), not sum
+/// (DESIGN.md § 8i). The reference is the single-process campaign's own
+/// telemetry of the identical configuration.
+#[test]
+fn merged_planning_counters_are_exact_not_per_shard_sums() {
+    // A dedicated farm, larger than the shared fixture: enough faults
+    // that the visibility planner's analytic rules demonstrably fire.
+    const PLAN_FAULTS: usize = 120;
+    let cfg = CampaignConfig::quick(PLAN_FAULTS, 7);
+    let telemetry = Telemetry::new(PLAN_FAULTS);
+    let _ = run_scifi_campaign_observed(&Workload::algorithm_one(), &cfg, &telemetry);
+    let reference = telemetry.snapshot();
+
+    let root = scratch("plan-exact");
+    init_farm(&root, "alg1", &cfg, SHARDS, LeasePolicy::default()).expect("init farm");
+    run_worker(&root, "planner", 1, &mut |_| {}).expect("worker completes");
+    let report = merge_farm(&root).expect("merge completes");
+    let merged = report.telemetry.expect("shards wrote sidecars");
+
+    assert!(
+        reference.vis_latent
+            + reference.vis_overwritten
+            + reference.sig_overwritten
+            + reference.value_resolved
+            + reference.vis_replicated
+            > 0,
+        "the fixture campaign must exercise the planning rules for this test to bite"
+    );
+    assert_eq!(merged.vis_latent, reference.vis_latent);
+    assert_eq!(merged.vis_overwritten, reference.vis_overwritten);
+    assert_eq!(merged.sig_overwritten, reference.sig_overwritten);
+    assert_eq!(merged.value_resolved, reference.value_resolved);
+    assert_eq!(merged.vis_replicated, reference.vis_replicated);
+    // Planning CPU stays a sum: each of the three shard runs really spent
+    // it, so the farm figure must be at least the single-process figure.
+    assert!(merged.plan_micros >= reference.plan_micros);
 }
 
 proptest! {
